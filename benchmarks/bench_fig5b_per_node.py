@@ -1,0 +1,34 @@
+"""Figure 5b — per-node vs whole-model compilation on the Botvinick Stroop model."""
+
+import pytest
+
+from repro.bench.harness import figure5b_report
+from repro.core.distill import compile_model
+from repro.models import stroop
+
+TRIALS = 10
+INPUTS = stroop.default_inputs("incongruent")
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_model(stroop.build_botvinick_stroop(cycles=100), opt_level=2)
+
+
+def bench_distill_whole_model(benchmark, compiled):
+    benchmark(lambda: compiled.run(INPUTS, num_trials=TRIALS, seed=0, engine="compiled"))
+
+
+def bench_distill_per_node(benchmark, compiled):
+    benchmark(lambda: compiled.run(INPUTS, num_trials=TRIALS, seed=0, engine="per-node"))
+
+
+def test_figure5b_report(print_report):
+    report = figure5b_report(cycles=100, trials=10)
+    print_report(report)
+    by_config = {row["configuration"]: row for row in report.rows}
+    whole = by_config["Distill whole-model"]["speedup"]
+    per_node = by_config["Distill per-node"]["speedup"]
+    # The paper's finding: both help, whole-model compilation helps far more.
+    assert per_node > 1.0
+    assert whole > per_node

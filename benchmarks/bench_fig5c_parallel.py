@@ -1,0 +1,34 @@
+"""Figure 5c — serial vs multicore vs (simulated) GPU execution of the
+predator-prey grid search."""
+
+import pytest
+
+from repro.bench.harness import figure5c_report
+from repro.core.distill import compile_model
+from repro.models import predator_prey as pp
+
+INPUTS = pp.default_inputs(1)
+LEVELS = 12  # 1728 evaluations per controller execution
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_model(pp.build_predator_prey(levels_per_entity=LEVELS), opt_level=2)
+
+
+def bench_grid_serial(benchmark, compiled):
+    benchmark(lambda: compiled.run(INPUTS, num_trials=1, seed=0, engine="compiled"))
+
+
+def bench_grid_gpu_sim(benchmark, compiled):
+    benchmark(lambda: compiled.run(INPUTS, num_trials=1, seed=0, engine="gpu-sim"))
+
+
+def test_figure5c_report(print_report):
+    report = figure5c_report(levels_per_entity=LEVELS, workers=2)
+    print_report(report)
+    rows = {row["configuration"].split(" (")[0]: row for row in report.rows}
+    serial = rows["Distill serial"]["seconds"]
+    gpu = rows["Distill GPU"]["seconds"]
+    # The data-parallel engine must beat the serial grid loop, as in the paper.
+    assert gpu < serial

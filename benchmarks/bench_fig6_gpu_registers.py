@@ -1,0 +1,31 @@
+"""Figure 6 — GPU register throttling: occupancy vs runtime, fp32 vs fp64."""
+
+import pytest
+
+from repro.backends.gpu_sim import GpuOccupancyModel
+from repro.bench.harness import figure6_report
+
+
+def bench_occupancy_sweep(benchmark):
+    model = GpuOccupancyModel()
+    benchmark(lambda: model.register_sweep(grid_size=1_000_000))
+
+
+def test_figure6_report(print_report):
+    report = figure6_report()
+    print_report(report)
+    rows = report.rows
+    fp64 = [r for r in rows if r["precision"] == "fp64"]
+    fp32 = [r for r in rows if r["precision"] == "fp32"]
+    by_cap = {r["max_registers"]: r for r in fp64}
+    # Occupancy rises as the register cap shrinks...
+    assert by_cap[16]["occupancy"] > by_cap[256]["occupancy"]
+    # ...but the run time gets worse (spilling into an already saturated
+    # memory system), the paper's first observation.
+    assert by_cap[16]["estimated_seconds"] > by_cap[256]["estimated_seconds"]
+    # fp32 is barely faster than fp64 because the kernel is memory bound —
+    # the paper's second observation (they report "nearly the same" times).
+    f32 = next(r for r in fp32 if r["max_registers"] == 256)["estimated_seconds"]
+    f64 = by_cap[256]["estimated_seconds"]
+    assert f32 <= f64
+    assert f32 / f64 > 0.5

@@ -1,0 +1,25 @@
+"""Figure 7 — compilation-cost and run-time breakdown at O0–O3."""
+
+import pytest
+
+from repro.bench.harness import figure7_report
+from repro.core.distill import compile_model
+from repro.models import predator_prey as pp
+
+
+@pytest.mark.parametrize("opt_level", [0, 2])
+def bench_compilation(benchmark, opt_level):
+    benchmark(lambda: compile_model(pp.build_predator_prey("m"), opt_level=opt_level))
+
+
+def test_figure7_report(print_report):
+    report = figure7_report(trials=2)
+    print_report(report)
+    rows = report.rows
+    assert len(rows) == 8  # two models x four optimisation levels
+    for row in rows:
+        assert row["compilation_s"] > 0.0
+        assert row["execution_s"] > 0.0
+    # Optimisation costs compile time: O3 compilation is not cheaper than O0.
+    pp_rows = {r["opt_level"]: r for r in rows if r["model"] == "Predator-Prey L"}
+    assert pp_rows["O3"]["compilation_s"] >= pp_rows["O0"]["compilation_s"] * 0.5

@@ -1,0 +1,21 @@
+"""Shared fixtures/reporting for the per-figure benchmarks.
+
+Every benchmark module regenerates one figure of the paper through
+``repro.bench.harness`` and prints its rows (captured by ``-s`` or visible in
+the pytest summary via the ``paper_report`` fixture's teardown output), in
+addition to timing the representative kernel with pytest-benchmark.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def print_report(capsys):
+    """Return a callable that prints a FigureReport outside captured output."""
+
+    def _print(report):
+        with capsys.disabled():
+            print()
+            print(report.format_table())
+
+    return _print

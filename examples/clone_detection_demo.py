@@ -1,0 +1,75 @@
+"""Clone detection (paper §4.4): DDM vs LCA kernels and Extended Stroop A/B.
+
+Demonstrates the two user-guided analyses built on the FunctionComparator:
+
+1. the LCA accumulation kernel is equivalent to the DDM's once its leak and
+   offset are bound to zero (Figure 3), so the node can be replaced by the
+   DDM's analytical solution; and
+2. the two Extended Stroop variants — organised differently — compute the
+   same model.
+
+Run with:  python examples/clone_detection_demo.py
+"""
+
+import numpy as np
+
+from repro.analysis import CloneDetector
+from repro.cogframe.functions import DriftDiffusionIntegrator, LeakyCompetingIntegrator
+from repro.core.distill import compile_model
+from repro.core.specialize import emit_library_function
+from repro.ir import Module, print_function
+from repro.models.stroop import build_extended_stroop, default_inputs
+
+
+def main() -> None:
+    print("=== 1. DDM vs LCA accumulation kernels (Figure 3) ===")
+    module = Module("clone_demo")
+    lca = emit_library_function(
+        LeakyCompetingIntegrator(noise=1.0, time_step=0.01, non_negative=0.0),
+        input_size=1,
+        module=module,
+        name="lca_step",
+        param_args=("leak", "competition", "offset"),
+    )
+    ddm = emit_library_function(
+        DriftDiffusionIntegrator(noise=1.0, time_step=0.01),
+        input_size=1,
+        module=module,
+        name="ddm_step",
+        param_args=("rate",),
+    )
+    print(print_function(lca))
+    print()
+    print(print_function(ddm))
+
+    detector = CloneDetector()
+    plain = detector.compare(lca, ddm)
+    bound = detector.compare(
+        lca,
+        ddm,
+        left_bindings={"leak": 0.0, "competition": 0.0, "offset": 0.0},
+        right_bindings={"rate": 1.0},
+    )
+    print(f"\nwithout bindings : equivalent={plain.equivalent} ({plain.reason})")
+    print(
+        f"with bindings    : equivalent={bound.equivalent} "
+        f"({bound.matched_instructions} matched instructions)"
+    )
+    print("=> the LCA node can be replaced by the DDM's analytical solution.")
+
+    print("\n=== 2. Extended Stroop A vs B (computational equivalence) ===")
+    compiled_a = compile_model(build_extended_stroop("a", cycles=25), opt_level=2)
+    compiled_b = compile_model(build_extended_stroop("b", cycles=25), opt_level=2)
+    inputs = default_inputs("incongruent")
+    results_a = compiled_a.run(inputs, num_trials=2, seed=0)
+    results_b = compiled_b.run(inputs, num_trials=2, seed=0)
+    for node in ("reward", "ddm_color", "ddm_pointing"):
+        match = np.allclose(
+            results_a.final_outputs(node), results_b.final_outputs(node), rtol=1e-12
+        )
+        print(f"  {node:>12s}: outputs identical = {match}")
+    print("=> the two differently-structured variants compute the same model.")
+
+
+if __name__ == "__main__":
+    main()

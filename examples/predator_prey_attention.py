@@ -1,0 +1,49 @@
+"""Predator-prey attention allocation: the paper's running example.
+
+Builds the predator-prey model (Figure 1 of the paper), compiles it, runs the
+grid search on the serial, multicore and simulated-GPU engines, and prints
+the chosen attention allocations and timings.
+
+Run with:  python examples/predator_prey_attention.py [levels_per_entity]
+"""
+
+import sys
+import time
+
+from repro.core.distill import compile_model
+from repro.models.predator_prey import build_predator_prey, default_inputs
+
+
+def main() -> None:
+    levels = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    print(f"=== predator-prey with {levels} attention levels per entity "
+          f"({levels ** 3} evaluations per controller execution) ===")
+
+    model = build_predator_prey(levels_per_entity=levels)
+    inputs = default_inputs(3)
+    compiled = compile_model(model, opt_level=2)
+
+    for engine in ("compiled", "gpu-sim"):
+        start = time.perf_counter()
+        results = compiled.run(inputs, num_trials=3, seed=0, engine=engine)
+        seconds = time.perf_counter() - start
+        allocation = results.trials[0].outputs["control"]
+        action = results.trials[0].outputs["action"]
+        print(
+            f"{engine:>9s}: {seconds * 1e3:8.1f} ms   "
+            f"allocation (player, predator, prey) = "
+            f"({allocation[0]:.2f}, {allocation[1]:.2f}, {allocation[2]:.2f})   "
+            f"move = ({action[0]:+.2f}, {action[1]:+.2f})"
+        )
+
+    info = compiled.grid_searches[0]
+    print(
+        f"\ngrid-search region: kernel @{info.kernel_name}, {info.grid_size} points, "
+        f"{info.counter_stride} PRNG counter ticks reserved per evaluation"
+    )
+    print("The serial and data-parallel engines draw identical random numbers, so")
+    print("their allocations match exactly — the reproducibility property of §3.6.")
+
+
+if __name__ == "__main__":
+    main()

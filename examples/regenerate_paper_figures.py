@@ -1,0 +1,23 @@
+"""Regenerate every table/figure of the paper's evaluation in one go.
+
+Run with:  python examples/regenerate_paper_figures.py [--full]
+
+``--full`` uses the full trial counts and the 100-level XL grid (slow); the
+default quick mode finishes in a few minutes on a laptop-class machine.
+"""
+
+import sys
+
+from repro.bench.harness import all_reports
+
+
+def main() -> None:
+    quick = "--full" not in sys.argv
+    print(f"Regenerating all figures ({'quick' if quick else 'full'} mode)...\n")
+    for report in all_reports(quick=quick):
+        print(report.format_table())
+        print()
+
+
+if __name__ == "__main__":
+    main()

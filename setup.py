@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package (offline installs).
+
+The canonical metadata lives in pyproject.toml; this file only enables
+legacy `pip install -e . --no-use-pep517` editable installs.
+"""
+from setuptools import setup
+
+setup()

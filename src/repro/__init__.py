@@ -1,0 +1,29 @@
+"""repro — a reproduction of "Distill: Domain-Specific Compilation for Cognitive Models".
+
+The package is organised as follows (see DESIGN.md for the full inventory):
+
+* :mod:`repro.cogframe` — a PsyNeuLink-like cognitive-modelling substrate:
+  mechanisms, projections, compositions, a condition-based scheduler, a
+  function library and a pure-Python reference runner.
+* :mod:`repro.minitorch` — a minimal neural-network library standing in for
+  PyTorch, with a bridge that lowers its modules into the IR.
+* :mod:`repro.ir` — a typed SSA intermediate representation modelled on LLVM.
+* :mod:`repro.passes` — optimisation passes (mem2reg, constant propagation,
+  CSE, DCE, LICM, inlining, CFG simplification).
+* :mod:`repro.analysis` — the paper's model analyses: floating-point value
+  range propagation, floating-point scalar evolution, adaptive mesh
+  refinement and clone detection.
+* :mod:`repro.core` — the Distill compiler itself: type/shape extraction,
+  static data-structure conversion, per-node and whole-model code generation,
+  and the public :func:`repro.core.distill.compile_model` API.
+* :mod:`repro.backends` — execution engines: IR interpreter, compiled
+  Python/NumPy backend, multicore backend and the SIMT GPU simulator.
+* :mod:`repro.models` — the evaluated cognitive models (Necker cube,
+  Predator-Prey, Botvinick Stroop, Extended Stroop, Multitasking).
+* :mod:`repro.bench` — the benchmark harness regenerating the paper's
+  figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,66 @@
+"""repro.analysis — the paper's model analyses over the generated IR.
+
+These are the section-4 contributions of the paper, implemented as extensions
+of the ordinary pass/analysis infrastructure:
+
+* :mod:`repro.analysis.intervals` — the floating-point interval domain.
+* :mod:`repro.analysis.vrp` — floating-point value-range propagation
+  (parameter-sensitivity analysis, §4.1).
+* :mod:`repro.analysis.fastmath` — per-operation fast-math legality (§4.1).
+* :mod:`repro.analysis.scev` — floating-point scalar evolution and
+  convergence-time estimation (§4.2).
+* :mod:`repro.analysis.mesh_refine` — adaptive mesh refinement for
+  parameter-subspace search (§4.3, Figure 2).
+* :mod:`repro.analysis.clone_detect` — FunctionComparator-style clone
+  detection for nodes and whole models (§4.4, Figure 3).
+* :mod:`repro.analysis.cdfg` — control/data-flow graph extraction and
+  model-shape matching (the observation underpinning §4).
+"""
+
+from .cdfg import build_cdfg, cdfg_statistics, matches_model_structure, model_flow_graph
+from .clone_detect import (
+    CloneDetector,
+    CloneReport,
+    FunctionComparator,
+    functions_equivalent,
+    modules_equivalent,
+)
+from .fastmath import FastMathReport, analyze_fastmath
+from .intervals import Interval, join_all
+from .mesh_refine import MeshRefiner, RefinementResult, RefinementStep, refine_parameter
+from .scev import (
+    AddRecurrence,
+    LoopEvolution,
+    ScalarEvolution,
+    TripCountEstimate,
+    estimate_convergence,
+)
+from .vrp import ValueRangePropagation, VRPResult, analyze_ranges
+
+__all__ = [
+    "Interval",
+    "join_all",
+    "ValueRangePropagation",
+    "VRPResult",
+    "analyze_ranges",
+    "FastMathReport",
+    "analyze_fastmath",
+    "ScalarEvolution",
+    "AddRecurrence",
+    "TripCountEstimate",
+    "LoopEvolution",
+    "estimate_convergence",
+    "MeshRefiner",
+    "RefinementResult",
+    "RefinementStep",
+    "refine_parameter",
+    "CloneDetector",
+    "CloneReport",
+    "FunctionComparator",
+    "functions_equivalent",
+    "modules_equivalent",
+    "build_cdfg",
+    "model_flow_graph",
+    "matches_model_structure",
+    "cdfg_statistics",
+]

@@ -1,0 +1,92 @@
+"""Per-operation fast-math legality derived from value ranges (paper §4.1).
+
+Fast-math optimisations (reassociation, ``x*0 -> 0``, contraction into fused
+operations, use of approximate GPU instructions) are only sound when the
+operands cannot be NaN, infinite or signed zero.  Compilers normally expose
+this as a whole-module or per-function flag; the paper instead derives the
+flags *per operation* from floating-point VRP — "floating point ranges can be
+used to determine the absence of such special values for each operation and
+fast-math optimizations can be applied without breaking strict semantics."
+
+This module computes exactly that: for each floating-point instruction in a
+function it reports which of the LLVM-style flags ``nnan`` (no NaNs), ``ninf``
+(no infinities) and ``nsz`` (no signed zeros matter) are provably safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..ir.instructions import BinaryOp, Call, FCmp, Select
+from ..ir.module import Function
+from ..ir.values import Value
+from .intervals import Interval
+from .vrp import ValueRangePropagation, VRPResult
+
+
+@dataclass
+class FastMathReport:
+    """Fast-math flags proven safe for each instruction of a function."""
+
+    function: Function
+    flags: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def flags_for(self, instr) -> Set[str]:
+        return self.flags.get(id(instr), set())
+
+    def count_with_flag(self, flag: str) -> int:
+        return sum(1 for f in self.flags.values() if flag in f)
+
+    def fully_relaxed_values(self) -> Set[int]:
+        """ids of values proven finite and non-NaN (safe for all identities)."""
+        return {
+            key for key, f in self.flags.items() if {"nnan", "ninf"} <= f
+        }
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "float_instructions": len(self.flags),
+            "nnan": self.count_with_flag("nnan"),
+            "ninf": self.count_with_flag("ninf"),
+            "nsz": self.count_with_flag("nsz"),
+        }
+
+
+def analyze_fastmath(
+    function: Function,
+    arg_ranges: Optional[Dict[object, Interval]] = None,
+    vrp_result: Optional[VRPResult] = None,
+) -> FastMathReport:
+    """Compute per-operation fast-math legality for ``function``."""
+    vrp = vrp_result or ValueRangePropagation(function, arg_ranges).run()
+    report = FastMathReport(function)
+
+    def operand_ranges(instr) -> list[Interval]:
+        return [vrp.range_of(op) for op in instr.operands if op.type.is_float]
+
+    for block in function.blocks:
+        for instr in block.instructions:
+            is_float_op = (
+                (isinstance(instr, BinaryOp) and instr.opcode.startswith("f"))
+                or isinstance(instr, FCmp)
+                or (isinstance(instr, Call) and instr.type.is_float)
+                or (isinstance(instr, Select) and instr.type.is_float)
+            )
+            if not is_float_op:
+                continue
+            ranges = operand_ranges(instr)
+            result_range = vrp.range_of(instr) if not instr.type.is_void else Interval.top()
+            flags: Set[str] = set()
+            if ranges and all(r.definitely_not_nan() for r in ranges) and result_range.definitely_not_nan():
+                flags.add("nnan")
+            if ranges and all(r.is_finite() for r in ranges) and (
+                result_range.is_finite() or instr.type.is_void
+            ):
+                flags.add("ninf")
+            # "no signed zero" is safe when the value cannot be zero at all or
+            # when it is non-negative and bounded away from -0 paths.
+            if ranges and all(not r.contains(0.0) or r.non_negative() for r in ranges):
+                flags.add("nsz")
+            report.flags[id(instr)] = flags
+    return report

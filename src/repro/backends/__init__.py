@@ -1,0 +1,21 @@
+"""Execution backends for compiled cognitive models.
+
+The backends share one runtime model (flat slot buffers, ``(buffer, offset)``
+pointers, counter-based PRNG intrinsics) defined in
+:mod:`repro.backends.runtime`:
+
+* :mod:`repro.backends.interp` — per-instruction IR interpreter (the semantic
+  reference and the "generic JIT" baseline stand-in).
+* :mod:`repro.backends.pycodegen` — translates optimised IR into flat Python
+  source with no per-instruction dispatch; this is the "native execution"
+  analogue in this reproduction.
+* :mod:`repro.backends.multicore` — partitions grid-search parallel regions
+  across processes/threads.
+* :mod:`repro.backends.gpu_sim` — SIMT execution simulator with an
+  occupancy/latency model (stands in for the NVPTX/CUDA path).
+"""
+
+from . import runtime
+from .interp import Interpreter, run_function
+
+__all__ = ["runtime", "Interpreter", "run_function"]

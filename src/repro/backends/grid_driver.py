@@ -1,0 +1,181 @@
+"""Shared driver for engines that parallelise grid-search regions.
+
+The multicore and GPU-simulator engines follow the strategy the paper
+describes for parallel execution (section 3.6): everything *except* the
+grid-search evaluations runs through the same compiled code as the serial
+engine; the evaluations themselves — one independent kernel invocation per
+grid point, each with its own replicated PRNG state — are dispatched by the
+driver to a pool of workers or to the data-parallel executor.  The driver
+below owns the trial/pass loop, the double-buffer swap, monitor recording and
+the reservoir-sampling reduction; engines plug in an ``evaluate_grid``
+callable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..cogframe import conditions as cond
+from ..cogframe.mechanisms import GridSearchControlMechanism
+from ..cogframe.prng import CounterRNG, uniform_from_state
+from ..core.reservoir import reservoir_argmin
+
+#: Signature of the pluggable grid evaluator:
+#: (compiled, grid_info, params_buffer, true_input, key, counter_base) -> costs
+GridEvaluator = Callable[[object, object, List[float], List[float], int, int], np.ndarray]
+
+
+def allocation_for_index(levels: Sequence[Sequence[float]], index: int) -> List[float]:
+    """The candidate allocation at a flat grid index (row-major over signals)."""
+    values: List[float] = []
+    remainder = index
+    counts = [len(lv) for lv in levels]
+    for signal, lv in enumerate(levels):
+        tail = 1
+        for later in range(signal + 1, len(levels)):
+            tail *= counts[later]
+        values.append(float(lv[remainder // tail]))
+        remainder %= tail
+    return values
+
+
+def select_best(costs: np.ndarray, state_buf: List[float], rng_offset: int) -> int:
+    """Reservoir-sampling argmin, drawing tie-breaks from the control's PRNG.
+
+    Matches the serial compiled code draw-for-draw: no draws when the minimum
+    is unique, one uniform per additional tie otherwise.
+    """
+
+    def uniform() -> float:
+        key = int(state_buf[rng_offset])
+        counter = int(state_buf[rng_offset + 1])
+        value, counter = uniform_from_state(key, counter)
+        state_buf[rng_offset + 1] = counter
+        return value
+
+    index, _ = reservoir_argmin(costs, uniform=uniform)
+    return index
+
+
+def run_with_grid_driver(
+    compiled,
+    buffers: Dict[str, object],
+    num_trials: int,
+    evaluate_grid: GridEvaluator,
+) -> None:
+    """Execute the model with grid-search evaluations delegated to ``evaluate_grid``."""
+    layout = compiled.layout
+    composition = compiled.composition
+    params_buf: List[float] = buffers["params"]
+    state_buf: List[float] = buffers["state"]
+    prev_buf: List[float] = buffers["prev"]
+    cur_buf: List[float] = buffers["cur"]
+
+    grid_infos = {g.control_name: g for g in compiled.grid_searches}
+    controls = [
+        name
+        for name in layout.execution_order
+        if isinstance(composition.mechanisms[name], GridSearchControlMechanism)
+    ]
+    if not controls:
+        # Nothing to parallelise: fall back to the serial compiled engine.
+        compiled._run_whole_compiled(buffers, num_trials)
+        return
+
+    run_pass_rest = compiled.function("run_pass_rest")
+    input_helpers = {
+        name: compiled.function(grid_infos[name].input_helper_name) for name in controls
+    }
+    rng_offsets = {name: layout.rng_offsets[name] for name in controls}
+    out_offsets = layout.output_offsets
+    count_offsets = {
+        name: layout.state_struct.field_slot_offset(
+            layout.state_struct.field_index(layout.count_field(name))
+        )
+        for name in layout.execution_order
+    }
+    cost_offsets = {
+        name: layout.state_struct.field_slot_offset(
+            layout.state_struct.field_index(layout.state_field(name, "last_best_cost"))
+        )
+        for name in controls
+    }
+    record_size = layout.result_record_size()
+
+    for trial in range(num_trials):
+        for offset, values in layout.state_reset_entries:
+            state_buf[offset : offset + len(values)] = values
+        for i in range(len(prev_buf)):
+            prev_buf[i] = 0.0
+            cur_buf[i] = 0.0
+        row = trial % buffers["rows"]
+        ext = (buffers["inputs"], row * layout.input_size)
+
+        call_counts = {name: 0 for name in layout.execution_order}
+        passes_run = 0
+        for pass_idx in range(layout.max_passes):
+            scheduler_state = cond.SchedulerState(
+                pass_index=pass_idx,
+                trial_index=trial,
+                call_counts=dict(call_counts),
+                outputs={
+                    name: np.array(prev_buf[o : o + s]) for name, (o, s) in out_offsets.items()
+                },
+            )
+            if pass_idx > 0 and composition.termination.is_satisfied(scheduler_state):
+                break
+
+            # 1. All non-control nodes through the compiled pass function.
+            run_pass_rest(
+                (params_buf, 0), (state_buf, 0), (prev_buf, 0), (cur_buf, 0), ext,
+                pass_idx, trial,
+            )
+            for name in layout.execution_order:
+                if name in controls:
+                    continue
+                if composition.conditions[name].is_satisfied(scheduler_state):
+                    call_counts[name] += 1
+
+            # 2. Grid-search controllers via the pluggable evaluator.
+            for name in controls:
+                if not composition.conditions[name].is_satisfied(scheduler_state):
+                    continue
+                info = grid_infos[name]
+                true_input = [0.0] * info.input_size
+                input_helpers[name](
+                    (params_buf, 0), (state_buf, 0), (prev_buf, 0), (cur_buf, 0), ext,
+                    (true_input, 0),
+                )
+                epoch = trial * layout.max_passes + pass_idx
+                key = int(state_buf[rng_offsets[name]])
+                counter_base = epoch * info.grid_size * info.counter_stride
+                costs = np.asarray(
+                    evaluate_grid(compiled, info, params_buf, true_input, key, counter_base),
+                    dtype=float,
+                )
+                best = select_best(costs, state_buf, rng_offsets[name])
+                allocation = allocation_for_index(info.levels, best)
+                out_offset, out_size = out_offsets[name]
+                cur_buf[out_offset : out_offset + out_size] = allocation
+                state_buf[cost_offsets[name]] = float(costs[best])
+                state_buf[count_offsets[name]] += 1.0
+                call_counts[name] += 1
+
+            # 3. Double-buffer swap, monitor recording.
+            prev_buf[:] = cur_buf
+            if layout.monitor_size:
+                record = (trial * layout.max_passes + pass_idx) * layout.monitor_size
+                for node_name, (offset, size) in layout.monitor_layout.items():
+                    o, _ = out_offsets[node_name]
+                    buffers["monitor"][record + offset : record + offset + size] = prev_buf[
+                        o : o + size
+                    ]
+            passes_run = pass_idx + 1
+
+        base = trial * record_size
+        for node_name, (offset, size) in layout.result_layout.items():
+            o, _ = out_offsets[node_name]
+            buffers["results"][base + offset : base + offset + size] = prev_buf[o : o + size]
+        buffers["results"][base + layout.result_size] = float(passes_run)

@@ -1,0 +1,163 @@
+"""Multicore execution of grid-search regions (paper §3.6, DISTILL-mCPU).
+
+The paper creates one Python thread per core, assigns each a segment of the
+grid-search space and lets the threads run *compiled* code so they never take
+the GIL.  Compiled code in this reproduction is generated Python, which does
+hold the GIL, so the equivalent strategy is one worker **process** per core:
+each worker receives the generated kernel source once (at pool start-up),
+rebuilds the callable, evaluates its segment of the grid with its own
+replicated PRNG counters, and returns its segment's reservoir state; the
+parent merges the segments.  Results are identical to serial execution
+because every evaluation's random draws depend only on the evaluation index
+(see :mod:`repro.cogframe.prng`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.reservoir import merge_chunk_minima
+from .grid_driver import allocation_for_index, run_with_grid_driver
+
+# ---------------------------------------------------------------------------
+# Worker-side machinery.  Globals are initialised once per worker process.
+# ---------------------------------------------------------------------------
+
+_WORKER_KERNELS: Dict[str, object] = {}
+
+
+def _worker_init(kernel_sources: Dict[str, tuple]) -> None:
+    """Rebuild the compiled kernels inside the worker process."""
+    import math
+
+    from ..backends import runtime
+    from ..cogframe import prng
+
+    global _WORKER_KERNELS
+    _WORKER_KERNELS = {}
+    for name, (source, py_name) in kernel_sources.items():
+        namespace = {
+            "math": math,
+            "_fdiv": lambda a, b: runtime.eval_float_binop("fdiv", a, b),
+            "_sdiv": lambda a, b: runtime.eval_int_binop("sdiv", a, b),
+            "_srem": lambda a, b: runtime.eval_int_binop("srem", a, b),
+            "_intrinsics": runtime.INTRINSIC_IMPLS,
+            "_uniform_from_state": prng.uniform_from_state,
+            "_normal_from_state": prng.normal_from_state,
+        }
+        exec(compile(source, f"<distill-worker:{name}>", "exec"), namespace)
+        _WORKER_KERNELS[name] = namespace[py_name]
+
+
+def _worker_evaluate(task) -> tuple:
+    """Evaluate one contiguous chunk of the grid; return its reservoir state."""
+    (
+        kernel_name,
+        start,
+        stop,
+        params,
+        true_input,
+        levels,
+        key,
+        counter_base,
+        stride,
+    ) = task
+    kernel = _WORKER_KERNELS[kernel_name]
+    best_index, best_cost, ties = -1, float("inf"), 0
+    for index in range(start, stop):
+        allocation = allocation_for_index(levels, index)
+        counter = counter_base + index * stride
+        cost = kernel((params, 0), *true_input, *allocation, float(key), float(counter))
+        if cost < best_cost:
+            best_index, best_cost, ties = index, cost, 1
+        elif cost == best_cost:
+            ties += 1
+    return best_index, best_cost, ties
+
+
+class MulticoreGridEvaluator:
+    """Evaluates grid-search regions on a process pool."""
+
+    def __init__(self, compiled, workers: Optional[int] = None, chunk_multiplier: int = 4):
+        from .pycodegen import PythonCodeGenerator
+
+        self.workers = workers or max(os.cpu_count() or 1, 1)
+        self.chunk_multiplier = chunk_multiplier
+        generator = PythonCodeGenerator(compiled.module)
+        source = generator.generate_source()
+        self._kernel_sources = {
+            info.kernel_name: (source, f"ir_{info.kernel_name}".replace(".", "_"))
+            for info in compiled.grid_searches
+        }
+        self._pool: Optional[mp.pool.Pool] = None
+
+    # -- pool management -----------------------------------------------------------
+    def __enter__(self) -> "MulticoreGridEvaluator":
+        context = mp.get_context("spawn" if os.name == "nt" else "fork")
+        self._pool = context.Pool(
+            processes=self.workers,
+            initializer=_worker_init,
+            initargs=(self._kernel_sources,),
+        )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    # -- evaluation -------------------------------------------------------------------
+    def evaluate(self, compiled, info, params, true_input, key, counter_base) -> np.ndarray:
+        """Return a cost array whose argmin/ties match the full evaluation.
+
+        Only the winning entries matter for selection, so workers return the
+        reservoir state of their chunk and the merged result is materialised
+        as a sparse cost array (losers get +inf).
+        """
+        if self._pool is None:
+            raise RuntimeError("MulticoreGridEvaluator must be used as a context manager")
+        grid_size = info.grid_size
+        num_chunks = max(self.workers * self.chunk_multiplier, 1)
+        chunk = max((grid_size + num_chunks - 1) // num_chunks, 1)
+        tasks = []
+        for start in range(0, grid_size, chunk):
+            stop = min(start + chunk, grid_size)
+            tasks.append(
+                (
+                    info.kernel_name,
+                    start,
+                    stop,
+                    list(params),
+                    list(true_input),
+                    [list(lv) for lv in info.levels],
+                    key,
+                    counter_base,
+                    info.counter_stride,
+                )
+            )
+        chunk_results = self._pool.map(_worker_evaluate, tasks)
+        best_index, best_cost, _ = merge_chunk_minima(chunk_results)
+        costs = np.full(grid_size, np.inf)
+        costs[best_index] = best_cost
+        return costs
+
+
+def run_multicore(compiled, buffers, num_trials: int, workers: Optional[int] = None) -> None:
+    """Entry point used by :meth:`CompiledModel.run(engine="mcpu")`."""
+    if not compiled.grid_searches:
+        compiled._run_whole_compiled(buffers, num_trials)
+        return
+    with MulticoreGridEvaluator(compiled, workers=workers) as evaluator:
+        run_with_grid_driver(
+            compiled,
+            buffers,
+            num_trials,
+            lambda cm, info, params, true_input, key, base: evaluator.evaluate(
+                cm, info, params, true_input, key, base
+            ),
+        )

@@ -1,0 +1,283 @@
+"""Shared runtime support for the execution backends.
+
+Both the IR interpreter and the compiled Python backend use the same runtime
+model:
+
+* memory is a set of flat *slot buffers* (plain Python lists),
+* a pointer is a ``(buffer, offset)`` pair,
+* ``getelementptr`` becomes slot-offset arithmetic with statically known
+  strides, and
+* math and PRNG intrinsics dispatch to the functions defined here.
+
+Keeping these semantics in one module guarantees that the interpreter and the
+generated code agree bit-for-bit, which the differential tests rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..cogframe import prng
+from ..ir.types import ArrayType, IRType, PointerType, StructType
+
+Pointer = Tuple[list, int]
+
+
+# ---------------------------------------------------------------------------
+# Memory helpers
+# ---------------------------------------------------------------------------
+
+def allocate(ty: IRType) -> Pointer:
+    """Allocate a zero-initialised slot buffer for a value of type ``ty``."""
+    return ([0.0] * max(ty.slot_count(), 1), 0)
+
+
+def allocate_buffer(num_slots: int) -> list:
+    """Allocate a raw zero-initialised slot buffer."""
+    return [0.0] * max(int(num_slots), 1)
+
+
+def load_slot(ptr: Pointer):
+    buffer, offset = ptr
+    return buffer[offset]
+
+def store_slot(ptr: Pointer, value) -> None:
+    buffer, offset = ptr
+    buffer[offset] = value
+
+
+def gep_offset(pointee: IRType, indices: Sequence[int]) -> int:
+    """Slot offset addressed by a ``getelementptr`` with constant indices.
+
+    The first index scales by the full pointee size (LLVM semantics); each
+    further index walks into the aggregate.
+    """
+    if not indices:
+        return 0
+    offset = int(indices[0]) * pointee.slot_count()
+    current = pointee
+    for idx in indices[1:]:
+        idx = int(idx)
+        if isinstance(current, StructType):
+            offset += current.field_slot_offset(idx)
+            current = current.field_type(idx)
+        elif isinstance(current, ArrayType):
+            offset += idx * current.element.slot_count()
+            current = current.element
+        else:
+            raise TypeError(f"cannot index into scalar type {current}")
+    return offset
+
+
+def gep_strides(pointee: IRType, num_indices: int) -> List[Tuple[int, int]]:
+    """Static ``(stride, base_adjustment)`` description of a GEP.
+
+    Returns a list with one entry per index: the slot stride that index is
+    multiplied by.  Struct indices must be resolved separately because their
+    offset is not a linear function of the index; the code generator folds
+    constant struct indices before calling this helper.
+    """
+    strides: List[Tuple[int, int]] = [(pointee.slot_count(), 0)]
+    current = pointee
+    for _ in range(1, num_indices):
+        if isinstance(current, ArrayType):
+            strides.append((current.element.slot_count(), 0))
+            current = current.element
+        else:
+            raise TypeError(
+                "dynamic struct indexing is not supported; struct field "
+                "indices must be constants"
+            )
+    return strides
+
+
+# ---------------------------------------------------------------------------
+# Scalar intrinsic implementations
+# ---------------------------------------------------------------------------
+
+def intrinsic_exp(x: float) -> float:
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return math.inf
+
+
+def intrinsic_log(x: float) -> float:
+    if x < 0.0:
+        return math.nan
+    if x == 0.0:
+        return -math.inf
+    return math.log(x)
+
+
+def intrinsic_log1p(x: float) -> float:
+    if x < -1.0:
+        return math.nan
+    if x == -1.0:
+        return -math.inf
+    return math.log1p(x)
+
+
+def intrinsic_sqrt(x: float) -> float:
+    if x < 0.0:
+        return math.nan
+    return math.sqrt(x)
+
+
+def intrinsic_pow(x: float, y: float) -> float:
+    try:
+        result = math.pow(x, y)
+    except (OverflowError, ValueError):
+        return math.nan
+    return result
+
+
+def intrinsic_fmin(x: float, y: float) -> float:
+    if math.isnan(x):
+        return y
+    if math.isnan(y):
+        return x
+    return min(x, y)
+
+
+def intrinsic_fmax(x: float, y: float) -> float:
+    if math.isnan(x):
+        return y
+    if math.isnan(y):
+        return x
+    return max(x, y)
+
+
+def rng_uniform_ptr(state: Pointer) -> float:
+    """``rng_uniform`` intrinsic: advance the state in place, return a draw."""
+    buffer, offset = state
+    key = int(buffer[offset])
+    counter = int(buffer[offset + 1])
+    value, counter = prng.uniform_from_state(key, counter)
+    buffer[offset + 1] = counter
+    return value
+
+
+def rng_normal_ptr(state: Pointer) -> float:
+    """``rng_normal`` intrinsic: advance the state in place, return a draw."""
+    buffer, offset = state
+    key = int(buffer[offset])
+    counter = int(buffer[offset + 1])
+    value, counter = prng.normal_from_state(key, counter)
+    buffer[offset + 1] = counter
+    return value
+
+
+#: Dispatch table used by the interpreter and by generated code.  Keys are
+#: intrinsic names as they appear in :data:`repro.ir.instructions.INTRINSICS`.
+INTRINSIC_IMPLS = {
+    "exp": intrinsic_exp,
+    "log": intrinsic_log,
+    "log1p": intrinsic_log1p,
+    "sqrt": intrinsic_sqrt,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tanh": math.tanh,
+    "fabs": abs,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "pow": intrinsic_pow,
+    "fmin": intrinsic_fmin,
+    "fmax": intrinsic_fmax,
+    "copysign": math.copysign,
+    "rng_uniform": rng_uniform_ptr,
+    "rng_normal": rng_normal_ptr,
+}
+
+
+# ---------------------------------------------------------------------------
+# Scalar binary-operation semantics (shared by interpreter and constant folder)
+# ---------------------------------------------------------------------------
+
+def eval_float_binop(opcode: str, a: float, b: float) -> float:
+    if opcode == "fadd":
+        return a + b
+    if opcode == "fsub":
+        return a - b
+    if opcode == "fmul":
+        return a * b
+    if opcode == "fdiv":
+        if b == 0.0:
+            if a == 0.0 or math.isnan(a):
+                return math.nan
+            return math.copysign(math.inf, a) * math.copysign(1.0, b)
+        return a / b
+    if opcode == "frem":
+        if b == 0.0:
+            return math.nan
+        return math.fmod(a, b)
+    raise ValueError(f"unknown float binop {opcode}")
+
+
+def eval_int_binop(opcode: str, a: int, b: int) -> int:
+    if opcode == "add":
+        return a + b
+    if opcode == "sub":
+        return a - b
+    if opcode == "mul":
+        return a * b
+    if opcode == "sdiv":
+        if b == 0:
+            raise ZeroDivisionError("integer division by zero in IR execution")
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    if opcode == "srem":
+        if b == 0:
+            raise ZeroDivisionError("integer remainder by zero in IR execution")
+        return a - eval_int_binop("sdiv", a, b) * b
+    if opcode == "and":
+        return a & b
+    if opcode == "or":
+        return a | b
+    if opcode == "xor":
+        return a ^ b
+    if opcode == "shl":
+        return a << b
+    if opcode == "ashr":
+        return a >> b
+    raise ValueError(f"unknown int binop {opcode}")
+
+
+def eval_fcmp(predicate: str, a: float, b: float) -> int:
+    unordered = math.isnan(a) or math.isnan(b)
+    if predicate == "ord":
+        return 0 if unordered else 1
+    if predicate == "uno":
+        return 1 if unordered else 0
+    if unordered:
+        return 0
+    if predicate == "oeq":
+        return int(a == b)
+    if predicate == "one":
+        return int(a != b)
+    if predicate == "olt":
+        return int(a < b)
+    if predicate == "ole":
+        return int(a <= b)
+    if predicate == "ogt":
+        return int(a > b)
+    if predicate == "oge":
+        return int(a >= b)
+    raise ValueError(f"unknown fcmp predicate {predicate}")
+
+
+def eval_icmp(predicate: str, a: int, b: int) -> int:
+    if predicate == "eq":
+        return int(a == b)
+    if predicate == "ne":
+        return int(a != b)
+    if predicate == "slt":
+        return int(a < b)
+    if predicate == "sle":
+        return int(a <= b)
+    if predicate == "sgt":
+        return int(a > b)
+    if predicate == "sge":
+        return int(a >= b)
+    raise ValueError(f"unknown icmp predicate {predicate}")

@@ -1,0 +1,31 @@
+"""repro.bench — harness regenerating the paper's tables and figures.
+
+See :mod:`repro.bench.harness`; the pytest-benchmark entry points live in the
+top-level ``benchmarks/`` directory (one file per figure).
+"""
+
+from .harness import (
+    FigureReport,
+    all_reports,
+    figure2_report,
+    figure3_report,
+    figure4_report,
+    figure5a_report,
+    figure5b_report,
+    figure5c_report,
+    figure6_report,
+    figure7_report,
+)
+
+__all__ = [
+    "FigureReport",
+    "all_reports",
+    "figure2_report",
+    "figure3_report",
+    "figure4_report",
+    "figure5a_report",
+    "figure5b_report",
+    "figure5c_report",
+    "figure6_report",
+    "figure7_report",
+]

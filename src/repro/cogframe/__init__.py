@@ -1,0 +1,88 @@
+"""repro.cogframe — a PsyNeuLink-like cognitive-modelling substrate.
+
+This package provides everything a cognitive scientist needs to *express*
+models and everything Distill needs to *compile* them:
+
+* :mod:`repro.cogframe.functions` — the function library (transfer functions,
+  integrators, distributions, objective and selection functions), each with a
+  NumPy reference implementation and an IR template.
+* :mod:`repro.cogframe.mechanisms` — mechanisms (model nodes), including the
+  grid-search control mechanism used by the predator-prey model.
+* :mod:`repro.cogframe.projections` — weighted connections between ports.
+* :mod:`repro.cogframe.composition` — the model graph.
+* :mod:`repro.cogframe.conditions` — activation/termination conditions.
+* :mod:`repro.cogframe.sanitize` — the sanitization run Distill mines for
+  types and shapes.
+* :mod:`repro.cogframe.runner` — the interpretive reference engine (the
+  "CPython" baseline of the paper's evaluation).
+* :mod:`repro.cogframe.prng` — the counter-based PRNG shared by every
+  execution engine.
+"""
+
+from . import functions, prng
+from .composition import Composition
+from .conditions import (
+    AfterNPasses,
+    AfterPass,
+    All,
+    Always,
+    Any,
+    AtPass,
+    Condition,
+    EveryNCalls,
+    EveryNPasses,
+    Never,
+    Not,
+    SchedulerState,
+    ThresholdCrossed,
+)
+from .mechanisms import (
+    GridSearchControlMechanism,
+    InputPort,
+    IntegratorMechanism,
+    Mechanism,
+    ObjectiveMechanism,
+    ProcessingMechanism,
+    SimulationStep,
+    TransferMechanism,
+)
+from .projections import MappingProjection
+from .prng import CounterRNG
+from .runner import ReferenceRunner, RunResults, TrialResult, run_reference
+from .sanitize import MechanismInfo, SanitizationInfo, sanitize
+
+__all__ = [
+    "functions",
+    "prng",
+    "CounterRNG",
+    "Composition",
+    "Mechanism",
+    "ProcessingMechanism",
+    "TransferMechanism",
+    "IntegratorMechanism",
+    "ObjectiveMechanism",
+    "GridSearchControlMechanism",
+    "SimulationStep",
+    "InputPort",
+    "MappingProjection",
+    "Condition",
+    "Always",
+    "Never",
+    "AtPass",
+    "AfterPass",
+    "EveryNPasses",
+    "EveryNCalls",
+    "All",
+    "Any",
+    "Not",
+    "AfterNPasses",
+    "ThresholdCrossed",
+    "SchedulerState",
+    "sanitize",
+    "SanitizationInfo",
+    "MechanismInfo",
+    "ReferenceRunner",
+    "RunResults",
+    "TrialResult",
+    "run_reference",
+]

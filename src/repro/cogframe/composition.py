@@ -1,0 +1,204 @@
+"""Compositions: the graph structure of a cognitive model.
+
+A composition collects mechanisms and projections, records per-node
+activation conditions, the trial termination condition, the designated input
+and output nodes and any monitored nodes whose values should be recorded on
+every pass.  It is a declarative object: the interpretive runner
+(:mod:`repro.cogframe.runner`) and the Distill compiler (:mod:`repro.core`)
+both consume the *same* composition — the paper's first design principle
+("avoid requiring cognitive scientists to change the source-code of their
+models").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModelStructureError
+from .conditions import AfterNPasses, Always, Condition
+from .mechanisms import GridSearchControlMechanism, Mechanism
+from .projections import MappingProjection
+
+
+class Composition:
+    """A cognitive model: mechanisms, projections and scheduling rules."""
+
+    def __init__(self, name: str = "composition"):
+        self.name = name
+        self.mechanisms: Dict[str, Mechanism] = {}
+        self.projections: List[MappingProjection] = []
+        self.conditions: Dict[str, Condition] = {}
+        self.termination: Condition = AfterNPasses(1)
+        self.max_passes: int = 1
+        self.input_nodes: List[str] = []
+        self.output_nodes: List[str] = []
+        self.monitored_nodes: List[str] = []
+
+    # -- construction ------------------------------------------------------------
+    def add_node(
+        self,
+        mechanism: Mechanism,
+        condition: Optional[Condition] = None,
+        is_input: bool = False,
+        is_output: bool = False,
+        monitor: bool = False,
+    ) -> Mechanism:
+        if mechanism.name in self.mechanisms:
+            raise ModelStructureError(
+                f"composition {self.name!r} already contains a node named "
+                f"{mechanism.name!r}"
+            )
+        self.mechanisms[mechanism.name] = mechanism
+        self.conditions[mechanism.name] = condition or Always()
+        if is_input:
+            self.input_nodes.append(mechanism.name)
+        if is_output:
+            self.output_nodes.append(mechanism.name)
+        if monitor:
+            self.monitored_nodes.append(mechanism.name)
+        return mechanism
+
+    def add_projection(
+        self,
+        sender,
+        receiver,
+        port: str = "input",
+        matrix=None,
+        sender_slice: Optional[Tuple[int, int]] = None,
+    ) -> MappingProjection:
+        sender = self._resolve(sender)
+        receiver = self._resolve(receiver)
+        projection = MappingProjection(sender, receiver, port, matrix, sender_slice)
+        # Shapes are static, so wiring errors can be reported immediately
+        # rather than waiting for the sanitization run.
+        projection.validate()
+        self.projections.append(projection)
+        return projection
+
+    def add_linear_pathway(self, mechanisms: Sequence, matrices: Optional[Sequence] = None) -> None:
+        """Convenience: chain mechanisms with projections (optionally weighted)."""
+        mechanisms = [self._resolve(m) for m in mechanisms]
+        for i in range(len(mechanisms) - 1):
+            matrix = None
+            if matrices is not None and i < len(matrices):
+                matrix = matrices[i]
+            self.add_projection(mechanisms[i], mechanisms[i + 1], matrix=matrix)
+
+    def set_termination(self, condition: Condition, max_passes: Optional[int] = None) -> None:
+        self.termination = condition
+        if max_passes is not None:
+            self.max_passes = int(max_passes)
+        elif isinstance(condition, AfterNPasses):
+            self.max_passes = condition.n
+
+    # -- lookup --------------------------------------------------------------------
+    def _resolve(self, node) -> Mechanism:
+        if isinstance(node, Mechanism):
+            if node.name not in self.mechanisms or self.mechanisms[node.name] is not node:
+                raise ModelStructureError(
+                    f"mechanism {node.name!r} is not part of composition {self.name!r}"
+                )
+            return node
+        if node not in self.mechanisms:
+            raise ModelStructureError(
+                f"composition {self.name!r} has no node named {node!r}"
+            )
+        return self.mechanisms[node]
+
+    def node(self, name: str) -> Mechanism:
+        return self._resolve(name)
+
+    def condition_for(self, name: str) -> Condition:
+        return self.conditions[name]
+
+    def incoming_projections(self, node) -> List[MappingProjection]:
+        mech = self._resolve(node)
+        return [p for p in self.projections if p.receiver is mech]
+
+    def outgoing_projections(self, node) -> List[MappingProjection]:
+        mech = self._resolve(node)
+        return [p for p in self.projections if p.sender is mech]
+
+    def control_nodes(self) -> List[GridSearchControlMechanism]:
+        return [m for m in self.mechanisms.values() if isinstance(m, GridSearchControlMechanism)]
+
+    def projection_edges(self) -> List[Tuple[str, str]]:
+        """Model-level edges (sender name, receiver name), deduplicated."""
+        seen = set()
+        edges = []
+        for projection in self.projections:
+            edge = (projection.sender.name, projection.receiver.name)
+            if edge not in seen:
+                seen.add(edge)
+                edges.append(edge)
+        return edges
+
+    # -- execution order ----------------------------------------------------------------
+    def execution_order(self) -> List[str]:
+        """Topological order of nodes (cycles broken by insertion order).
+
+        All nodes read previous-pass values (double buffering), so the order
+        only matters for determinism; a topological order is used so that the
+        per-pass schedule matches the model's feed-forward structure, exactly
+        as PsyNeuLink's scheduler would produce it.
+        """
+        names = list(self.mechanisms)
+        index = {name: i for i, name in enumerate(names)}
+        dependencies: Dict[str, set] = {name: set() for name in names}
+        for projection in self.projections:
+            dependencies[projection.receiver.name].add(projection.sender.name)
+
+        order: List[str] = []
+        visited: Dict[str, int] = {}
+
+        def visit(name: str) -> None:
+            state = visited.get(name, 0)
+            if state == 2:
+                return
+            if state == 1:
+                return  # back edge: cycle broken at this point
+            visited[name] = 1
+            for dep in sorted(dependencies[name], key=lambda d: index[d]):
+                visit(dep)
+            visited[name] = 2
+            order.append(name)
+
+        for name in names:
+            visit(name)
+        return order
+
+    # -- validation ------------------------------------------------------------------------
+    def validate(self) -> None:
+        """Structural checks (complete wiring is checked by the sanitization run)."""
+        if not self.mechanisms:
+            raise ModelStructureError(f"composition {self.name!r} has no nodes")
+        if not self.input_nodes:
+            raise ModelStructureError(f"composition {self.name!r} has no input nodes")
+        if not self.output_nodes:
+            raise ModelStructureError(f"composition {self.name!r} has no output nodes")
+        for projection in self.projections:
+            projection.validate()
+        for name in self.input_nodes + self.output_nodes + self.monitored_nodes:
+            if name not in self.mechanisms:
+                raise ModelStructureError(
+                    f"composition {self.name!r}: designated node {name!r} does not exist"
+                )
+
+    # -- misc --------------------------------------------------------------------------------
+    def graph_summary(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "nodes": len(self.mechanisms),
+            "projections": len(self.projections),
+            "inputs": list(self.input_nodes),
+            "outputs": list(self.output_nodes),
+            "max_passes": self.max_passes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<Composition {self.name}: {len(self.mechanisms)} nodes, "
+            f"{len(self.projections)} projections>"
+        )

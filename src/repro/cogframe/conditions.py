@@ -1,0 +1,220 @@
+"""Scheduler conditions: when nodes run and when trials terminate.
+
+Conditions are small declarative objects.  The interpretive runner evaluates
+them through :meth:`Condition.is_satisfied` against a :class:`SchedulerState`;
+the Distill compiler lowers the same objects into IR (comparisons on the pass
+counter and the per-node execution counters kept in the static state
+structure), which is what lets whole-model optimisation see across the
+scheduling logic (paper sections 2.2 and 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass
+class SchedulerState:
+    """The information conditions may consult."""
+
+    pass_index: int = 0
+    trial_index: int = 0
+    #: Executions of each node within the current trial.
+    call_counts: Dict[str, int] = field(default_factory=dict)
+    #: Current (previous-pass) output values of each node.
+    outputs: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class Condition:
+    """Base class of all activation and termination conditions."""
+
+    def is_satisfied(self, state: SchedulerState) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{self.describe()}>"
+
+
+class Always(Condition):
+    """The node runs on every pass."""
+
+    def is_satisfied(self, state: SchedulerState) -> bool:
+        return True
+
+
+class Never(Condition):
+    """The node never runs (useful to disable parts of a model)."""
+
+    def is_satisfied(self, state: SchedulerState) -> bool:
+        return False
+
+
+class AtPass(Condition):
+    """The node runs only on pass ``n`` of each trial."""
+
+    def __init__(self, n: int):
+        self.n = int(n)
+
+    def is_satisfied(self, state: SchedulerState) -> bool:
+        return state.pass_index == self.n
+
+    def describe(self) -> str:
+        return f"AtPass({self.n})"
+
+
+class AfterPass(Condition):
+    """The node runs on every pass with index >= ``n``."""
+
+    def __init__(self, n: int):
+        self.n = int(n)
+
+    def is_satisfied(self, state: SchedulerState) -> bool:
+        return state.pass_index >= self.n
+
+    def describe(self) -> str:
+        return f"AfterPass({self.n})"
+
+
+class EveryNPasses(Condition):
+    """The node runs when ``pass_index % n == offset``."""
+
+    def __init__(self, n: int, offset: int = 0):
+        if n <= 0:
+            raise ValueError("EveryNPasses requires n >= 1")
+        self.n = int(n)
+        self.offset = int(offset) % int(n)
+
+    def is_satisfied(self, state: SchedulerState) -> bool:
+        return state.pass_index % self.n == self.offset
+
+    def describe(self) -> str:
+        return f"EveryNPasses({self.n}, offset={self.offset})"
+
+
+class EveryNCalls(Condition):
+    """The node runs after every ``n`` additional executions of ``dependency``."""
+
+    def __init__(self, dependency: str, n: int):
+        if n <= 0:
+            raise ValueError("EveryNCalls requires n >= 1")
+        self.dependency = dependency if isinstance(dependency, str) else dependency.name
+        self.n = int(n)
+
+    def is_satisfied(self, state: SchedulerState) -> bool:
+        count = state.call_counts.get(self.dependency, 0)
+        return count > 0 and count % self.n == 0
+
+    def describe(self) -> str:
+        return f"EveryNCalls({self.dependency!r}, {self.n})"
+
+
+class All(Condition):
+    """Conjunction of conditions."""
+
+    def __init__(self, *conditions: Condition):
+        self.conditions = list(conditions)
+
+    def is_satisfied(self, state: SchedulerState) -> bool:
+        return all(c.is_satisfied(state) for c in self.conditions)
+
+    def describe(self) -> str:
+        return "All(" + ", ".join(c.describe() for c in self.conditions) + ")"
+
+
+class Any(Condition):
+    """Disjunction of conditions."""
+
+    def __init__(self, *conditions: Condition):
+        self.conditions = list(conditions)
+
+    def is_satisfied(self, state: SchedulerState) -> bool:
+        return any(c.is_satisfied(state) for c in self.conditions)
+
+    def describe(self) -> str:
+        return "Any(" + ", ".join(c.describe() for c in self.conditions) + ")"
+
+
+class Not(Condition):
+    """Negation of a condition."""
+
+    def __init__(self, condition: Condition):
+        self.condition = condition
+
+    def is_satisfied(self, state: SchedulerState) -> bool:
+        return not self.condition.is_satisfied(state)
+
+    def describe(self) -> str:
+        return f"Not({self.condition.describe()})"
+
+
+# ---------------------------------------------------------------------------
+# Termination conditions (evaluated at the start of every pass after the first)
+# ---------------------------------------------------------------------------
+
+
+class AfterNPasses(Condition):
+    """Terminate the trial once ``n`` passes have completed."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("AfterNPasses requires n >= 1")
+        self.n = int(n)
+
+    def is_satisfied(self, state: SchedulerState) -> bool:
+        return state.pass_index >= self.n
+
+    def describe(self) -> str:
+        return f"AfterNPasses({self.n})"
+
+
+class ThresholdCrossed(Condition):
+    """Terminate when an output statistic of a node crosses a threshold.
+
+    ``statistic`` is one of ``"max_abs"``, ``"max"`` or ``"min"``; the trial
+    ends when ``statistic(outputs[node]) comparator threshold`` holds.  This
+    is the DDM/LCA "decision reached" condition.
+    """
+
+    def __init__(self, node, threshold: float, comparator: str = ">=", statistic: str = "max_abs"):
+        self.node = node if isinstance(node, str) else node.name
+        self.threshold = float(threshold)
+        if comparator not in (">=", ">", "<=", "<"):
+            raise ValueError(f"unsupported comparator {comparator!r}")
+        if statistic not in ("max_abs", "max", "min"):
+            raise ValueError(f"unsupported statistic {statistic!r}")
+        self.comparator = comparator
+        self.statistic = statistic
+
+    def _statistic(self, values: np.ndarray) -> float:
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return 0.0
+        if self.statistic == "max_abs":
+            return float(np.max(np.abs(values)))
+        if self.statistic == "max":
+            return float(np.max(values))
+        return float(np.min(values))
+
+    def is_satisfied(self, state: SchedulerState) -> bool:
+        if self.node not in state.outputs:
+            return False
+        value = self._statistic(state.outputs[self.node])
+        if self.comparator == ">=":
+            return value >= self.threshold
+        if self.comparator == ">":
+            return value > self.threshold
+        if self.comparator == "<=":
+            return value <= self.threshold
+        return value < self.threshold
+
+    def describe(self) -> str:
+        return (
+            f"ThresholdCrossed({self.node!r}, {self.statistic} {self.comparator} "
+            f"{self.threshold})"
+        )

@@ -1,0 +1,48 @@
+"""The cogframe function library.
+
+Every function provides a NumPy reference implementation (used by the
+interpretive runner) and an IR template (used by Distill's code generator);
+see :mod:`repro.cogframe.functions.base`.
+"""
+
+from .base import BaseFunction, EmitContext
+from .distributions import AttentionModulatedObservation, GaussianNoise, UniformToRange
+from .integrators import (
+    AccumulatorIntegrator,
+    DriftDiffusionAnalytical,
+    DriftDiffusionIntegrator,
+    LeakyCompetingIntegrator,
+    LeakyIntegrator,
+)
+from .objective import (
+    DistanceFunction,
+    EnergyFunction,
+    LinearCombination,
+    PredatorPreyObjective,
+    PursuitAvoidanceAction,
+)
+from .transfer import Linear, LinearMatrix, Logistic, ReLU, Softmax, Tanh
+
+__all__ = [
+    "BaseFunction",
+    "EmitContext",
+    "Linear",
+    "Logistic",
+    "ReLU",
+    "Tanh",
+    "Softmax",
+    "LinearMatrix",
+    "AccumulatorIntegrator",
+    "LeakyIntegrator",
+    "LeakyCompetingIntegrator",
+    "DriftDiffusionIntegrator",
+    "DriftDiffusionAnalytical",
+    "GaussianNoise",
+    "AttentionModulatedObservation",
+    "UniformToRange",
+    "LinearCombination",
+    "EnergyFunction",
+    "PursuitAvoidanceAction",
+    "PredatorPreyObjective",
+    "DistanceFunction",
+]

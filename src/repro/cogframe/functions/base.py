@@ -1,0 +1,127 @@
+"""Base classes for the cogframe function library.
+
+Every computational building block a mechanism can use (transfer functions,
+integrators, noise/distortion functions, objective functions) derives from
+:class:`BaseFunction`.  A function provides two things:
+
+* a **reference implementation** (:meth:`compute`) used by the interpretive
+  runner — this is the "CPython + PsyNeuLink" baseline of the paper; and
+* an **IR template** (:meth:`emit`) used by Distill's code generator — the
+  "pre-defined templates which are then specialized to the types with which
+  they are called" of paper section 3.4.1.
+
+Templates emit fully unrolled straight-line IR over the statically known
+shapes extracted from the sanitization run; polymorphism is resolved at
+compile time (monomorphisation), so a Logistic applied to a length-2 vector
+and one applied to a length-8 vector become two separate specialisations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..prng import CounterRNG
+
+
+class EmitContext:
+    """Facade handed to function templates during code generation.
+
+    The concrete implementation lives in :mod:`repro.core.node_codegen`; this
+    class only documents the interface so that cogframe does not depend on
+    the compiler package.
+    """
+
+    builder = None  # type: ignore[assignment]
+
+    def param(self, name: str) -> List:  # pragma: no cover - interface
+        """IR values of a read-only parameter (flattened, row-major)."""
+        raise NotImplementedError
+
+    def param_scalar(self, name: str):  # pragma: no cover - interface
+        """IR value of a scalar read-only parameter."""
+        raise NotImplementedError
+
+    def load_state(self, name: str) -> List:  # pragma: no cover - interface
+        """Current IR values of a read-write state entry."""
+        raise NotImplementedError
+
+    def store_state(self, name: str, values: Sequence) -> None:  # pragma: no cover
+        """Write new IR values into a read-write state entry."""
+        raise NotImplementedError
+
+    def rng_ptr(self):  # pragma: no cover - interface
+        """Pointer to this mechanism's PRNG state (key, counter)."""
+        raise NotImplementedError
+
+    def constant(self, value: float):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class BaseFunction:
+    """A library function: parameters + reference semantics + IR template."""
+
+    #: Human-readable name used in generated IR symbol names.
+    name = "function"
+    #: True if the reference/compiled implementations draw random numbers.
+    needs_rng = False
+
+    def __init__(self, **overrides):
+        self.params: Dict[str, object] = {}
+        for key, default in self.default_params().items():
+            self.params[key] = overrides.pop(key, default)
+        if overrides:
+            unknown = ", ".join(sorted(overrides))
+            raise TypeError(f"{type(self).__name__}: unknown parameters {unknown}")
+
+    # -- declarations -----------------------------------------------------------
+    def default_params(self) -> Dict[str, object]:
+        """Read-only parameters and their defaults (floats or numpy arrays)."""
+        return {}
+
+    def state_spec(self, input_size: int) -> Dict[str, np.ndarray]:
+        """Read-write state entries and their initial values."""
+        return {}
+
+    def output_size(self, input_size: int) -> int:
+        """Number of output elements for an input of ``input_size`` elements."""
+        return input_size
+
+    # -- reference execution ---------------------------------------------------------
+    def compute(
+        self,
+        variable: np.ndarray,
+        params: Dict[str, object],
+        state: Dict[str, np.ndarray],
+        rng: Optional[CounterRNG],
+    ) -> np.ndarray:
+        """Reference (NumPy) implementation used by the interpretive runner."""
+        raise NotImplementedError
+
+    # -- code generation ---------------------------------------------------------------
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        """Emit unrolled IR computing the function over ``inputs``.
+
+        ``inputs`` is a flat list of scalar IR values; the return value is the
+        flat list of scalar IR values of the output.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide an IR template"
+        )
+
+    # -- helpers -----------------------------------------------------------------------
+    def param_array(self, name: str, size: Optional[int] = None) -> np.ndarray:
+        """A parameter as a 1-D float array (broadcasting scalars to ``size``)."""
+        value = self.params[name]
+        arr = np.atleast_1d(np.asarray(value, dtype=float)).ravel()
+        if size is not None and arr.size == 1 and size > 1:
+            arr = np.full(size, float(arr[0]))
+        return arr
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{type(self).__name__}({parts})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return self.describe()

@@ -1,0 +1,110 @@
+"""Stochastic functions: noise injection and attention-dependent observation."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from .base import BaseFunction, EmitContext
+
+
+class GaussianNoise(BaseFunction):
+    """``out = x + standard_deviation * N(0,1)`` applied elementwise."""
+
+    name = "gaussian_noise"
+    needs_rng = True
+
+    def default_params(self) -> Dict[str, object]:
+        return {"standard_deviation": 1.0, "mean_offset": 0.0}
+
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        x = np.asarray(variable, dtype=float)
+        draws = np.array([rng.normal() for _ in range(x.size)]) if rng is not None else np.zeros_like(x)
+        return x + params["mean_offset"] + params["standard_deviation"] * draws
+
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        std = ctx.param_scalar("standard_deviation")
+        offset = ctx.param_scalar("mean_offset")
+        outputs = []
+        for x in inputs:
+            draw = b.rng_normal(ctx.rng_ptr())
+            outputs.append(b.fadd(b.fadd(x, offset), b.fmul(std, draw)))
+        return outputs
+
+
+class AttentionModulatedObservation(BaseFunction):
+    """Observation of a true location under limited attention (Obs nodes).
+
+    The observed coordinate of an entity is drawn from a Gaussian centred on
+    the true coordinate whose standard deviation shrinks as more attention is
+    allocated to that entity:
+
+    ``sigma = base_std / (attention + floor)``
+    ``observed_i = true_i + sigma * N(0, 1)``
+
+    The attention level arrives as the *last* input element (projected from
+    the Control node); the preceding elements are the true coordinates.  This
+    is exactly the structure of the predator-prey model's Obs nodes.
+    """
+
+    name = "attention_observation"
+    needs_rng = True
+
+    def default_params(self) -> Dict[str, object]:
+        return {"base_std": 2.0, "attention_floor": 0.25}
+
+    def output_size(self, input_size: int) -> int:
+        return max(input_size - 1, 1)
+
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        values = np.asarray(variable, dtype=float).ravel()
+        true_coords, attention = values[:-1], values[-1]
+        sigma = params["base_std"] / (attention + params["attention_floor"])
+        draws = (
+            np.array([rng.normal() for _ in range(true_coords.size)])
+            if rng is not None
+            else np.zeros_like(true_coords)
+        )
+        return true_coords + sigma * draws
+
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        base_std = ctx.param_scalar("base_std")
+        floor = ctx.param_scalar("attention_floor")
+        true_coords, attention = inputs[:-1], inputs[-1]
+        sigma = b.fdiv(base_std, b.fadd(attention, floor))
+        outputs = []
+        for coord in true_coords:
+            draw = b.rng_normal(ctx.rng_ptr())
+            outputs.append(b.fadd(coord, b.fmul(sigma, draw)))
+        return outputs
+
+
+class UniformToRange(BaseFunction):
+    """``out = low + (high - low) * U(0,1)`` for each element (stimulus generation)."""
+
+    name = "uniform_range"
+    needs_rng = True
+
+    def default_params(self) -> Dict[str, object]:
+        return {"low": 0.0, "high": 1.0}
+
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        x = np.asarray(variable, dtype=float)
+        low, high = params["low"], params["high"]
+        draws = np.array([rng.uniform() for _ in range(x.size)]) if rng is not None else np.zeros_like(x)
+        return low + (high - low) * draws
+
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        low = ctx.param_scalar("low")
+        high = ctx.param_scalar("high")
+        span = b.fsub(high, low)
+        outputs = []
+        for _ in inputs:
+            draw = b.rng_uniform(ctx.rng_ptr())
+            outputs.append(b.fadd(low, b.fmul(span, draw)))
+        return outputs

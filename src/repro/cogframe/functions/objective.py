@@ -1,0 +1,246 @@
+"""Objective and combination functions (cost/quality/energy computations)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .base import BaseFunction, EmitContext
+
+
+class LinearCombination(BaseFunction):
+    """``out = scale * sum_i w_i * x_i + offset`` reduced over the whole input."""
+
+    name = "linear_combination"
+
+    def __init__(self, weights=None, **overrides):
+        super().__init__(**overrides)
+        self.params["weights"] = None if weights is None else np.asarray(weights, dtype=float).ravel()
+
+    def default_params(self) -> Dict[str, object]:
+        return {"scale": 1.0, "offset": 0.0}
+
+    def output_size(self, input_size: int) -> int:
+        return 1
+
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        x = np.asarray(variable, dtype=float).ravel()
+        weights = params.get("weights")
+        if weights is None:
+            weights = np.ones_like(x)
+        total = float(np.dot(weights[: x.size], x))
+        return np.array([params["scale"] * total + params["offset"]])
+
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        scale = ctx.param_scalar("scale")
+        offset = ctx.param_scalar("offset")
+        weights = self.params.get("weights")
+        acc = None
+        for i, x in enumerate(inputs):
+            if weights is None:
+                term = x
+            else:
+                term = b.fmul(b.f64(float(weights[i])), x)
+            acc = term if acc is None else b.fadd(acc, term)
+        if acc is None:
+            acc = b.f64(0.0)
+        return [b.fadd(b.fmul(scale, acc), offset)]
+
+
+class EnergyFunction(BaseFunction):
+    """Hopfield-style energy used by the Stroop conflict-monitoring model.
+
+    ``E = weight * sum_{i < j} v_i * v_j + bias`` — for the two response
+    units of the Botvinick Stroop model this is the classic conflict measure
+    ``w * resp_color * resp_word``.
+    """
+
+    name = "energy"
+
+    def default_params(self) -> Dict[str, object]:
+        return {"weight": 1.0, "bias": 0.0}
+
+    def output_size(self, input_size: int) -> int:
+        return 1
+
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        v = np.asarray(variable, dtype=float).ravel()
+        total = 0.0
+        for i in range(v.size):
+            for j in range(i + 1, v.size):
+                total += v[i] * v[j]
+        return np.array([params["weight"] * total + params["bias"]])
+
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        weight = ctx.param_scalar("weight")
+        bias = ctx.param_scalar("bias")
+        acc = None
+        for i in range(len(inputs)):
+            for j in range(i + 1, len(inputs)):
+                term = b.fmul(inputs[i], inputs[j])
+                acc = term if acc is None else b.fadd(acc, term)
+        if acc is None:
+            acc = b.f64(0.0)
+        return [b.fadd(b.fmul(weight, acc), bias)]
+
+
+class PursuitAvoidanceAction(BaseFunction):
+    """Action selection for the predator-prey task.
+
+    The input is the concatenation of the observed player, predator and prey
+    positions (2 coordinates each).  The output is a 2-D movement vector that
+    points toward the prey and away from the predator:
+
+    ``action = (prey - player) - avoid_gain * (predator - player)``
+    """
+
+    name = "pursuit_avoidance"
+
+    def default_params(self) -> Dict[str, object]:
+        return {"avoid_gain": 0.5}
+
+    def output_size(self, input_size: int) -> int:
+        return 2
+
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        v = np.asarray(variable, dtype=float).ravel()
+        player, predator, prey = v[0:2], v[2:4], v[4:6]
+        return (prey - player) - params["avoid_gain"] * (predator - player)
+
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        avoid = ctx.param_scalar("avoid_gain")
+        player, predator, prey = inputs[0:2], inputs[2:4], inputs[4:6]
+        outputs = []
+        for axis in range(2):
+            pursue = b.fsub(prey[axis], player[axis])
+            flee = b.fsub(predator[axis], player[axis])
+            outputs.append(b.fsub(pursue, b.fmul(avoid, flee)))
+        return outputs
+
+
+class PredatorPreyObjective(BaseFunction):
+    """Cost of a move under an attention allocation (predator-prey task).
+
+    Input layout (11 elements): action (2), true player (2), true predator
+    (2), true prey (2), allocation (3).  The player takes a bounded step in
+    the (noisily observed) action direction; the cost is
+
+    * the distance from the prey after the step,
+    * minus ``avoid_cost`` times the distance from the predator (being far
+      from the predator is good),
+    * ``attention_cost * sum(allocation**2)`` — the cost of paying attention,
+    * ``uncertainty_cost * sum(1 / (allocation + floor))`` — the cost of the
+      residual perceptual uncertainty left by the allocation (low attention
+      means a poorly localised entity).
+
+    Because the step direction is *normalised*, observation noise degrades
+    the move nonlinearly, and the explicit uncertainty term trades off
+    against the quadratic attention cost: the landscape over the prey
+    allocation has an interior minimum, which is the Figure 2 curve.
+    """
+
+    name = "predator_prey_objective"
+
+    def default_params(self) -> Dict[str, object]:
+        return {
+            "avoid_cost": 0.25,
+            "attention_cost": 0.02,
+            "uncertainty_cost": 2.0,
+            "attention_floor": 0.25,
+            "step_size": 1.0,
+            "epsilon": 1e-6,
+        }
+
+    def output_size(self, input_size: int) -> int:
+        return 1
+
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        v = np.asarray(variable, dtype=float).ravel()
+        action = v[0:2]
+        player, predator, prey = v[2:4], v[4:6], v[6:8]
+        allocation = v[8:11]
+        norm = float(np.sqrt(np.dot(action, action))) + params["epsilon"]
+        new_player = player + params["step_size"] * action / norm
+        d_prey = float(np.sqrt(np.sum((new_player - prey) ** 2)))
+        d_pred = float(np.sqrt(np.sum((new_player - predator) ** 2)))
+        attention = float(np.dot(allocation, allocation))
+        uncertainty = float(np.sum(1.0 / (allocation + params["attention_floor"])))
+        cost = (
+            d_prey
+            - params["avoid_cost"] * d_pred
+            + params["attention_cost"] * attention
+            + params["uncertainty_cost"] * uncertainty
+        )
+        return np.array([cost])
+
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        avoid_cost = ctx.param_scalar("avoid_cost")
+        attention_cost = ctx.param_scalar("attention_cost")
+        uncertainty_cost = ctx.param_scalar("uncertainty_cost")
+        attention_floor = ctx.param_scalar("attention_floor")
+        step_size = ctx.param_scalar("step_size")
+        epsilon = ctx.param_scalar("epsilon")
+        action = inputs[0:2]
+        player, predator, prey = inputs[2:4], inputs[4:6], inputs[6:8]
+        allocation = inputs[8:11]
+
+        def dot(a, b_vec):
+            acc = None
+            for x, y in zip(a, b_vec):
+                term = b.fmul(x, y)
+                acc = term if acc is None else b.fadd(acc, term)
+            return acc
+
+        norm = b.fadd(b.sqrt(dot(action, action)), epsilon)
+        new_player = [
+            b.fadd(p, b.fmul(step_size, b.fdiv(a, norm)))
+            for p, a in zip(player, action)
+        ]
+        diff_prey = [b.fsub(n, t) for n, t in zip(new_player, prey)]
+        diff_pred = [b.fsub(n, t) for n, t in zip(new_player, predator)]
+        d_prey = b.sqrt(dot(diff_prey, diff_prey))
+        d_pred = b.sqrt(dot(diff_pred, diff_pred))
+        attention = dot(allocation, allocation)
+        uncertainty = None
+        for a in allocation:
+            term = b.fdiv(b.f64(1.0), b.fadd(a, attention_floor))
+            uncertainty = term if uncertainty is None else b.fadd(uncertainty, term)
+        cost = b.fsub(d_prey, b.fmul(avoid_cost, d_pred))
+        cost = b.fadd(cost, b.fmul(attention_cost, attention))
+        cost = b.fadd(cost, b.fmul(uncertainty_cost, uncertainty))
+        return [cost]
+
+
+class DistanceFunction(BaseFunction):
+    """Euclidean distance between the two halves of the input vector."""
+
+    name = "distance"
+
+    def default_params(self) -> Dict[str, object]:
+        return {}
+
+    def output_size(self, input_size: int) -> int:
+        return 1
+
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        v = np.asarray(variable, dtype=float).ravel()
+        half = v.size // 2
+        a, b = v[:half], v[half : 2 * half]
+        return np.array([float(np.sqrt(np.sum((a - b) ** 2)))])
+
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        half = len(inputs) // 2
+        acc = None
+        for x, y in zip(inputs[:half], inputs[half : 2 * half]):
+            d = b.fsub(x, y)
+            term = b.fmul(d, d)
+            acc = term if acc is None else b.fadd(acc, term)
+        if acc is None:
+            acc = b.f64(0.0)
+        return [b.sqrt(acc)]

@@ -1,0 +1,160 @@
+"""Transfer functions: elementwise transformations of a mechanism's input."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..prng import CounterRNG
+from .base import BaseFunction, EmitContext
+
+
+class Linear(BaseFunction):
+    """``out = slope * x + intercept`` applied elementwise."""
+
+    name = "linear"
+
+    def default_params(self) -> Dict[str, object]:
+        return {"slope": 1.0, "intercept": 0.0}
+
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        return params["slope"] * np.asarray(variable, dtype=float) + params["intercept"]
+
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        slope = ctx.param_scalar("slope")
+        intercept = ctx.param_scalar("intercept")
+        return [b.fadd(b.fmul(slope, x), intercept) for x in inputs]
+
+
+class Logistic(BaseFunction):
+    """``out = 1 / (1 + exp(-gain * (x - bias)))`` applied elementwise.
+
+    The paper uses this function as the canonical VRP example: its output is
+    always within (0, 1], which floating-point range propagation proves.
+    """
+
+    name = "logistic"
+
+    def default_params(self) -> Dict[str, object]:
+        return {"gain": 1.0, "bias": 0.0}
+
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        x = np.asarray(variable, dtype=float)
+        return 1.0 / (1.0 + np.exp(-params["gain"] * (x - params["bias"])))
+
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        gain = ctx.param_scalar("gain")
+        bias = ctx.param_scalar("bias")
+        return [b.logistic(x, gain, bias) for x in inputs]
+
+
+class ReLU(BaseFunction):
+    """``out = max(0, x) * gain`` applied elementwise."""
+
+    name = "relu"
+
+    def default_params(self) -> Dict[str, object]:
+        return {"gain": 1.0}
+
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        x = np.asarray(variable, dtype=float)
+        return params["gain"] * np.maximum(x, 0.0)
+
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        gain = ctx.param_scalar("gain")
+        zero = b.f64(0.0)
+        return [b.fmul(gain, b.fmax(x, zero)) for x in inputs]
+
+
+class Tanh(BaseFunction):
+    """``out = tanh(gain * (x - bias))`` applied elementwise."""
+
+    name = "tanh"
+
+    def default_params(self) -> Dict[str, object]:
+        return {"gain": 1.0, "bias": 0.0}
+
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        x = np.asarray(variable, dtype=float)
+        return np.tanh(params["gain"] * (x - params["bias"]))
+
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        gain = ctx.param_scalar("gain")
+        bias = ctx.param_scalar("bias")
+        return [b.tanh(b.fmul(gain, b.fsub(x, bias))) for x in inputs]
+
+
+class Softmax(BaseFunction):
+    """Numerically stable softmax over the whole input vector."""
+
+    name = "softmax"
+
+    def default_params(self) -> Dict[str, object]:
+        return {"gain": 1.0}
+
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        x = params["gain"] * np.asarray(variable, dtype=float)
+        shifted = x - np.max(x)
+        e = np.exp(shifted)
+        return e / np.sum(e)
+
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        gain = ctx.param_scalar("gain")
+        scaled = [b.fmul(gain, x) for x in inputs]
+        maximum = scaled[0]
+        for x in scaled[1:]:
+            maximum = b.fmax(maximum, x)
+        exps = [b.exp(b.fsub(x, maximum)) for x in scaled]
+        total = exps[0]
+        for e in exps[1:]:
+            total = b.fadd(total, e)
+        return [b.fdiv(e, total) for e in exps]
+
+
+class LinearMatrix(BaseFunction):
+    """``out = W @ x`` for a statically known weight matrix ``W``.
+
+    The matrix product is fully unrolled at compile time over the shapes
+    discovered in the sanitization run — the static-shape specialisation that
+    generic JITs cannot perform.
+    """
+
+    name = "linear_matrix"
+
+    def __init__(self, matrix, **overrides):
+        super().__init__(**overrides)
+        self.params["matrix"] = np.asarray(matrix, dtype=float)
+        if self.params["matrix"].ndim != 2:
+            raise ValueError("LinearMatrix requires a 2-D weight matrix")
+
+    def default_params(self) -> Dict[str, object]:
+        return {}
+
+    def output_size(self, input_size: int) -> int:
+        return int(self.params["matrix"].shape[0])
+
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        return np.asarray(params["matrix"], dtype=float) @ np.asarray(variable, dtype=float)
+
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        matrix = ctx.param("matrix")  # flattened row-major IR values
+        rows, cols = self.params["matrix"].shape
+        if len(inputs) != cols:
+            raise ValueError(
+                f"LinearMatrix: expected {cols} inputs, got {len(inputs)}"
+            )
+        outputs = []
+        for r in range(rows):
+            acc = None
+            for c in range(cols):
+                term = b.fmul(matrix[r * cols + c], inputs[c])
+                acc = term if acc is None else b.fadd(acc, term)
+            outputs.append(acc if acc is not None else b.f64(0.0))
+        return outputs

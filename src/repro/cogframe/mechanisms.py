@@ -1,0 +1,413 @@
+"""Mechanisms: the nodes of a cognitive model.
+
+A mechanism owns a function from the library, one or more named input ports
+(whose incoming projections are summed and concatenated in declaration order
+to form the function's variable) and a single output port.  Mechanisms keep
+their read-only parameters inside the function instance and declare their
+read-write state through the function's ``state_spec``; the Distill compiler
+mines both via the sanitization run and lays them out in static structures
+(paper section 3.3).
+
+The :class:`GridSearchControlMechanism` is the domain-specific construct at
+the heart of the predator-prey model: it owns a feed-forward *simulation
+pipeline* which it evaluates for every point of its allocation grid, selects
+the allocation with the lowest cost (breaking ties by reservoir sampling) and
+outputs it.  Both the interpretive runner and the compiled code evaluate the
+pipeline with per-evaluation PRNG states derived from the evaluation index,
+which makes serial, multicore and (simulated) GPU execution bit-identical —
+the reproducibility property the paper insists on (section 3.6).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModelStructureError
+from .functions.base import BaseFunction
+from .prng import CounterRNG
+
+
+@dataclass
+class InputPort:
+    """A named input port with a statically known size."""
+
+    name: str
+    size: int
+
+
+class Mechanism:
+    """A model node: input ports + a library function + one output port."""
+
+    #: Class-level marker used by the compiler to special-case control nodes.
+    is_control = False
+
+    def __init__(
+        self,
+        name: str,
+        function: BaseFunction,
+        input_ports: Optional[Sequence[InputPort]] = None,
+        size: Optional[int] = None,
+    ):
+        if input_ports is None:
+            if size is None:
+                raise ModelStructureError(
+                    f"mechanism {name!r}: provide input_ports or a size"
+                )
+            input_ports = [InputPort("input", int(size))]
+        self.name = name
+        self.function = function
+        self.input_ports: List[InputPort] = list(input_ports)
+        if not self.input_ports:
+            raise ModelStructureError(f"mechanism {name!r} needs at least one input port")
+        seen = set()
+        for port in self.input_ports:
+            if port.name in seen:
+                raise ModelStructureError(
+                    f"mechanism {name!r}: duplicate input port {port.name!r}"
+                )
+            seen.add(port.name)
+
+    # -- shape queries ---------------------------------------------------------------
+    @property
+    def input_size(self) -> int:
+        return sum(port.size for port in self.input_ports)
+
+    @property
+    def output_size(self) -> int:
+        return int(self.function.output_size(self.input_size))
+
+    def port_size(self, name: str) -> int:
+        for port in self.input_ports:
+            if port.name == name:
+                return port.size
+        raise ModelStructureError(f"mechanism {self.name!r} has no input port {name!r}")
+
+    def port_offset(self, name: str) -> int:
+        """Offset of a port's values inside the concatenated variable."""
+        offset = 0
+        for port in self.input_ports:
+            if port.name == name:
+                return offset
+            offset += port.size
+        raise ModelStructureError(f"mechanism {self.name!r} has no input port {name!r}")
+
+    # -- parameter / state declarations ------------------------------------------------
+    def param_values(self) -> Dict[str, object]:
+        """Read-only parameters (name -> float or array)."""
+        return dict(self.function.params)
+
+    def state_spec(self) -> Dict[str, np.ndarray]:
+        """Read-write state entries and their initial values."""
+        return {
+            key: np.asarray(value, dtype=float).copy()
+            for key, value in self.function.state_spec(self.input_size).items()
+        }
+
+    @property
+    def needs_rng(self) -> bool:
+        return self.function.needs_rng
+
+    def rng_draws_per_execution(self) -> int:
+        """Number of normal/uniform draws one execution consumes (0 if none)."""
+        if not self.needs_rng:
+            return 0
+        # Stochastic library functions draw once per output element.
+        return max(self.output_size, 1)
+
+    # -- reference execution ----------------------------------------------------------------
+    def execute(
+        self,
+        variable: np.ndarray,
+        state: Dict[str, np.ndarray],
+        rng: Optional[CounterRNG],
+    ) -> np.ndarray:
+        """Execute the mechanism's function on a concatenated input variable."""
+        variable = np.asarray(variable, dtype=float).ravel()
+        if variable.size != self.input_size:
+            raise ModelStructureError(
+                f"mechanism {self.name!r}: expected {self.input_size} input "
+                f"elements, got {variable.size}"
+            )
+        result = self.function.compute(variable, self.function.params, state, rng)
+        return np.atleast_1d(np.asarray(result, dtype=float)).ravel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        ports = ", ".join(f"{p.name}[{p.size}]" for p in self.input_ports)
+        return f"<{type(self).__name__} {self.name} ({ports}) -> [{self.output_size}]>"
+
+
+class ProcessingMechanism(Mechanism):
+    """A plain feed-forward mechanism (transfer or combination function)."""
+
+
+class TransferMechanism(ProcessingMechanism):
+    """Alias kept for familiarity with PsyNeuLink naming."""
+
+
+class IntegratorMechanism(Mechanism):
+    """A stateful mechanism whose function accumulates evidence over passes."""
+
+
+class ObjectiveMechanism(Mechanism):
+    """A mechanism computing a scalar objective/utility from its inputs."""
+
+
+# ---------------------------------------------------------------------------
+# Grid-search control
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SimulationStep:
+    """One stage of a control mechanism's evaluation pipeline.
+
+    ``sources`` lists, for each input port of ``mechanism`` (in declaration
+    order), where that port's values come from during a simulated evaluation:
+
+    * ``("input", start, length)`` — a slice of the control mechanism's own
+      (true, un-distorted) input;
+    * ``("allocation", index)`` — one candidate allocation level;
+    * ``("allocation", -1)`` — the full candidate allocation vector;
+    * ``("step", name)`` — the output of an earlier pipeline step.
+    """
+
+    mechanism: Mechanism
+    sources: List[Tuple]
+
+
+class GridSearchControlMechanism(Mechanism):
+    """Exhaustive grid search over control-signal allocations (paper §3.6).
+
+    Parameters
+    ----------
+    name:
+        Mechanism name.
+    input_size:
+        Size of the true (undistorted) input the controller observes.
+    levels:
+        One list of candidate levels per control signal; the grid is their
+        Cartesian product.
+    steps:
+        The evaluation pipeline (see :class:`SimulationStep`), ending with a
+        step whose output is the scalar cost.
+    objective_step:
+        Name of the pipeline mechanism whose (scalar) output is the cost to
+        minimise.
+    """
+
+    is_control = True
+
+    def __init__(
+        self,
+        name: str,
+        input_size: int,
+        levels: Sequence[Sequence[float]],
+        steps: Sequence[SimulationStep],
+        objective_step: str,
+    ):
+        function = _ControlFunctionPlaceholder(num_signals=len(levels))
+        super().__init__(name, function, [InputPort("input", int(input_size))])
+        self.levels: List[List[float]] = [list(map(float, lv)) for lv in levels]
+        if not self.levels or any(not lv for lv in self.levels):
+            raise ModelStructureError(f"control {name!r}: every signal needs at least one level")
+        self.steps: List[SimulationStep] = list(steps)
+        self.objective_step = objective_step
+        step_names = [s.mechanism.name for s in self.steps]
+        if objective_step not in step_names:
+            raise ModelStructureError(
+                f"control {name!r}: objective step {objective_step!r} is not in the pipeline"
+            )
+        self._validate_pipeline()
+
+    # -- shape queries ------------------------------------------------------------------
+    @property
+    def output_size(self) -> int:
+        return len(self.levels)
+
+    @property
+    def grid_size(self) -> int:
+        size = 1
+        for lv in self.levels:
+            size *= len(lv)
+        return size
+
+    def grid_points(self) -> List[Tuple[float, ...]]:
+        return list(itertools.product(*self.levels))
+
+    def rng_draws_per_evaluation(self) -> int:
+        """Normal/uniform draws consumed by one evaluation of the pipeline."""
+        draws = 0
+        for step in self.steps:
+            if step.mechanism.needs_rng:
+                draws += step.mechanism.rng_draws_per_execution()
+        return draws
+
+    def counter_stride_per_evaluation(self) -> int:
+        """PRNG counter ticks reserved per evaluation (normals use 2 ticks)."""
+        return 2 * self.rng_draws_per_evaluation() + 2
+
+    def rng_draws_per_execution(self) -> int:
+        # Tie-breaking draws from the control's own stream (reservoir sampling).
+        return 1
+
+    def state_spec(self) -> Dict[str, np.ndarray]:
+        # eval_epoch counts executions of the controller so that every pass /
+        # trial uses fresh, but reproducible, evaluation RNG streams.
+        # last_best_cost exposes the winning cost to observers and benchmarks.
+        return {"eval_epoch": np.array([0.0]), "last_best_cost": np.array([0.0])}
+
+    @property
+    def needs_rng(self) -> bool:
+        return True
+
+    # -- validation -----------------------------------------------------------------------
+    def _validate_pipeline(self) -> None:
+        produced: Dict[str, int] = {}
+        for step in self.steps:
+            mech = step.mechanism
+            if len(step.sources) != len(mech.input_ports):
+                raise ModelStructureError(
+                    f"control {self.name!r}: step {mech.name!r} has {len(mech.input_ports)} "
+                    f"ports but {len(step.sources)} sources"
+                )
+            for port, source in zip(mech.input_ports, step.sources):
+                kind = source[0]
+                if kind == "input":
+                    _, start, length = source
+                    if start < 0 or start + length > self.input_size:
+                        raise ModelStructureError(
+                            f"control {self.name!r}: step {mech.name!r} reads input slice "
+                            f"({start}, {length}) outside the control input of size {self.input_size}"
+                        )
+                    if length != port.size:
+                        raise ModelStructureError(
+                            f"control {self.name!r}: step {mech.name!r} port {port.name!r} "
+                            f"expects {port.size} values, slice provides {length}"
+                        )
+                elif kind == "allocation":
+                    index = source[1]
+                    expected = len(self.levels) if index == -1 else 1
+                    if index != -1 and not (0 <= index < len(self.levels)):
+                        raise ModelStructureError(
+                            f"control {self.name!r}: allocation index {index} out of range"
+                        )
+                    if port.size != expected:
+                        raise ModelStructureError(
+                            f"control {self.name!r}: step {mech.name!r} port {port.name!r} "
+                            f"expects {port.size} values, allocation source provides {expected}"
+                        )
+                elif kind == "step":
+                    ref = source[1]
+                    if ref not in produced:
+                        raise ModelStructureError(
+                            f"control {self.name!r}: step {mech.name!r} consumes "
+                            f"{ref!r} before it is produced"
+                        )
+                    if produced[ref] != port.size:
+                        raise ModelStructureError(
+                            f"control {self.name!r}: step {mech.name!r} port {port.name!r} "
+                            f"expects {port.size} values, step {ref!r} produces {produced[ref]}"
+                        )
+                else:
+                    raise ModelStructureError(
+                        f"control {self.name!r}: unknown source kind {kind!r}"
+                    )
+            produced[mech.name] = mech.output_size
+        if produced[self.objective_step] != 1:
+            raise ModelStructureError(
+                f"control {self.name!r}: objective step must produce a scalar cost"
+            )
+
+    # -- reference execution -----------------------------------------------------------------
+    def evaluate_allocation(
+        self,
+        true_input: np.ndarray,
+        allocation: Sequence[float],
+        rng: CounterRNG,
+    ) -> float:
+        """Run the simulation pipeline once for one candidate allocation."""
+        outputs: Dict[str, np.ndarray] = {}
+        allocation = np.asarray(allocation, dtype=float)
+        for step in self.steps:
+            mech = step.mechanism
+            pieces = []
+            for source in step.sources:
+                kind = source[0]
+                if kind == "input":
+                    _, start, length = source
+                    pieces.append(true_input[start : start + length])
+                elif kind == "allocation":
+                    index = source[1]
+                    if index == -1:
+                        pieces.append(allocation)
+                    else:
+                        pieces.append(allocation[index : index + 1])
+                else:
+                    pieces.append(outputs[source[1]])
+            variable = np.concatenate([np.atleast_1d(p) for p in pieces])
+            # Simulation state is evaluation-local: integrators restart from
+            # their initial values for every candidate (read-write parameter
+            # copies, exactly as the paper describes for parallel threads).
+            local_state = mech.state_spec()
+            outputs[mech.name] = mech.execute(variable, local_state, rng)
+        return float(outputs[self.objective_step][0])
+
+    def execute(
+        self,
+        variable: np.ndarray,
+        state: Dict[str, np.ndarray],
+        rng: Optional[CounterRNG],
+    ) -> np.ndarray:
+        """Search the allocation grid and return the best allocation vector."""
+        if rng is None:
+            raise ModelStructureError(f"control {self.name!r} requires an RNG")
+        true_input = np.asarray(variable, dtype=float).ravel()
+        # The scheduler (reference runner or compiled trial driver) writes the
+        # evaluation epoch — trial_index * max_passes + pass_index — into the
+        # state before executing the controller, so every execution uses a
+        # fresh but reproducible block of PRNG counters.
+        epoch = int(state["eval_epoch"][0])
+        stride = self.counter_stride_per_evaluation()
+        grid = self.grid_points()
+        base = epoch * len(grid) * stride
+
+        best_cost = math.inf
+        best_allocation = grid[0]
+        ties = 0
+        for index, allocation in enumerate(grid):
+            eval_rng = CounterRNG.__new__(CounterRNG)
+            eval_rng.key = rng.key
+            eval_rng.counter = base + index * stride
+            cost = self.evaluate_allocation(true_input, allocation, eval_rng)
+            if cost < best_cost:
+                best_cost = cost
+                best_allocation = allocation
+                ties = 1
+            elif cost == best_cost:
+                # Reservoir sampling over equal-cost allocations (paper §3.3).
+                ties += 1
+                if rng.uniform() < 1.0 / ties:
+                    best_allocation = allocation
+        state["last_best_cost"] = np.array([best_cost])
+        return np.asarray(best_allocation, dtype=float)
+
+
+class _ControlFunctionPlaceholder(BaseFunction):
+    """Internal function object giving a control mechanism its output shape."""
+
+    name = "grid_search_control"
+
+    def __init__(self, num_signals: int):
+        super().__init__()
+        self.num_signals = num_signals
+
+    def output_size(self, input_size: int) -> int:
+        return self.num_signals
+
+    def compute(self, variable, params, state, rng):  # pragma: no cover - never called
+        raise RuntimeError("control mechanisms execute through GridSearchControlMechanism.execute")

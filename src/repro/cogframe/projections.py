@@ -1,0 +1,116 @@
+"""Projections: weighted connections between mechanisms.
+
+A :class:`MappingProjection` carries the output of a sender mechanism (or a
+slice of it) into a named input port of a receiver mechanism, optionally
+through a weight matrix.  Several projections can converge on the same port;
+their contributions are summed — the same combination rule PsyNeuLink's input
+ports use, and the rule the compiled code reproduces with unrolled arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ModelStructureError
+
+
+class MappingProjection:
+    """A weighted connection ``receiver.port += matrix @ sender.output[slice]``.
+
+    Parameters
+    ----------
+    sender:
+        The sending :class:`~repro.cogframe.mechanisms.Mechanism`.
+    receiver:
+        The receiving mechanism.
+    port:
+        Name of the receiver's input port (default ``"input"``).
+    matrix:
+        ``None`` for the identity, a scalar for uniform scaling, or a 2-D
+        array of shape ``(port_size, sender_slice_size)``.
+    sender_slice:
+        Optional ``(start, length)`` slice of the sender's output to project
+        (e.g. a single attention level out of the Control node's allocation
+        vector).
+    """
+
+    def __init__(
+        self,
+        sender,
+        receiver,
+        port: str = "input",
+        matrix=None,
+        sender_slice: Optional[Tuple[int, int]] = None,
+    ):
+        self.sender = sender
+        self.receiver = receiver
+        self.port = port
+        self.sender_slice = sender_slice
+        if matrix is None or np.isscalar(matrix):
+            self.matrix = matrix
+        else:
+            self.matrix = np.asarray(matrix, dtype=float)
+            if self.matrix.ndim != 2:
+                raise ModelStructureError(
+                    f"projection {self.describe()}: matrix must be 2-D, "
+                    f"got shape {self.matrix.shape}"
+                )
+
+    # -- shape bookkeeping ---------------------------------------------------------
+    def source_size(self) -> int:
+        if self.sender_slice is not None:
+            return self.sender_slice[1]
+        return self.sender.output_size
+
+    def target_size(self) -> int:
+        if self.matrix is None or np.isscalar(self.matrix):
+            return self.source_size()
+        return int(self.matrix.shape[0])
+
+    def validate(self) -> None:
+        """Check slice bounds and matrix shape against the connected ports."""
+        sender_size = self.sender.output_size
+        if self.sender_slice is not None:
+            start, length = self.sender_slice
+            if start < 0 or length <= 0 or start + length > sender_size:
+                raise ModelStructureError(
+                    f"projection {self.describe()}: slice ({start}, {length}) out "
+                    f"of bounds for sender output of size {sender_size}"
+                )
+        if self.matrix is not None and not np.isscalar(self.matrix):
+            expected_cols = self.source_size()
+            if self.matrix.shape[1] != expected_cols:
+                raise ModelStructureError(
+                    f"projection {self.describe()}: matrix has {self.matrix.shape[1]} "
+                    f"columns but the projected sender value has {expected_cols} elements"
+                )
+        port_size = self.receiver.port_size(self.port)
+        if self.target_size() != port_size:
+            raise ModelStructureError(
+                f"projection {self.describe()}: delivers {self.target_size()} values "
+                f"to port {self.port!r} of size {port_size}"
+            )
+
+    # -- reference semantics ----------------------------------------------------------
+    def apply(self, sender_value: np.ndarray) -> np.ndarray:
+        """Compute this projection's contribution for a sender output value."""
+        value = np.asarray(sender_value, dtype=float).ravel()
+        if self.sender_slice is not None:
+            start, length = self.sender_slice
+            value = value[start : start + length]
+        if self.matrix is None:
+            return value
+        if np.isscalar(self.matrix):
+            return float(self.matrix) * value
+        return self.matrix @ value
+
+    def describe(self) -> str:
+        slice_part = ""
+        if self.sender_slice is not None:
+            slice_part = f"[{self.sender_slice[0]}:{self.sender_slice[0] + self.sender_slice[1]}]"
+        return f"{self.sender.name}{slice_part} -> {self.receiver.name}.{self.port}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<MappingProjection {self.describe()}>"

@@ -1,0 +1,192 @@
+"""The sanitization run: the shape/type oracle Distill mines (paper §3.1).
+
+Before a model is run for real, the framework executes every node once with
+default (zero) inputs, propagating signals along projections, to check that
+the model is wired consistently.  By construction the shapes seen in this run
+are the shapes of the real run — which is exactly why Distill can convert all
+dynamic structures into static ones without dynamic hot-path analysis.
+
+:func:`sanitize` performs that run and returns a :class:`SanitizationInfo`
+describing, for every mechanism, the concatenated input size, per-port sizes
+and offsets, the output size, the read-only parameters (values and shapes)
+and the read-write state entries (initial values), plus model-level layouts
+(flattened external-input and output-record sizes).  The info object is the
+single source of truth for the compiler's static data-structure conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import SanitizationError
+from .composition import Composition
+from .mechanisms import GridSearchControlMechanism, Mechanism
+from .prng import CounterRNG
+
+
+@dataclass
+class MechanismInfo:
+    """Shapes and values discovered for one mechanism."""
+
+    name: str
+    input_size: int
+    output_size: int
+    port_sizes: Dict[str, int]
+    port_offsets: Dict[str, int]
+    params: Dict[str, np.ndarray]
+    state: Dict[str, np.ndarray]
+    needs_rng: bool
+    is_control: bool
+
+
+@dataclass
+class SanitizationInfo:
+    """Everything the compiler needs to lay out static structures."""
+
+    model_name: str
+    mechanisms: Dict[str, MechanismInfo]
+    execution_order: List[str]
+    #: Flattened external-input layout: node name -> (offset, size).
+    input_layout: Dict[str, Tuple[int, int]]
+    input_size: int
+    #: Flattened output-record layout: node name -> (offset, size).
+    output_layout: Dict[str, Tuple[int, int]]
+    output_size: int
+    #: Flattened monitored-record layout (recorded every pass).
+    monitor_layout: Dict[str, Tuple[int, int]]
+    monitor_size: int
+    max_passes: int
+
+    def info(self, name: str) -> MechanismInfo:
+        return self.mechanisms[name]
+
+
+def sanitize(composition: Composition, seed: int = 0) -> SanitizationInfo:
+    """Run the sanitization pass over ``composition`` and collect shape info."""
+    composition.validate()
+
+    mech_infos: Dict[str, MechanismInfo] = {}
+    outputs: Dict[str, np.ndarray] = {}
+    order = composition.execution_order()
+
+    # Default outputs so that projections can be propagated in one sweep even
+    # through feedback edges (everything starts at zero).
+    for name, mech in composition.mechanisms.items():
+        outputs[name] = np.zeros(mech.output_size)
+
+    for name in order:
+        mech = composition.mechanisms[name]
+        variable = _default_variable(composition, mech, outputs)
+        if variable.size != mech.input_size:
+            raise SanitizationError(
+                f"node {name!r}: projections deliver {variable.size} values but the "
+                f"node declares {mech.input_size} input elements"
+            )
+        rng = CounterRNG(seed, stream=order.index(name)) if mech.needs_rng else None
+        state = mech.state_spec()
+        observed = _sanitization_execute(mech, variable, state, rng)
+        if observed.size != mech.output_size:
+            raise SanitizationError(
+                f"node {name!r}: produced {observed.size} output values but declares "
+                f"{mech.output_size}"
+            )
+        outputs[name] = np.zeros(mech.output_size)
+
+        params = {
+            key: np.atleast_1d(np.asarray(value, dtype=float))
+            for key, value in mech.param_values().items()
+            if value is not None and not isinstance(value, str)
+        }
+        mech_infos[name] = MechanismInfo(
+            name=name,
+            input_size=mech.input_size,
+            output_size=mech.output_size,
+            port_sizes={p.name: p.size for p in mech.input_ports},
+            port_offsets={p.name: mech.port_offset(p.name) for p in mech.input_ports},
+            params=params,
+            state=mech.state_spec(),
+            needs_rng=mech.needs_rng,
+            is_control=isinstance(mech, GridSearchControlMechanism),
+        )
+
+    input_layout, input_size = _layout(composition.input_nodes, composition)
+    output_layout, output_size = _layout(composition.output_nodes, composition)
+    monitor_layout, monitor_size = _layout(composition.monitored_nodes, composition)
+
+    return SanitizationInfo(
+        model_name=composition.name,
+        mechanisms=mech_infos,
+        execution_order=order,
+        input_layout=input_layout,
+        input_size=input_size,
+        output_layout=output_layout,
+        output_size=output_size,
+        monitor_layout=monitor_layout,
+        monitor_size=monitor_size,
+        max_passes=composition.max_passes,
+    )
+
+
+def _layout(names: List[str], composition: Composition) -> Tuple[Dict[str, Tuple[int, int]], int]:
+    layout: Dict[str, Tuple[int, int]] = {}
+    offset = 0
+    for name in names:
+        size = composition.mechanisms[name].output_size
+        layout[name] = (offset, size)
+        offset += size
+    return layout, offset
+
+
+def _default_variable(
+    composition: Composition, mech: Mechanism, outputs: Dict[str, np.ndarray]
+) -> np.ndarray:
+    """Build the node's variable from zero-valued projections (or zeros)."""
+    incoming = composition.incoming_projections(mech)
+    port_values = {p.name: np.zeros(p.size) for p in mech.input_ports}
+    delivered = {p.name: False for p in mech.input_ports}
+    for projection in incoming:
+        contribution = projection.apply(outputs[projection.sender.name])
+        if projection.port not in port_values:
+            raise SanitizationError(
+                f"projection {projection.describe()}: receiver has no port "
+                f"{projection.port!r}"
+            )
+        if contribution.size != port_values[projection.port].size:
+            raise SanitizationError(
+                f"projection {projection.describe()}: delivers {contribution.size} "
+                f"values to a port of size {port_values[projection.port].size}"
+            )
+        port_values[projection.port] = port_values[projection.port] + contribution
+        delivered[projection.port] = True
+    is_input_node = mech.name in composition.input_nodes
+    for port in mech.input_ports:
+        if not delivered[port.name] and not is_input_node and not incoming:
+            # A node with no incoming projections that is not an input node is
+            # allowed (e.g. bias generators), it simply sees zeros.
+            pass
+    return np.concatenate([port_values[p.name] for p in mech.input_ports])
+
+
+def _sanitization_execute(
+    mech: Mechanism, variable: np.ndarray, state: Dict[str, np.ndarray], rng
+) -> np.ndarray:
+    """Execute a node once for shape checking.
+
+    Grid-search control mechanisms are special-cased: evaluating the full
+    allocation grid during sanitization would defeat its purpose, so only a
+    single candidate is evaluated to validate the pipeline's shapes, and the
+    output shape (the allocation vector) is constructed directly.
+    """
+    if isinstance(mech, GridSearchControlMechanism):
+        probe_rng = CounterRNG(0, stream=97)
+        first_point = mech.grid_points()[0]
+        cost = mech.evaluate_allocation(np.asarray(variable, dtype=float), first_point, probe_rng)
+        if not np.isfinite(cost) and not np.isnan(cost):
+            raise SanitizationError(
+                f"control {mech.name!r}: evaluation pipeline produced a non-numeric cost"
+            )
+        return np.zeros(mech.output_size)
+    return mech.execute(variable, state, rng)

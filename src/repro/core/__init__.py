@@ -1,0 +1,29 @@
+"""repro.core — the Distill compiler.
+
+* :mod:`repro.core.structs` — static data-structure conversion (§3.3).
+* :mod:`repro.core.node_codegen` — per-node templates and specialisation (§3.4).
+* :mod:`repro.core.codegen` — whole-model code generation, compiled
+  scheduling and grid-search regions (§3.4–3.6).
+* :mod:`repro.core.reservoir` — reservoir sampling over equal-cost minima.
+* :mod:`repro.core.distill` — the public API (:func:`compile_model`,
+  :class:`CompiledModel`).
+"""
+
+from .codegen import CompiledArtifacts, GridSearchInfo, generate_model_ir
+from .distill import ENGINES, CompiledModel, CompileStats, compile_model
+from .reservoir import merge_chunk_minima, reservoir_argmin
+from .structs import StaticLayout, build_layout
+
+__all__ = [
+    "compile_model",
+    "CompiledModel",
+    "CompileStats",
+    "ENGINES",
+    "StaticLayout",
+    "build_layout",
+    "generate_model_ir",
+    "CompiledArtifacts",
+    "GridSearchInfo",
+    "reservoir_argmin",
+    "merge_chunk_minima",
+]

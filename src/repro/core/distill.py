@@ -1,0 +1,352 @@
+"""Distill's public API: compile a composition and run it on any engine.
+
+Typical usage::
+
+    from repro.core import distill
+    from repro.models.predator_prey import build_predator_prey, default_inputs
+
+    model = build_predator_prey("m")
+    compiled = distill.compile_model(model, opt_level=2)
+    results = compiled.run(default_inputs(4), num_trials=16)
+
+The compiled model exposes the same result structure as the interpretive
+reference runner, so downstream analysis code does not care which engine
+produced the numbers (paper design principle 1: no model changes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..backends.interp import Interpreter
+from ..backends.pycodegen import PythonCodeGenerator
+from ..cogframe import conditions as cond
+from ..cogframe.composition import Composition
+from ..cogframe.mechanisms import GridSearchControlMechanism
+from ..cogframe.runner import RunResults, TrialResult, normalize_inputs
+from ..cogframe.sanitize import SanitizationInfo, sanitize
+from ..errors import CompilationError, EngineError
+from ..ir.verifier import verify_module
+from ..passes.pass_manager import standard_pipeline
+from .codegen import CompiledArtifacts, generate_model_ir
+from .structs import StaticLayout, build_layout
+
+#: Engines accepted by :meth:`CompiledModel.run`.
+ENGINES = ("compiled", "ir-interp", "per-node", "mcpu", "gpu-sim")
+
+
+@dataclass
+class CompileStats:
+    """Wall-clock breakdown of a compilation (Figure 7 "Compilation" bars)."""
+
+    sanitize_seconds: float = 0.0
+    layout_seconds: float = 0.0
+    codegen_seconds: float = 0.0
+    optimize_seconds: float = 0.0
+    lower_seconds: float = 0.0
+    instructions_before: int = 0
+    instructions_after: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.sanitize_seconds
+            + self.layout_seconds
+            + self.codegen_seconds
+            + self.optimize_seconds
+            + self.lower_seconds
+        )
+
+
+class CompiledModel:
+    """A composition compiled to IR plus the drivers for every engine."""
+
+    def __init__(
+        self,
+        composition: Composition,
+        info: SanitizationInfo,
+        layout: StaticLayout,
+        artifacts: CompiledArtifacts,
+        opt_level: int,
+        stats: CompileStats,
+        compiled_functions: Dict[str, object],
+    ):
+        self.composition = composition
+        self.info = info
+        self.layout = layout
+        self.artifacts = artifacts
+        self.module = artifacts.module
+        self.opt_level = opt_level
+        self.stats = stats
+        self._compiled = compiled_functions
+
+    # -- introspection -------------------------------------------------------------
+    def print_ir(self) -> str:
+        from ..ir.printer import print_module
+
+        return print_module(self.module)
+
+    def function(self, name: str):
+        """The compiled Python callable for an IR function."""
+        return self._compiled[name]
+
+    @property
+    def grid_searches(self):
+        return self.artifacts.grid_searches
+
+    # -- buffers ---------------------------------------------------------------------
+    def allocate_buffers(self, inputs: Sequence, num_trials: int, seed: int):
+        layout = self.layout
+        input_sets = normalize_inputs(self.composition, inputs)
+        rows = len(input_sets)
+        flat_inputs: List[float] = []
+        for entry in input_sets:
+            row = [0.0] * max(layout.input_size, 1)
+            for name, (offset, size) in layout.input_layout.items():
+                values = np.asarray(entry[name], dtype=float).ravel()
+                row[offset : offset + size] = [float(v) for v in values]
+            flat_inputs.extend(row)
+        buffers = {
+            "params": layout.allocate_params(),
+            "state": layout.allocate_state(seed),
+            "prev": layout.allocate_outputs(),
+            "cur": layout.allocate_outputs(),
+            "inputs": flat_inputs if flat_inputs else [0.0],
+            "results": [0.0] * max(num_trials * layout.result_record_size(), 1),
+            "monitor": [0.0] * max(num_trials * layout.monitor_record_size(), 1),
+            "rows": rows,
+        }
+        return buffers
+
+    def _collect_results(self, buffers, num_trials: int, engine: str) -> RunResults:
+        layout = self.layout
+        results = RunResults(model_name=self.composition.name, engine=engine)
+        record_size = layout.result_record_size()
+        for trial in range(num_trials):
+            base = trial * record_size
+            record = buffers["results"][base : base + record_size]
+            outputs = {
+                name: np.array(record[offset : offset + size])
+                for name, (offset, size) in layout.result_layout.items()
+            }
+            passes = int(record[layout.result_size])
+            monitored: Dict[str, List[np.ndarray]] = {}
+            if layout.monitor_size:
+                for name, (offset, size) in layout.monitor_layout.items():
+                    series = []
+                    for p in range(passes):
+                        slot = (trial * layout.max_passes + p) * layout.monitor_size + offset
+                        series.append(np.array(buffers["monitor"][slot : slot + size]))
+                    monitored[name] = series
+            results.trials.append(TrialResult(outputs=outputs, passes=passes, monitored=monitored))
+        return results
+
+    # -- execution ----------------------------------------------------------------------
+    def run(
+        self,
+        inputs: Sequence,
+        num_trials: Optional[int] = None,
+        seed: int = 0,
+        engine: str = "compiled",
+        workers: Optional[int] = None,
+    ) -> RunResults:
+        """Run the compiled model.
+
+        ``engine`` selects the execution strategy:
+
+        * ``"compiled"``   — whole-model compiled code (CPython-DISTILL);
+        * ``"ir-interp"``  — the per-instruction IR interpreter (generic-JIT
+          stand-in baseline);
+        * ``"per-node"``   — compiled nodes, Python scheduling
+          (CPython-DISTILL-per-node, Figure 5b);
+        * ``"mcpu"``       — grid-search evaluations partitioned over worker
+          processes (DISTILL-mCPU, Figure 5c);
+        * ``"gpu-sim"``    — data-parallel SIMT simulation of the evaluation
+          kernel (DISTILL-GPU, Figures 5c and 6).
+        """
+        if engine not in ENGINES:
+            raise EngineError(f"unknown engine {engine!r}; choose one of {ENGINES}")
+        input_sets = normalize_inputs(self.composition, inputs)
+        if num_trials is None:
+            num_trials = len(input_sets)
+
+        breakdown: Dict[str, float] = {}
+        start = time.perf_counter()
+        buffers = self.allocate_buffers(inputs, num_trials, seed)
+        breakdown["input_construction"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        if engine == "compiled":
+            self._run_whole_compiled(buffers, num_trials)
+        elif engine == "ir-interp":
+            self._run_whole_interp(buffers, num_trials)
+        elif engine == "per-node":
+            self._run_per_node(buffers, num_trials)
+        elif engine == "mcpu":
+            from ..backends.multicore import run_multicore
+
+            run_multicore(self, buffers, num_trials, workers=workers)
+        else:  # gpu-sim
+            from ..backends.gpu_sim import run_gpu_sim
+
+            run_gpu_sim(self, buffers, num_trials)
+        breakdown["execution"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        results = self._collect_results(buffers, num_trials, engine)
+        breakdown["output_extraction"] = time.perf_counter() - start
+        breakdown["compilation"] = self.stats.total_seconds
+        results.wall_seconds = breakdown["execution"]
+        results.breakdown = breakdown
+        return results
+
+    # -- engine implementations --------------------------------------------------------------
+    def _model_args(self, buffers, num_trials: int):
+        return [
+            (buffers["params"], 0),
+            (buffers["state"], 0),
+            (buffers["prev"], 0),
+            (buffers["cur"], 0),
+            (buffers["inputs"], 0),
+            (buffers["results"], 0),
+            (buffers["monitor"], 0),
+            num_trials,
+            buffers["rows"],
+        ]
+
+    def _run_whole_compiled(self, buffers, num_trials: int) -> None:
+        run_model = self._compiled["run_model"]
+        run_model(*self._model_args(buffers, num_trials))
+
+    def _run_whole_interp(self, buffers, num_trials: int) -> None:
+        interp = Interpreter(self.module)
+        interp.call("run_model", self._model_args(buffers, num_trials))
+
+    def _run_per_node(self, buffers, num_trials: int) -> None:
+        """Compiled node functions driven by a Python scheduler (Figure 5b)."""
+        layout = self.layout
+        composition = self.composition
+        params = (buffers["params"], 0)
+        state_buf = buffers["state"]
+        state = (state_buf, 0)
+        prev_buf, cur_buf = buffers["prev"], buffers["cur"]
+        record_size = layout.result_record_size()
+
+        node_fns = {
+            name: self._compiled[f"node_{name}"] for name in layout.execution_order
+        }
+        count_offsets = {
+            name: layout.state_struct.field_slot_offset(
+                layout.state_struct.field_index(StaticLayout.count_field(name))
+            )
+            for name in layout.execution_order
+        }
+        epoch_offsets = {
+            name: layout.state_struct.field_slot_offset(
+                layout.state_struct.field_index(StaticLayout.state_field(name, "eval_epoch"))
+            )
+            for name in layout.execution_order
+            if isinstance(composition.mechanisms[name], GridSearchControlMechanism)
+        }
+
+        for trial in range(num_trials):
+            # Reset per-trial state and the double buffers.
+            for offset, values in layout.state_reset_entries:
+                state_buf[offset : offset + len(values)] = values
+            for i in range(len(prev_buf)):
+                prev_buf[i] = 0.0
+                cur_buf[i] = 0.0
+            row = trial % buffers["rows"]
+            ext = (buffers["inputs"], row * layout.input_size)
+
+            call_counts = {name: 0 for name in layout.execution_order}
+            passes_run = 0
+            for pass_idx in range(layout.max_passes):
+                scheduler_state = cond.SchedulerState(
+                    pass_index=pass_idx,
+                    trial_index=trial,
+                    call_counts=dict(call_counts),
+                    outputs=self._outputs_view(prev_buf),
+                )
+                if pass_idx > 0 and composition.termination.is_satisfied(scheduler_state):
+                    break
+                for name in layout.execution_order:
+                    if not composition.conditions[name].is_satisfied(scheduler_state):
+                        continue
+                    if name in epoch_offsets:
+                        state_buf[epoch_offsets[name]] = float(
+                            trial * layout.max_passes + pass_idx
+                        )
+                    node_fns[name](params, state, (prev_buf, 0), (cur_buf, 0), ext)
+                    call_counts[name] += 1
+                    state_buf[count_offsets[name]] += 1.0
+                prev_buf[:] = cur_buf
+                if layout.monitor_size:
+                    record = (trial * layout.max_passes + pass_idx) * layout.monitor_size
+                    for node_name, (offset, size) in layout.monitor_layout.items():
+                        out_offset, _ = layout.output_offsets[node_name]
+                        buffers["monitor"][record + offset : record + offset + size] = prev_buf[
+                            out_offset : out_offset + size
+                        ]
+                passes_run = pass_idx + 1
+            base = trial * record_size
+            for node_name, (offset, size) in layout.result_layout.items():
+                out_offset, _ = layout.output_offsets[node_name]
+                buffers["results"][base + offset : base + offset + size] = prev_buf[
+                    out_offset : out_offset + size
+                ]
+            buffers["results"][base + layout.result_size] = float(passes_run)
+
+    def _outputs_view(self, prev_buf) -> Dict[str, np.ndarray]:
+        return {
+            name: np.array(prev_buf[offset : offset + size])
+            for name, (offset, size) in self.layout.output_offsets.items()
+        }
+
+
+def compile_model(
+    composition: Composition,
+    opt_level: int = 2,
+    seed: int = 0,
+    verify: bool = True,
+) -> CompiledModel:
+    """Compile ``composition`` with Distill.
+
+    The stages mirror the paper: sanitization-run mining (types and shapes),
+    static data-structure conversion, IR generation for every node and the
+    scheduler, standard optimisation passes at ``opt_level`` and lowering to
+    the execution engine.
+    """
+    stats = CompileStats()
+
+    start = time.perf_counter()
+    info = sanitize(composition, seed=seed)
+    stats.sanitize_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    layout = build_layout(composition, info)
+    stats.layout_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    artifacts = generate_model_ir(composition, info, layout)
+    stats.codegen_seconds = time.perf_counter() - start
+    stats.instructions_before = artifacts.module.instruction_count()
+    if verify:
+        verify_module(artifacts.module)
+
+    start = time.perf_counter()
+    standard_pipeline(opt_level, verify=False).run(artifacts.module)
+    if verify:
+        verify_module(artifacts.module)
+    stats.optimize_seconds = time.perf_counter() - start
+    stats.instructions_after = artifacts.module.instruction_count()
+
+    start = time.perf_counter()
+    compiled_functions = PythonCodeGenerator(artifacts.module).compile()
+    stats.lower_seconds = time.perf_counter() - start
+
+    return CompiledModel(composition, info, layout, artifacts, opt_level, stats, compiled_functions)

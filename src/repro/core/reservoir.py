@@ -1,0 +1,78 @@
+"""Reservoir sampling over equal-cost minima (paper section 3.3).
+
+When a grid search finds several parameter settings with the same minimal
+cost, the convention is to pick one of them uniformly at random.  A dynamic
+list of tied candidates would defeat the static data-structure conversion, so
+Distill uses reservoir sampling: a single "current best" slot plus a tie
+counter, updated in one pass over the candidates.  The same algorithm is
+
+* implemented here in Python (used by the reference runner via
+  :meth:`GridSearchControlMechanism.execute` and by the parallel drivers when
+  they reduce per-chunk results), and
+* emitted as straight-line IR by the whole-model code generator,
+
+so every engine makes identical choices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+from ..cogframe.prng import CounterRNG
+
+
+def reservoir_argmin(
+    costs: Iterable[float],
+    rng: Optional[CounterRNG] = None,
+    uniform: Optional[Callable[[], float]] = None,
+) -> Tuple[int, float]:
+    """Index and value of the minimum of ``costs`` with random tie-breaking.
+
+    Exactly one uniform draw is consumed per tie encountered (none when the
+    minimum is unique), matching the generated IR draw-for-draw.
+    """
+    if uniform is None:
+        if rng is not None:
+            uniform = rng.uniform
+        else:
+            uniform = lambda: 0.0  # noqa: E731 - deterministic first-wins fallback
+
+    best_index = -1
+    best_cost = float("inf")
+    ties = 0
+    for index, cost in enumerate(costs):
+        cost = float(cost)
+        if cost < best_cost:
+            best_cost = cost
+            best_index = index
+            ties = 1
+        elif cost == best_cost:
+            ties += 1
+            if uniform() < 1.0 / ties:
+                best_index = index
+    if best_index < 0:
+        raise ValueError("reservoir_argmin requires at least one cost")
+    return best_index, best_cost
+
+
+def merge_chunk_minima(
+    chunks: Sequence[Tuple[int, float, int]],
+) -> Tuple[int, float, int]:
+    """Merge per-chunk ``(index, cost, ties)`` results from a partitioned search.
+
+    Used by the multicore driver: each worker returns the reservoir state of
+    its segment; the merge keeps the lowest cost and the earliest index, and
+    accumulates tie counts so that the overall selection remains unbiased for
+    the (measure-zero, in noisy models) case of cross-chunk ties.
+    """
+    best_index, best_cost, total_ties = -1, float("inf"), 0
+    for index, cost, ties in chunks:
+        if cost < best_cost:
+            best_index, best_cost, total_ties = index, cost, ties
+        elif cost == best_cost:
+            total_ties += ties
+            if best_index < 0 or index < best_index:
+                best_index = index
+    if best_index < 0:
+        raise ValueError("merge_chunk_minima requires at least one chunk")
+    return best_index, best_cost, total_ties

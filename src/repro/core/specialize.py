@@ -1,0 +1,203 @@
+"""Code specialisation utilities (paper section 3.4.1).
+
+Two forms of specialisation are provided:
+
+* :func:`emit_library_function` — emit a *standalone* IR function for one
+  library function instance, with a chosen subset of its parameters exposed
+  as arguments and the rest baked as constants.  This is the monomorphic
+  specialisation the paper describes for the framework's standard library and
+  it is what the clone-detection study of Figure 3 compares (the DDM and LCA
+  accumulation kernels under particular parameter bindings).
+
+* :func:`specialize_on_buffer` — given a function that loads read-only values
+  from a parameter buffer (e.g. the grid-search evaluation kernel), replace
+  every load at a constant offset with the actual value from the buffer and
+  re-optimise.  The result is a closed-form kernel on which floating-point
+  VRP, SCEV and adaptive mesh refinement can reason about concrete parameter
+  values (Figures 2 and the §4.2 convergence analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cogframe.functions.base import BaseFunction, EmitContext
+from ..errors import CompilationError
+from ..ir import (
+    F64,
+    Argument,
+    Constant,
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    PointerType,
+    Value,
+    const_float,
+)
+from ..ir.instructions import GEP, Load
+from ..passes.cloning import clone_function
+from ..passes.pass_manager import standard_pipeline
+
+
+class _StandaloneEmitContext(EmitContext):
+    """EmitContext whose parameters are function arguments or baked constants."""
+
+    def __init__(
+        self,
+        builder: IRBuilder,
+        function_obj: BaseFunction,
+        param_args: Dict[str, Value],
+        state_args: Dict[str, List[Value]],
+        rng_pointer: Optional[Value],
+    ):
+        self.builder = builder
+        self._function_obj = function_obj
+        self._param_args = param_args
+        self._state_args = state_args
+        self._rng_pointer = rng_pointer
+        self._stored_state: Dict[str, List[Value]] = {}
+
+    def param(self, name: str) -> List[Value]:
+        if name in self._param_args:
+            return [self._param_args[name]]
+        value = self._function_obj.params[name]
+        flat = np.atleast_1d(np.asarray(value, dtype=float)).ravel()
+        return [self.builder.f64(float(v)) for v in flat]
+
+    def param_scalar(self, name: str) -> Value:
+        values = self.param(name)
+        if len(values) != 1:
+            raise CompilationError(f"parameter {name!r} is not a scalar")
+        return values[0]
+
+    def load_state(self, name: str) -> List[Value]:
+        if name in self._stored_state:
+            return list(self._stored_state[name])
+        return list(self._state_args[name])
+
+    def store_state(self, name: str, values: Sequence[Value]) -> None:
+        self._stored_state[name] = list(values)
+
+    def rng_ptr(self) -> Value:
+        if self._rng_pointer is None:
+            raise CompilationError("this specialisation has no PRNG state argument")
+        return self._rng_pointer
+
+    def constant(self, value: float) -> Value:
+        return self.builder.f64(float(value))
+
+
+def emit_library_function(
+    function_obj: BaseFunction,
+    input_size: int,
+    module: Optional[Module] = None,
+    name: Optional[str] = None,
+    param_args: Sequence[str] = (),
+    expose_state: bool = True,
+) -> Function:
+    """Emit a standalone IR function for one library-function instance.
+
+    The emitted signature is::
+
+        double <name>(double in0..inN-1, [double <state>...], [double <param>...], [double* rng])
+
+    State entries (e.g. an integrator's previous value) become leading
+    arguments when ``expose_state`` is true; parameters named in
+    ``param_args`` become trailing arguments; all other parameters are baked
+    as constants.  The function returns the first output element.
+    """
+    module = module or Module(f"{function_obj.name}_specialisations")
+    name = name or f"{function_obj.name}_kernel"
+
+    state_spec = function_obj.state_spec(input_size) if expose_state else {}
+    state_sizes = {k: np.asarray(v).ravel().size for k, v in state_spec.items()}
+
+    arg_types: List = [F64] * input_size
+    arg_names = [f"in{i}" for i in range(input_size)]
+    for state_name, size in state_sizes.items():
+        arg_types += [F64] * size
+        arg_names += [f"{state_name}{i}" if size > 1 else state_name for i in range(size)]
+    for param_name in param_args:
+        arg_types.append(F64)
+        arg_names.append(param_name)
+    needs_rng = function_obj.needs_rng
+    if needs_rng:
+        arg_types.append(PointerType(F64))
+        arg_names.append("rng_state")
+
+    fn = module.add_function(name, FunctionType(F64, arg_types), arg_names)
+    block = fn.append_block("entry")
+    builder = IRBuilder(block)
+
+    inputs = list(fn.args[:input_size])
+    cursor = input_size
+    state_args: Dict[str, List[Value]] = {}
+    for state_name, size in state_sizes.items():
+        state_args[state_name] = list(fn.args[cursor : cursor + size])
+        cursor += size
+    param_arg_values: Dict[str, Value] = {}
+    for param_name in param_args:
+        param_arg_values[param_name] = fn.args[cursor]
+        cursor += 1
+    rng_pointer = fn.args[cursor] if needs_rng else None
+
+    ctx = _StandaloneEmitContext(builder, function_obj, param_arg_values, state_args, rng_pointer)
+    outputs = function_obj.emit(ctx, inputs)
+    builder.ret(outputs[0])
+    return fn
+
+
+def specialize_on_buffer(
+    function: Function,
+    buffer_arg_index: int,
+    buffer_values: Sequence[float],
+    new_name: Optional[str] = None,
+    opt_level: int = 2,
+    module: Optional[Module] = None,
+) -> Function:
+    """Bake the contents of a read-only buffer argument into a function.
+
+    Every ``load`` whose address is a chain of constant-index GEPs rooted at
+    argument ``buffer_arg_index`` is replaced by the corresponding constant
+    from ``buffer_values``; the clone is then re-optimised.  Loads at
+    non-constant offsets are left untouched.
+    """
+    scratch = module or Module(f"{function.name}_specialised")
+    target = clone_function(function, new_name or f"{function.name}_spec", scratch)
+    buffer_arg = target.args[buffer_arg_index]
+
+    def constant_offset(value: Value) -> Optional[int]:
+        """Slot offset if ``value`` is a constant-index GEP chain from the buffer."""
+        if value is buffer_arg:
+            return 0
+        if isinstance(value, GEP):
+            base = constant_offset(value.pointer)
+            if base is None:
+                return None
+            indices = []
+            for idx in value.indices:
+                if not isinstance(idx, Constant):
+                    return None
+                indices.append(int(idx.value))
+            from ..backends.runtime import gep_offset
+
+            return base + gep_offset(value.pointer.type.pointee, indices)
+        return None
+
+    replaced = 0
+    for block in list(target.blocks):
+        for instr in list(block.instructions):
+            if not isinstance(instr, Load):
+                continue
+            offset = constant_offset(instr.pointer)
+            if offset is None or offset >= len(buffer_values):
+                continue
+            instr.replace_all_uses_with(const_float(float(buffer_values[offset])))
+            instr.erase()
+            replaced += 1
+    standard_pipeline(opt_level, verify=False).run(scratch)
+    target.attributes["specialised_loads"] = replaced
+    return target

@@ -1,0 +1,27 @@
+"""Common exception types used across the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ModelStructureError(ReproError):
+    """A cognitive model is malformed (bad wiring, shape mismatch, ...)."""
+
+
+class SanitizationError(ModelStructureError):
+    """The sanitization run detected an inconsistency in the model."""
+
+
+class CompilationError(ReproError):
+    """Distill could not compile the model (e.g. unsupported construct)."""
+
+
+class UnsupportedConstructError(CompilationError):
+    """A model uses a construct outside the compilable subset."""
+
+
+class EngineError(ReproError):
+    """An execution engine failed or was misconfigured."""

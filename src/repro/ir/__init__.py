@@ -1,0 +1,114 @@
+"""repro.ir — a typed SSA intermediate representation modelled on LLVM IR.
+
+This package provides the IR that the Distill reproduction compiles cognitive
+models into.  It mirrors the pieces of LLVM that the paper relies on:
+
+* a scalar/aggregate type system with struct and array types
+  (:mod:`repro.ir.types`),
+* SSA values, constants and use lists (:mod:`repro.ir.values`),
+* an instruction set with arithmetic, comparisons, phi nodes, branches,
+  ``alloca``/``load``/``store``/``getelementptr`` and math/PRNG intrinsics
+  (:mod:`repro.ir.instructions`),
+* modules, functions and basic blocks (:mod:`repro.ir.module`),
+* an :class:`~repro.ir.builder.IRBuilder` for emitting code,
+* a verifier, CFG helpers and a textual printer.
+"""
+
+from .builder import IRBuilder
+from .instructions import (
+    GEP,
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+)
+from .module import BasicBlock, Function, Module
+from .printer import print_function, print_module
+from .types import (
+    BOOL,
+    F32,
+    F64,
+    I8,
+    I32,
+    I64,
+    VOID,
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    IRType,
+    PointerType,
+    StructType,
+    array,
+    pointer,
+)
+from .values import (
+    Argument,
+    Constant,
+    UndefValue,
+    Value,
+    const_bool,
+    const_float,
+    const_int,
+)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "IRBuilder",
+    "Module",
+    "Function",
+    "BasicBlock",
+    "Instruction",
+    "BinaryOp",
+    "FCmp",
+    "ICmp",
+    "Select",
+    "Cast",
+    "Alloca",
+    "Load",
+    "Store",
+    "GEP",
+    "Phi",
+    "Branch",
+    "CondBranch",
+    "Return",
+    "Call",
+    "IRType",
+    "IntType",
+    "FloatType",
+    "PointerType",
+    "ArrayType",
+    "StructType",
+    "FunctionType",
+    "VOID",
+    "BOOL",
+    "I8",
+    "I32",
+    "I64",
+    "F32",
+    "F64",
+    "pointer",
+    "array",
+    "Value",
+    "Constant",
+    "UndefValue",
+    "Argument",
+    "const_float",
+    "const_int",
+    "const_bool",
+    "print_module",
+    "print_function",
+    "verify_module",
+    "verify_function",
+    "VerificationError",
+]

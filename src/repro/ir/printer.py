@@ -1,0 +1,54 @@
+"""Textual printer for repro IR (LLVM-assembly-flavoured output).
+
+The printed form is used in error messages, tests, documentation and the
+clone-detection reports.  It is intentionally close to LLVM assembly so that
+readers familiar with the paper's toolchain can read dumps directly.
+"""
+
+from __future__ import annotations
+
+from .module import Function, Module
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module as text."""
+    parts: list[str] = [f"; ModuleID = '{module.name}'", ""]
+    for struct in module.structs.values():
+        parts.append(struct.describe())
+    if module.structs:
+        parts.append("")
+    for fn in module.functions.values():
+        if fn.is_declaration:
+            parts.append(_declaration(fn))
+    parts.append("")
+    for fn in module.defined_functions():
+        parts.append(print_function(fn))
+        parts.append("")
+    return "\n".join(parts)
+
+
+def print_function(fn: Function) -> str:
+    """Render a single function as text."""
+    if fn.is_declaration:
+        return _declaration(fn)
+    args = ", ".join(f"{arg.type} %{arg.name}" for arg in fn.args)
+    attrs = " ".join(sorted(k for k, v in fn.attributes.items() if v))
+    header = f"define {fn.return_type} @{fn.name}({args})"
+    if attrs:
+        header += f" {attrs}"
+    lines = [header + " {"]
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for instr in block.instructions:
+            line = f"  {instr}"
+            tag = instr.metadata.get("source_node")
+            if tag:
+                line += f"  ; node={tag}"
+            lines.append(line)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _declaration(fn: Function) -> str:
+    params = ", ".join(str(t) for t in fn.type.param_types)
+    return f"declare {fn.return_type} @{fn.name}({params})"

@@ -1,0 +1,250 @@
+"""IR verifier.
+
+The verifier enforces the structural invariants the rest of the system relies
+on: every block ends with exactly one terminator, operands have the expected
+types, phi nodes agree with the CFG, and every value used inside a function is
+defined in that function (as an argument, a constant or an instruction).  The
+code generators run the verifier on freshly emitted modules and every pass is
+tested to preserve verification.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cfg import predecessor_map, reachable_blocks
+from .instructions import (
+    GEP,
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+)
+from .module import Function, Module
+from .values import Argument, Constant, UndefValue, Value
+
+
+class VerificationError(Exception):
+    """Raised when a module or function violates an IR invariant."""
+
+    def __init__(self, errors: List[str]):
+        self.errors = errors
+        super().__init__("\n".join(errors))
+
+
+def verify_module(module: Module) -> None:
+    """Verify every defined function in ``module``.
+
+    Raises :class:`VerificationError` listing all problems found.
+    """
+    errors: List[str] = []
+    for fn in module.defined_functions():
+        errors.extend(_verify_function(fn))
+    if errors:
+        raise VerificationError(errors)
+
+
+def verify_function(function: Function) -> None:
+    errors = _verify_function(function)
+    if errors:
+        raise VerificationError(errors)
+
+
+def _verify_function(fn: Function) -> List[str]:
+    errors: List[str] = []
+    where = f"function @{fn.name}"
+
+    if not fn.blocks:
+        return errors
+
+    defined: set[int] = {id(arg) for arg in fn.args}
+    for block in fn.blocks:
+        for instr in block.instructions:
+            defined.add(id(instr))
+
+    preds = predecessor_map(fn)
+    block_ids = {id(b) for b in fn.blocks}
+
+    for block in fn.blocks:
+        # Terminator discipline -------------------------------------------------
+        if not block.instructions:
+            errors.append(f"{where}: block {block.name} is empty")
+            continue
+        terminators = [i for i in block.instructions if i.is_terminator]
+        if len(terminators) != 1:
+            errors.append(
+                f"{where}: block {block.name} has {len(terminators)} terminators"
+            )
+        elif block.instructions[-1] is not terminators[0]:
+            errors.append(
+                f"{where}: terminator of block {block.name} is not last"
+            )
+
+        seen_non_phi = False
+        for instr in block.instructions:
+            if isinstance(instr, Phi):
+                if seen_non_phi:
+                    errors.append(
+                        f"{where}: phi {instr.ref()} appears after a non-phi "
+                        f"instruction in block {block.name}"
+                    )
+            else:
+                seen_non_phi = True
+
+            if instr.parent is not block:
+                errors.append(
+                    f"{where}: instruction {instr.ref()} has stale parent pointer"
+                )
+
+            # Operand availability ----------------------------------------------
+            for op in instr.operands:
+                if isinstance(op, (Constant, UndefValue)):
+                    continue
+                if isinstance(op, Argument):
+                    if op not in fn.args:
+                        errors.append(
+                            f"{where}: {instr.ref()} uses argument {op.ref()} "
+                            f"from another function"
+                        )
+                    continue
+                if isinstance(op, Instruction):
+                    if id(op) not in defined:
+                        errors.append(
+                            f"{where}: {instr.ref()} uses {op.ref()} which is "
+                            f"not defined in this function"
+                        )
+                    continue
+                errors.append(
+                    f"{where}: {instr.ref()} has unexpected operand {op!r}"
+                )
+
+            errors.extend(_verify_instruction_types(where, block.name, instr))
+
+            # Branch targets must belong to this function ------------------------
+            if isinstance(instr, (Branch, CondBranch)):
+                for target in instr.targets:
+                    if id(target) not in block_ids:
+                        errors.append(
+                            f"{where}: branch in {block.name} targets foreign "
+                            f"block {target.name}"
+                        )
+
+        # Phi / CFG agreement -----------------------------------------------------
+        block_preds = preds.get(block, [])
+        for phi in block.phis():
+            incoming_ids = {id(b) for b in phi.incoming_blocks}
+            pred_ids = {id(b) for b in block_preds}
+            if incoming_ids != pred_ids:
+                pred_names = sorted(b.name for b in block_preds)
+                inc_names = sorted(b.name for b in phi.incoming_blocks)
+                errors.append(
+                    f"{where}: phi {phi.ref()} in {block.name} has incoming "
+                    f"blocks {inc_names} but predecessors are {pred_names}"
+                )
+            for value, _ in phi.incoming():
+                if value.type != phi.type and not isinstance(value, UndefValue):
+                    errors.append(
+                        f"{where}: phi {phi.ref()} incoming value {value.ref()} "
+                        f"has type {value.type}, expected {phi.type}"
+                    )
+
+    # Return type discipline ----------------------------------------------------------
+    for block in reachable_blocks(fn):
+        term = block.terminator
+        if isinstance(term, Return):
+            if fn.return_type.is_void and term.value is not None:
+                errors.append(f"{where}: returns a value from a void function")
+            if not fn.return_type.is_void:
+                if term.value is None:
+                    errors.append(f"{where}: missing return value")
+                elif term.value.type != fn.return_type:
+                    errors.append(
+                        f"{where}: return type {term.value.type} does not match "
+                        f"declared {fn.return_type}"
+                    )
+    return errors
+
+
+def _verify_instruction_types(where: str, block_name: str, instr: Instruction) -> List[str]:
+    errors: List[str] = []
+
+    def err(msg: str) -> None:
+        errors.append(f"{where}, block {block_name}: {msg}")
+
+    if isinstance(instr, BinaryOp):
+        lhs, rhs = instr.lhs, instr.rhs
+        if lhs.type != rhs.type:
+            err(f"{instr.opcode} operands have mismatched types")
+        if instr.opcode.startswith("f") and not lhs.type.is_float:
+            err(f"{instr.opcode} requires float operands, got {lhs.type}")
+        if not instr.opcode.startswith("f") and not lhs.type.is_int:
+            err(f"{instr.opcode} requires integer operands, got {lhs.type}")
+    elif isinstance(instr, FCmp):
+        if not instr.lhs.type.is_float:
+            err("fcmp requires float operands")
+        if instr.lhs.type != instr.rhs.type:
+            err("fcmp operands have mismatched types")
+    elif isinstance(instr, ICmp):
+        if not instr.lhs.type.is_int:
+            err("icmp requires integer operands")
+        if instr.lhs.type != instr.rhs.type:
+            err("icmp operands have mismatched types")
+    elif isinstance(instr, Select):
+        if not instr.condition.type.is_int:
+            err("select condition must be an integer/boolean")
+        if instr.true_value.type != instr.false_value.type:
+            err("select arms have mismatched types")
+    elif isinstance(instr, Load):
+        if not instr.pointer.type.is_pointer:
+            err("load operand must be a pointer")
+        elif instr.type != instr.pointer.type.pointee:
+            err("load result type does not match pointee type")
+    elif isinstance(instr, Store):
+        if not instr.pointer.type.is_pointer:
+            err("store target must be a pointer")
+        elif instr.value.type != instr.pointer.type.pointee:
+            err(
+                f"store of {instr.value.type} into pointer to "
+                f"{instr.pointer.type.pointee}"
+            )
+    elif isinstance(instr, GEP):
+        if not instr.pointer.type.is_pointer:
+            err("gep base must be a pointer")
+        else:
+            try:
+                expected = GEP.resolve_type(instr.pointer.type.pointee, instr.indices)
+                if instr.type.pointee != expected:
+                    err("gep result type does not match addressed member")
+            except (TypeError, IndexError, KeyError) as exc:
+                err(f"invalid gep indices: {exc}")
+    elif isinstance(instr, CondBranch):
+        if not instr.condition.type.is_int:
+            err("conditional branch condition must be i1")
+    elif isinstance(instr, Call):
+        ftype = instr.callee.type
+        for i, (arg, expected) in enumerate(zip(instr.args, ftype.param_types)):
+            if arg.type != expected:
+                err(
+                    f"call to @{instr.callee.name}: argument {i} has type "
+                    f"{arg.type}, expected {expected}"
+                )
+    elif isinstance(instr, Cast):
+        src, dst = instr.value.type, instr.type
+        if instr.opcode == "sitofp" and not (src.is_int and dst.is_float):
+            err("sitofp requires int -> float")
+        if instr.opcode == "fptosi" and not (src.is_float and dst.is_int):
+            err("fptosi requires float -> int")
+    elif isinstance(instr, Alloca):
+        if not instr.type.is_pointer:
+            err("alloca must produce a pointer")
+    return errors

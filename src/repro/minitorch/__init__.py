@@ -1,0 +1,13 @@
+"""repro.minitorch — a minimal PyTorch stand-in.
+
+Provides tensors with reverse-mode autograd, ``nn`` modules (Linear, ReLU,
+Sigmoid, Sequential, MSELoss), an SGD optimiser and a bridge that lowers a
+network into the cogframe function library / repro IR so that heterogeneous
+models (the paper's Multitasking model) compile as a single unit.
+"""
+
+from . import nn, optim
+from .bridge import NeuralNetworkFunction, lower_network
+from .tensor import Tensor
+
+__all__ = ["Tensor", "nn", "optim", "NeuralNetworkFunction", "lower_network"]

@@ -1,0 +1,101 @@
+"""Bridge: lower a minitorch network into the cogframe function library.
+
+The Multitasking model (paper §5) embeds a PyTorch-designed network inside a
+PsyNeuLink composition.  Distill generates LLVM IR for that network so that
+optimisation can cross the framework boundary; here the same is achieved by
+wrapping a :class:`~repro.minitorch.nn.Sequential` in a cogframe
+:class:`~repro.cogframe.functions.base.BaseFunction` whose ``emit`` method
+unrolls every layer's matrix arithmetic into the IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..cogframe.functions.base import BaseFunction, EmitContext
+from .nn import Linear, ReLU, Sequential, Sigmoid
+
+
+class NeuralNetworkFunction(BaseFunction):
+    """A pre-trained minitorch network as a cogframe library function.
+
+    The layer weights become ordinary read-only parameters
+    (``layer{i}_weight`` / ``layer{i}_bias``), so they are laid out in the
+    same static parameter structure as every other model parameter and the
+    generated IR contains the fully unrolled forward pass.
+    """
+
+    name = "neural_network"
+
+    def __init__(self, network: Sequential):
+        super().__init__()
+        self.network = network
+        self._layers: List = list(network)
+        for index, layer in enumerate(self._layers):
+            if isinstance(layer, Linear):
+                self.params[f"layer{index}_weight"] = layer.weight.data.copy()
+                self.params[f"layer{index}_bias"] = layer.bias.data.copy()
+            elif not isinstance(layer, (ReLU, Sigmoid)):
+                raise TypeError(
+                    f"cannot lower layer of type {type(layer).__name__}; supported "
+                    f"layers are Linear, ReLU and Sigmoid"
+                )
+
+    def default_params(self) -> Dict[str, object]:
+        return {}
+
+    def output_size(self, input_size: int) -> int:
+        size = input_size
+        for layer in self._layers:
+            if isinstance(layer, Linear):
+                size = layer.out_features
+        return size
+
+    # -- reference implementation ----------------------------------------------------
+    def compute(self, variable, params, state, rng) -> np.ndarray:
+        x = np.asarray(variable, dtype=float).ravel()
+        for index, layer in enumerate(self._layers):
+            if isinstance(layer, Linear):
+                weight = np.asarray(params[f"layer{index}_weight"], dtype=float)
+                bias = np.asarray(params[f"layer{index}_bias"], dtype=float)
+                x = weight @ x + bias
+            elif isinstance(layer, ReLU):
+                x = np.maximum(x, 0.0)
+            elif isinstance(layer, Sigmoid):
+                x = 1.0 / (1.0 + np.exp(-x))
+        return x
+
+    # -- IR template -------------------------------------------------------------------
+    def emit(self, ctx: EmitContext, inputs: List) -> List:
+        b = ctx.builder
+        values = list(inputs)
+        for index, layer in enumerate(self._layers):
+            if isinstance(layer, Linear):
+                weight = ctx.param(f"layer{index}_weight")
+                bias = ctx.param(f"layer{index}_bias")
+                rows, cols = layer.out_features, layer.in_features
+                if len(values) != cols:
+                    raise ValueError(
+                        f"layer {index}: expected {cols} inputs, got {len(values)}"
+                    )
+                new_values = []
+                for r in range(rows):
+                    acc = bias[r]
+                    for c in range(cols):
+                        acc = b.fadd(acc, b.fmul(weight[r * cols + c], values[c]))
+                    new_values.append(acc)
+                values = new_values
+            elif isinstance(layer, ReLU):
+                zero = b.f64(0.0)
+                values = [b.fmax(v, zero) for v in values]
+            elif isinstance(layer, Sigmoid):
+                one = b.f64(1.0)
+                values = [b.fdiv(one, b.fadd(one, b.exp(b.fneg(v)))) for v in values]
+        return values
+
+
+def lower_network(network: Sequential) -> NeuralNetworkFunction:
+    """Convenience wrapper mirroring "import the PyTorch model into the IR"."""
+    return NeuralNetworkFunction(network)

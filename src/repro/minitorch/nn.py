@@ -1,0 +1,105 @@
+"""Neural-network modules for the PyTorch stand-in."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Module:
+    """Base class: a container of parameters with a ``forward`` method."""
+
+    def parameters(self) -> List[Tensor]:
+        params: List[Tensor] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def forward(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.forward(x)
+
+
+class Linear(Module):
+    """A fully connected layer ``y = W x + b``."""
+
+    def __init__(self, in_features: int, out_features: int, seed: int = 0):
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        scale = 1.0 / np.sqrt(max(in_features, 1))
+        self.weight = Tensor.randn(out_features, in_features, seed=seed, scale=scale)
+        self.weight.requires_grad = True
+        self.bias = Tensor.zeros(out_features)
+        self.bias.requires_grad = True
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.weight.matmul(x) + self.bias
+
+    def set_weights(self, weight: np.ndarray, bias: np.ndarray) -> None:
+        """Install pre-trained weights (used by the Multitasking model)."""
+        weight = np.asarray(weight, dtype=float)
+        bias = np.asarray(bias, dtype=float)
+        if weight.shape != (self.out_features, self.in_features):
+            raise ValueError(
+                f"Linear({self.in_features}, {self.out_features}): weight shape "
+                f"{weight.shape} does not match"
+            )
+        if bias.shape != (self.out_features,):
+            raise ValueError("bias shape does not match out_features")
+        self.weight.data = weight.copy()
+        self.bias.data = bias.copy()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Sequential(Module):
+    """An ordered container of modules applied one after another."""
+
+    def __init__(self, *modules: Module):
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+
+class MSELoss(Module):
+    """Mean squared error between a prediction and a target tensor."""
+
+    def forward(self, prediction: Tensor, target=None) -> Tensor:  # type: ignore[override]
+        raise TypeError("call MSELoss with (prediction, target)")
+
+    def __call__(self, prediction: Tensor, target) -> Tensor:
+        if not isinstance(target, Tensor):
+            target = Tensor(target)
+        diff = prediction - target
+        return (diff * diff).sum() * Tensor(1.0 / max(diff.data.size, 1))

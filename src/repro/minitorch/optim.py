@@ -1,0 +1,33 @@
+"""Optimisers for the PyTorch stand-in (SGD is all the examples need)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float = 0.01, momentum: float = 0.0):
+        self.parameters: List[Tensor] = list(parameters)
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.grad = None
+
+    def step(self) -> None:
+        for i, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            if self.momentum:
+                self._velocity[i] = self.momentum * self._velocity[i] - self.lr * parameter.grad
+                parameter.data = parameter.data + self._velocity[i]
+            else:
+                parameter.data = parameter.data - self.lr * parameter.grad

@@ -1,0 +1,180 @@
+"""Minimal tensor type for the PyTorch stand-in.
+
+The Multitasking model in the paper embeds a neural network *designed in
+PyTorch* inside a PsyNeuLink composition; Distill lowers that network into
+the same IR as the rest of the model so optimisation crosses the framework
+boundary.  PyTorch cannot be installed in this environment, so
+``repro.minitorch`` provides the minimal imperative API the model needs
+(tensors, linear layers, activations, a sequential container and SGD) plus a
+bridge that lowers a network into the repro IR.
+
+Tensors wrap NumPy arrays and implement just enough reverse-mode autograd for
+the example training loops (the paper's model uses a *pre-trained* network at
+inference time, so training support is a convenience, not a requirement).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+
+class Tensor:
+    """A NumPy-backed tensor with optional gradient tracking."""
+
+    def __init__(self, data, requires_grad: bool = False, _parents=(), _backward=None):
+        self.data = np.asarray(data, dtype=float)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._parents = tuple(_parents)
+        self._backward: Optional[Callable[[np.ndarray], None]] = _backward
+
+    # -- constructors ---------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape) -> "Tensor":
+        return Tensor(np.zeros(shape))
+
+    @staticmethod
+    def randn(*shape, seed: Optional[int] = None, scale: float = 1.0) -> "Tensor":
+        rng = np.random.default_rng(seed)
+        return Tensor(scale * rng.standard_normal(shape))
+
+    # -- shape ----------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    # -- autograd -------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Reverse-mode accumulation of gradients into ``.grad`` fields."""
+        if grad is None:
+            grad = np.ones_like(self.data)
+        topo: List[Tensor] = []
+        visited: set[int] = set()
+
+        def build(node: "Tensor") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                build(parent)
+            topo.append(node)
+
+        build(self)
+        grads = {id(self): np.asarray(grad, dtype=float)}
+        for node in reversed(topo):
+            node_grad = grads.get(id(node))
+            if node_grad is None:
+                continue
+            if node.requires_grad:
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+            if node._backward is not None:
+                for parent, parent_grad in node._backward(node_grad):
+                    existing = grads.get(id(parent))
+                    grads[id(parent)] = parent_grad if existing is None else existing + parent_grad
+
+    # -- operations -----------------------------------------------------------------
+    def __add__(self, other: "Tensor") -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            return [(self, _unbroadcast(grad, self.data.shape)), (other, _unbroadcast(grad, other.data.shape))]
+
+        return Tensor(out_data, _parents=(self, other), _backward=backward)
+
+    def __sub__(self, other: "Tensor") -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data - other.data
+
+        def backward(grad):
+            return [(self, _unbroadcast(grad, self.data.shape)), (other, _unbroadcast(-grad, other.data.shape))]
+
+        return Tensor(out_data, _parents=(self, other), _backward=backward)
+
+    def __mul__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            return [
+                (self, _unbroadcast(grad * other.data, self.data.shape)),
+                (other, _unbroadcast(grad * self.data, other.data.shape)),
+            ]
+
+        return Tensor(out_data, _parents=(self, other), _backward=backward)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            grad = np.asarray(grad, dtype=float)
+            a, b = self.data, other.data
+            if a.ndim == 2 and b.ndim == 1:
+                grad_a = np.outer(grad, b)
+                grad_b = a.T @ grad
+            elif a.ndim == 1 and b.ndim == 2:
+                grad_a = grad @ b.T
+                grad_b = np.outer(a, grad)
+            elif a.ndim == 1 and b.ndim == 1:
+                grad_a = grad * b
+                grad_b = grad * a
+            else:
+                grad_a = grad @ b.T
+                grad_b = a.T @ grad
+            return [
+                (self, grad_a.reshape(a.shape)),
+                (other, grad_b.reshape(b.shape)),
+            ]
+
+        return Tensor(out_data, _parents=(self, other), _backward=backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad):
+            return [(self, grad * out_data * (1.0 - out_data))]
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(grad):
+            return [(self, grad * (self.data > 0.0))]
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def sum(self) -> "Tensor":
+        out_data = np.array(self.data.sum())
+
+        def backward(grad):
+            return [(self, np.ones_like(self.data) * grad)]
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad})"
+
+
+def _as_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _unbroadcast(grad: np.ndarray, shape) -> np.ndarray:
+    """Reduce a gradient back to ``shape`` after NumPy broadcasting."""
+    grad = np.asarray(grad, dtype=float)
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)

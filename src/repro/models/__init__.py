@@ -1,0 +1,28 @@
+"""repro.models — the cognitive models evaluated in the paper.
+
+* :mod:`repro.models.necker` — Necker-cube bistable perception (S, M and a
+  hand-vectorised variant).
+* :mod:`repro.models.predator_prey` — the attention-allocation predator-prey
+  task (S/M/L/XL grid sizes).
+* :mod:`repro.models.stroop` — the Botvinick conflict-monitoring Stroop model
+  and the two extended (finger-pointing) variants.
+* :mod:`repro.models.multitasking` — the heterogeneous minitorch + LCA
+  multitasking model.
+* :mod:`repro.models.registry` — name-indexed registry used by benchmarks and
+  examples.
+"""
+
+from . import multitasking, necker, predator_prey, stroop
+from .registry import FIGURE4_MODELS, MODEL_REGISTRY, ModelEntry, get_model, predator_prey_variant
+
+__all__ = [
+    "necker",
+    "predator_prey",
+    "stroop",
+    "multitasking",
+    "MODEL_REGISTRY",
+    "FIGURE4_MODELS",
+    "ModelEntry",
+    "get_model",
+    "predator_prey_variant",
+]

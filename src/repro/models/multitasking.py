@@ -1,0 +1,165 @@
+"""The Multitasking model: a heterogeneous PyTorch + PsyNeuLink model.
+
+The model (paper §5, "Multitasking") processes a combined stimulus/goal input
+with a neural network designed in (mini)torch that produces evidence for the
+colour and shape features; that evidence drives a Leaky Competing Accumulator
+designed in the cognitive-modelling framework, which accumulates until one
+unit crosses a decision threshold.  The model is run for many trials to build
+a distribution of response times and a histogram of correct/incorrect
+responses.
+
+PyPy and Pyston cannot run this model at all (no PyTorch support); Distill
+compiles the network and the LCA into one IR module so that optimisation
+crosses the framework boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..cogframe import (
+    AfterNPasses,
+    Any,
+    Composition,
+    IntegratorMechanism,
+    ProcessingMechanism,
+    ThresholdCrossed,
+)
+from ..cogframe.functions import LeakyCompetingIntegrator, Linear
+from ..minitorch import NeuralNetworkFunction, nn
+
+#: Input layout: 2 colour units, 2 shape units, 2 task (goal) units.
+INPUT_SIZE = 6
+HIDDEN_SIZE = 8
+OUTPUT_SIZE = 4  # evidence for (red, green, circle, square)
+
+
+def build_pretrained_network(seed: int = 3) -> nn.Sequential:
+    """A small pre-trained feature network (stand-in for the PyTorch model).
+
+    The weights are constructed (rather than trained here) so that the network
+    routes the stimulus feature selected by the task units to the output
+    evidence, with a small amount of crosstalk — the representational-conflict
+    structure the Multitasking model studies.
+    """
+    network = nn.Sequential(
+        nn.Linear(INPUT_SIZE, HIDDEN_SIZE, seed=seed),
+        nn.ReLU(),
+        nn.Linear(HIDDEN_SIZE, OUTPUT_SIZE, seed=seed + 1),
+        nn.Sigmoid(),
+    )
+    first: nn.Linear = network.modules[0]
+    second: nn.Linear = network.modules[2]
+
+    weight1 = np.zeros((HIDDEN_SIZE, INPUT_SIZE))
+    # Colour channel: hidden 0..1 copy colour units gated by task unit 0.
+    weight1[0, 0] = 2.0
+    weight1[1, 1] = 2.0
+    weight1[0, 4] = 1.0
+    weight1[1, 4] = 1.0
+    # Shape channel: hidden 2..3 copy shape units gated by task unit 1.
+    weight1[2, 2] = 2.0
+    weight1[3, 3] = 2.0
+    weight1[2, 5] = 1.0
+    weight1[3, 5] = 1.0
+    # Crosstalk channels.
+    weight1[4, 0] = 0.3
+    weight1[4, 2] = 0.3
+    weight1[5, 1] = 0.3
+    weight1[5, 3] = 0.3
+    first.set_weights(weight1, np.full(HIDDEN_SIZE, -0.5))
+
+    weight2 = np.zeros((OUTPUT_SIZE, HIDDEN_SIZE))
+    weight2[0, 0] = 2.0
+    weight2[1, 1] = 2.0
+    weight2[2, 2] = 2.0
+    weight2[3, 3] = 2.0
+    weight2[0, 4] = 0.4
+    weight2[2, 4] = 0.4
+    weight2[1, 5] = 0.4
+    weight2[3, 5] = 0.4
+    second.set_weights(weight2, np.full(OUTPUT_SIZE, -1.0))
+    return network
+
+
+def build_multitasking(
+    max_cycles: int = 200,
+    threshold: float = 1.0,
+    noise: float = 0.1,
+    network: nn.Sequential | None = None,
+) -> Composition:
+    """Build the heterogeneous Multitasking composition."""
+    comp = Composition("multitasking")
+    network = network or build_pretrained_network()
+
+    stimulus = ProcessingMechanism("stimulus", Linear(), size=INPUT_SIZE)
+    comp.add_node(stimulus, is_input=True)
+
+    feature_net = ProcessingMechanism(
+        "feature_net", NeuralNetworkFunction(network), size=INPUT_SIZE
+    )
+    comp.add_node(feature_net)
+
+    decision = IntegratorMechanism(
+        "decision",
+        LeakyCompetingIntegrator(
+            leak=0.2, competition=0.3, noise=noise, time_step=0.1, non_negative=1.0
+        ),
+        size=OUTPUT_SIZE,
+    )
+    comp.add_node(decision, is_output=True, monitor=True)
+
+    comp.add_projection(stimulus, feature_net)
+    comp.add_projection(feature_net, decision)
+
+    comp.set_termination(
+        Any(
+            ThresholdCrossed("decision", threshold, comparator=">=", statistic="max"),
+            AfterNPasses(max_cycles),
+        ),
+        max_passes=max_cycles,
+    )
+    return comp
+
+
+def default_inputs(num_inputs: int = 8, seed: int = 11) -> List[dict]:
+    """Stimulus/goal combinations: one colour + one shape + the colour task."""
+    rng = np.random.default_rng(seed)
+    inputs = []
+    for _ in range(num_inputs):
+        color = rng.integers(0, 2)
+        shape = rng.integers(0, 2)
+        stimulus = np.zeros(INPUT_SIZE)
+        stimulus[color] = 1.0
+        stimulus[2 + shape] = 1.0
+        stimulus[4] = 1.0  # colour-naming goal
+        inputs.append({"stimulus": stimulus})
+    return inputs
+
+
+def correct_response_index(stimulus: np.ndarray) -> int:
+    """The evidence unit a correct colour-task response should select."""
+    return int(np.argmax(stimulus[0:2]))
+
+
+def summarize_decisions(results, inputs: List[dict]) -> Dict[str, object]:
+    """Response-time distribution and correct/incorrect histogram."""
+    response_times = []
+    correct = 0
+    for index, trial in enumerate(results.trials):
+        final = trial.outputs["decision"]
+        choice = int(np.argmax(final))
+        stimulus = np.asarray(inputs[index % len(inputs)]["stimulus"])
+        if choice == correct_response_index(stimulus):
+            correct += 1
+        response_times.append(trial.passes)
+    total = len(results.trials)
+    return {
+        "response_times": response_times,
+        "mean_rt": float(np.mean(response_times)) if response_times else 0.0,
+        "correct": correct,
+        "incorrect": total - correct,
+        "accuracy": correct / total if total else 0.0,
+    }

@@ -1,0 +1,133 @@
+"""Necker-cube bistable perception models (paper §5, "Necker cube").
+
+The model simulates the perception of a bi-stable stimulus: each vertex of
+the line drawing is represented by a leaky-integrating node receiving
+excitation from vertices of the same interpretation and inhibition from the
+competing interpretation; over passes the node activities oscillate between
+the two percepts.
+
+Three variants match the paper's:
+
+* ``necker_cube_s``  — 3 vertices (the small line drawing),
+* ``necker_cube_m``  — 8 vertices (the full cube),
+* ``vectorized_necker_cube`` — a hand-vectorised version of the 8-vertex
+  model: a single mechanism holding the whole state vector and applying the
+  coupling as one weight matrix.  The paper's clone detection proves this
+  equivalent to ``necker_cube_m`` at the IR level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cogframe import (
+    AfterNPasses,
+    Composition,
+    IntegratorMechanism,
+    ProcessingMechanism,
+)
+from ..cogframe.functions import LeakyIntegrator, Linear
+
+
+def coupling_matrix(num_vertices: int, excitation: float = 0.4, inhibition: float = -0.6) -> np.ndarray:
+    """Coupling between vertices: cooperative within a percept, competitive across.
+
+    Vertices are split into two interpretation groups (even/odd indices);
+    same-group pairs excite each other, cross-group pairs inhibit.
+    """
+    matrix = np.zeros((num_vertices, num_vertices))
+    for i in range(num_vertices):
+        for j in range(num_vertices):
+            if i == j:
+                continue
+            same_group = (i % 2) == (j % 2)
+            matrix[i, j] = excitation if same_group else inhibition
+    return matrix
+
+
+def build_necker_cube(
+    num_vertices: int = 8,
+    passes: int = 60,
+    noise: float = 0.05,
+    name: str | None = None,
+) -> Composition:
+    """Per-vertex formulation: one leaky-integrator node per vertex."""
+    name = name or f"necker_cube_{num_vertices}v"
+    comp = Composition(name)
+    matrix = coupling_matrix(num_vertices)
+
+    stimulus = ProcessingMechanism("stimulus", Linear(), size=num_vertices)
+    comp.add_node(stimulus, is_input=True)
+
+    vertex_nodes = []
+    for v in range(num_vertices):
+        node = IntegratorMechanism(
+            f"vertex_{v}",
+            LeakyIntegrator(rate=1.0, leak=0.4, noise=noise, time_step=0.1, initializer=0.1),
+            size=1,
+        )
+        comp.add_node(node, is_output=True, monitor=True)
+        vertex_nodes.append(node)
+        # Stimulus drive for this vertex.
+        selector = np.zeros((1, num_vertices))
+        selector[0, v] = 1.0
+        comp.add_projection(stimulus, node, matrix=selector)
+
+    # Recurrent coupling between vertices.
+    for i in range(num_vertices):
+        for j in range(num_vertices):
+            if i == j or matrix[i, j] == 0.0:
+                continue
+            comp.add_projection(vertex_nodes[j], vertex_nodes[i], matrix=np.array([[matrix[i, j]]]))
+
+    comp.set_termination(AfterNPasses(passes), max_passes=passes)
+    return comp
+
+
+def build_vectorized_necker_cube(
+    num_vertices: int = 8,
+    passes: int = 60,
+    noise: float = 0.05,
+) -> Composition:
+    """Hand-vectorised formulation: one node holding the full state vector.
+
+    The per-vertex nodes collapse into a single integrator of size
+    ``num_vertices`` whose drive is ``stimulus + W @ previous_state``,
+    delivered through an identity projection from the stimulus node plus a
+    recurrent self-projection carrying the coupling matrix.  Pass-for-pass
+    the dynamics are identical to :func:`build_necker_cube`, which is what
+    the paper's whole-model clone detection establishes.
+    """
+    comp = Composition(f"vectorized_necker_cube_{num_vertices}v")
+    matrix = coupling_matrix(num_vertices)
+
+    stimulus = ProcessingMechanism("stimulus", Linear(), size=num_vertices)
+    comp.add_node(stimulus, is_input=True)
+
+    vertices = IntegratorMechanism(
+        "vertices",
+        LeakyIntegrator(rate=1.0, leak=0.4, noise=noise, time_step=0.1, initializer=0.1),
+        size=num_vertices,
+    )
+    comp.add_node(vertices, is_output=True, monitor=True)
+
+    comp.add_projection(stimulus, vertices)
+    comp.add_projection(vertices, vertices, matrix=matrix)
+
+    comp.set_termination(AfterNPasses(passes), max_passes=passes)
+    return comp
+
+
+def build_necker_cube_s(passes: int = 60) -> Composition:
+    """The 3-vertex variant (``necker cube S`` in Figure 4)."""
+    return build_necker_cube(num_vertices=3, passes=passes, name="necker_cube_s")
+
+
+def build_necker_cube_m(passes: int = 60) -> Composition:
+    """The 8-vertex variant (``necker cube M`` in Figure 4)."""
+    return build_necker_cube(num_vertices=8, passes=passes, name="necker_cube_m")
+
+
+def default_inputs(num_vertices: int = 8, num_inputs: int = 1) -> list:
+    """Constant ambiguous stimulus: equal drive to every vertex."""
+    return [{"stimulus": np.full(num_vertices, 1.0)} for _ in range(num_inputs)]

@@ -1,0 +1,201 @@
+"""The predator-prey attention-allocation model (paper §2.1 and Figure 1).
+
+An agent controls a player on a screen showing a prey (to capture) and a
+predator (to avoid).  Attention is limited: the Control node searches over
+allocations of attention to the three entities, each allocation determining
+the variance of the Gaussian observation of that entity's location; the Obs
+nodes sample observed locations; the Action node computes a move from them;
+the Objective node scores the move against the true locations; Control picks
+the allocation with the lowest cost.
+
+The four paper variants differ only in the number of attention levels per
+entity: S=2, M=4, L=6 and XL=100, i.e. 8, 64, 216 and 1,000,000 evaluations
+of the pipeline per controller execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..cogframe import (
+    AfterNPasses,
+    Composition,
+    GridSearchControlMechanism,
+    InputPort,
+    ObjectiveMechanism,
+    ProcessingMechanism,
+    SimulationStep,
+)
+from ..cogframe.functions import (
+    AttentionModulatedObservation,
+    Linear,
+    PredatorPreyObjective,
+    PursuitAvoidanceAction,
+)
+
+#: Attention levels per entity for the four paper variants.
+VARIANT_LEVELS: Dict[str, int] = {"s": 2, "m": 4, "l": 6, "xl": 100}
+
+
+def attention_levels(count: int, low: float = 0.0, high: float = 5.0) -> List[float]:
+    """Evenly spaced candidate attention levels in ``[low, high]``."""
+    if count == 1:
+        return [high]
+    return list(np.linspace(low, high, count))
+
+
+def build_predator_prey(
+    variant: str = "s",
+    passes: int = 2,
+    levels_per_entity: int | None = None,
+    base_std: float = 2.0,
+    attention_cost: float = 0.05,
+) -> Composition:
+    """Build a predator-prey composition.
+
+    Parameters
+    ----------
+    variant:
+        One of ``"s"``, ``"m"``, ``"l"``, ``"xl"`` (2/4/6/100 attention levels
+        per entity) — or pass ``levels_per_entity`` explicitly.
+    passes:
+        Scheduler passes per trial (each pass performs a full grid search and
+        a move; 2 passes let the chosen allocation propagate to the Obs and
+        Action nodes, mirroring one full decision cycle).
+    """
+    if levels_per_entity is None:
+        key = variant.lower()
+        if key not in VARIANT_LEVELS:
+            raise ValueError(f"unknown predator-prey variant {variant!r}")
+        levels_per_entity = VARIANT_LEVELS[key]
+    comp = Composition(f"predator_prey_{variant.lower()}")
+
+    # -- input nodes: true 2-D locations of the three entities -------------------
+    player = ProcessingMechanism("player_loc", Linear(), size=2)
+    predator = ProcessingMechanism("predator_loc", Linear(), size=2)
+    prey = ProcessingMechanism("prey_loc", Linear(), size=2)
+    for node in (player, predator, prey):
+        comp.add_node(node, is_input=True)
+
+    # -- mechanisms reused by the control simulation pipeline ----------------------
+    obs_player = ProcessingMechanism(
+        "obs_player",
+        AttentionModulatedObservation(base_std=base_std),
+        input_ports=[InputPort("location", 2), InputPort("attention", 1)],
+    )
+    obs_predator = ProcessingMechanism(
+        "obs_predator",
+        AttentionModulatedObservation(base_std=base_std),
+        input_ports=[InputPort("location", 2), InputPort("attention", 1)],
+    )
+    obs_prey = ProcessingMechanism(
+        "obs_prey",
+        AttentionModulatedObservation(base_std=base_std),
+        input_ports=[InputPort("location", 2), InputPort("attention", 1)],
+    )
+    action = ProcessingMechanism(
+        "action",
+        PursuitAvoidanceAction(),
+        input_ports=[
+            InputPort("player", 2),
+            InputPort("predator", 2),
+            InputPort("prey", 2),
+        ],
+    )
+    objective = ObjectiveMechanism(
+        "objective",
+        PredatorPreyObjective(attention_cost=attention_cost),
+        input_ports=[
+            InputPort("action", 2),
+            InputPort("player", 2),
+            InputPort("predator", 2),
+            InputPort("prey", 2),
+            InputPort("allocation", 3),
+        ],
+    )
+
+    # -- the grid-search controller -----------------------------------------------------
+    levels = attention_levels(levels_per_entity)
+    # The controller observes the exact locations: player (0:2), predator
+    # (2:4), prey (4:6) — the simulation pipeline mirrors the real pathway.
+    control = GridSearchControlMechanism(
+        "control",
+        input_size=6,
+        levels=[levels, levels, levels],
+        steps=[
+            SimulationStep(obs_player, [("input", 0, 2), ("allocation", 0)]),
+            SimulationStep(obs_predator, [("input", 2, 2), ("allocation", 1)]),
+            SimulationStep(obs_prey, [("input", 4, 2), ("allocation", 2)]),
+            SimulationStep(
+                action,
+                [("step", "obs_player"), ("step", "obs_predator"), ("step", "obs_prey")],
+            ),
+            SimulationStep(
+                objective,
+                [
+                    ("step", "action"),
+                    ("input", 0, 2),
+                    ("input", 2, 2),
+                    ("input", 4, 2),
+                    ("allocation", -1),
+                ],
+            ),
+        ],
+        objective_step="objective",
+    )
+    comp.add_node(control, is_output=True)
+    comp.add_node(obs_player)
+    comp.add_node(obs_predator)
+    comp.add_node(obs_prey)
+    comp.add_node(action, is_output=True)
+    comp.add_node(objective, is_output=True)
+
+    # -- wiring of the "real" pathway (Figure 1) -------------------------------------------
+    comp.add_projection(player, control, sender_slice=(0, 2), matrix=_block(0, 2, 6))
+    comp.add_projection(predator, control, sender_slice=(0, 2), matrix=_block(2, 2, 6))
+    comp.add_projection(prey, control, sender_slice=(0, 2), matrix=_block(4, 2, 6))
+
+    comp.add_projection(player, obs_player, port="location")
+    comp.add_projection(predator, obs_predator, port="location")
+    comp.add_projection(prey, obs_prey, port="location")
+    comp.add_projection(control, obs_player, port="attention", sender_slice=(0, 1))
+    comp.add_projection(control, obs_predator, port="attention", sender_slice=(1, 1))
+    comp.add_projection(control, obs_prey, port="attention", sender_slice=(2, 1))
+
+    comp.add_projection(obs_player, action, port="player")
+    comp.add_projection(obs_predator, action, port="predator")
+    comp.add_projection(obs_prey, action, port="prey")
+
+    comp.add_projection(action, objective, port="action")
+    comp.add_projection(player, objective, port="player")
+    comp.add_projection(predator, objective, port="predator")
+    comp.add_projection(prey, objective, port="prey")
+    comp.add_projection(control, objective, port="allocation")
+
+    comp.set_termination(AfterNPasses(passes), max_passes=passes)
+    return comp
+
+
+def _block(row_offset: int, size: int, total_rows: int) -> np.ndarray:
+    """A ``total_rows x size`` matrix placing a ``size`` vector at ``row_offset``."""
+    matrix = np.zeros((total_rows, size))
+    for i in range(size):
+        matrix[row_offset + i, i] = 1.0
+    return matrix
+
+
+def default_inputs(num_inputs: int = 1, seed: int = 7) -> list:
+    """Plausible screen positions for the three entities."""
+    rng = np.random.default_rng(seed)
+    inputs = []
+    for _ in range(num_inputs):
+        inputs.append(
+            {
+                "player_loc": rng.uniform(-5, 5, size=2),
+                "predator_loc": rng.uniform(-5, 5, size=2),
+                "prey_loc": rng.uniform(-5, 5, size=2),
+            }
+        )
+    return inputs

@@ -1,0 +1,122 @@
+"""Registry of the evaluated models (the Figure 4 suite and the PP variants).
+
+Each entry bundles a composition builder with a default-input builder and the
+trial count used by the benchmark harness, so that every benchmark and
+example can obtain a model by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..cogframe import Composition
+from . import multitasking, necker, predator_prey, stroop
+
+
+@dataclass
+class ModelEntry:
+    """A runnable benchmark model."""
+
+    name: str
+    build: Callable[[], Composition]
+    inputs: Callable[[], List[dict]]
+    num_trials: int
+    description: str
+
+
+def _registry() -> Dict[str, ModelEntry]:
+    entries = [
+        ModelEntry(
+            name="vectorized_necker_cube",
+            build=lambda: necker.build_vectorized_necker_cube(num_vertices=8, passes=60),
+            inputs=lambda: necker.default_inputs(8),
+            num_trials=3,
+            description="Hand-vectorised 8-vertex Necker cube (60 settling passes).",
+        ),
+        ModelEntry(
+            name="necker_cube_s",
+            build=lambda: necker.build_necker_cube_s(passes=60),
+            inputs=lambda: necker.default_inputs(3),
+            num_trials=3,
+            description="3-vertex Necker cube model.",
+        ),
+        ModelEntry(
+            name="necker_cube_m",
+            build=lambda: necker.build_necker_cube_m(passes=60),
+            inputs=lambda: necker.default_inputs(8),
+            num_trials=3,
+            description="8-vertex Necker cube model.",
+        ),
+        ModelEntry(
+            name="predator_prey_s",
+            build=lambda: predator_prey.build_predator_prey("s"),
+            inputs=lambda: predator_prey.default_inputs(2),
+            num_trials=2,
+            description="Predator-prey with 2 attention levels per entity (8 evaluations).",
+        ),
+        ModelEntry(
+            name="botvinick_stroop",
+            build=lambda: stroop.build_botvinick_stroop(cycles=100),
+            inputs=lambda: stroop.default_inputs("incongruent"),
+            num_trials=3,
+            description="Botvinick conflict-monitoring Stroop model (100 cycles).",
+        ),
+        ModelEntry(
+            name="extended_stroop_a",
+            build=lambda: stroop.build_extended_stroop("a", cycles=100),
+            inputs=lambda: stroop.default_inputs("incongruent"),
+            num_trials=3,
+            description="Extended Stroop (variant A) with finger-pointing DDMs.",
+        ),
+        ModelEntry(
+            name="extended_stroop_b",
+            build=lambda: stroop.build_extended_stroop("b", cycles=100),
+            inputs=lambda: stroop.default_inputs("incongruent"),
+            num_trials=3,
+            description="Extended Stroop (variant B), computationally equivalent to A.",
+        ),
+        ModelEntry(
+            name="multitasking",
+            build=lambda: multitasking.build_multitasking(max_cycles=120),
+            inputs=lambda: multitasking.default_inputs(4),
+            num_trials=8,
+            description="Heterogeneous minitorch + LCA multitasking model.",
+        ),
+    ]
+    return {entry.name: entry for entry in entries}
+
+
+MODEL_REGISTRY: Dict[str, ModelEntry] = _registry()
+
+#: The models plotted in the paper's Figure 4, in plot order.
+FIGURE4_MODELS: List[str] = [
+    "vectorized_necker_cube",
+    "necker_cube_s",
+    "necker_cube_m",
+    "predator_prey_s",
+    "botvinick_stroop",
+    "extended_stroop_a",
+    "extended_stroop_b",
+    "multitasking",
+]
+
+
+def get_model(name: str) -> ModelEntry:
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[name]
+
+
+def predator_prey_variant(variant: str) -> ModelEntry:
+    """Predator-prey scaling variants (Figure 5a): S, M, L, XL."""
+    variant = variant.lower()
+    levels = predator_prey.VARIANT_LEVELS[variant]
+    return ModelEntry(
+        name=f"predator_prey_{variant}",
+        build=lambda: predator_prey.build_predator_prey(variant),
+        inputs=lambda: predator_prey.default_inputs(1),
+        num_trials=1,
+        description=f"Predator-prey with {levels} attention levels per entity "
+        f"({levels ** 3} evaluations per controller execution).",
+    )

@@ -1,0 +1,88 @@
+"""Dead code elimination.
+
+Removes pure instructions whose results are never used, plus allocas whose
+only remaining uses are stores (dead scratch buffers left behind by partial
+mem2reg promotion or by inlining).
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Alloca, GEP, Load, Store
+from ..ir.module import Function
+from .pass_base import FunctionPass
+
+
+class DeadCodeElimination(FunctionPass):
+    """Iteratively remove unused pure instructions and dead allocas."""
+
+    name = "dce"
+
+    def run_on_function(self, function: Function) -> bool:
+        changed = False
+        again = True
+        while again:
+            again = False
+            for block in function.blocks:
+                for instr in reversed(list(block.instructions)):
+                    if instr.is_terminator:
+                        continue
+                    if instr.uses:
+                        continue
+                    if instr.is_pure():
+                        instr.erase()
+                        changed = again = True
+            again |= self._remove_dead_allocas(function)
+            changed |= again
+        return changed
+
+    def _remove_dead_allocas(self, function: Function) -> bool:
+        """Remove allocas that are only ever written, together with the writes."""
+        changed = False
+        for block in function.blocks:
+            for instr in list(block.instructions):
+                if not isinstance(instr, Alloca):
+                    continue
+                if self._only_written(instr):
+                    for user in list(instr.uses):
+                        if isinstance(user, (Store, GEP)):
+                            self._erase_write_tree(user)
+                    if not instr.uses:
+                        instr.erase()
+                        changed = True
+        return changed
+
+    def _only_written(self, alloca: Alloca, _depth: int = 0) -> bool:
+        if _depth > 8:
+            return False
+        for user in alloca.uses:
+            if isinstance(user, Store) and user.pointer is alloca:
+                continue
+            if isinstance(user, GEP) and user.pointer is alloca:
+                if not self._gep_only_written(user, _depth + 1):
+                    return False
+                continue
+            return False
+        return True
+
+    def _gep_only_written(self, gep: GEP, depth: int) -> bool:
+        if depth > 8:
+            return False
+        for user in gep.uses:
+            if isinstance(user, Store) and user.pointer is gep:
+                continue
+            if isinstance(user, GEP) and user.pointer is gep:
+                if not self._gep_only_written(user, depth + 1):
+                    return False
+                continue
+            return False
+        return True
+
+    def _erase_write_tree(self, instr) -> None:
+        if isinstance(instr, Store):
+            instr.erase()
+            return
+        if isinstance(instr, GEP):
+            for user in list(instr.uses):
+                self._erase_write_tree(user)
+            if not instr.uses:
+                instr.erase()

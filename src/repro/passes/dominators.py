@@ -1,0 +1,127 @@
+"""Dominator tree and dominance frontier computation.
+
+Implements the Cooper/Harvey/Kennedy iterative dominator algorithm over the
+reverse post-order of the CFG.  Used by mem2reg (phi placement), CSE
+(dominator-scoped value numbering) and LICM (preheader legality).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.cfg import predecessor_map, reverse_post_order
+from ..ir.module import BasicBlock, Function
+
+
+class DominatorTree:
+    """Immediate-dominator tree of a function's CFG."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.rpo = reverse_post_order(function)
+        self._rpo_index = {id(b): i for i, b in enumerate(self.rpo)}
+        self.preds = predecessor_map(function)
+        #: Immediate dominator of each block (the entry block maps to itself).
+        self.idom: Dict[BasicBlock, BasicBlock] = {}
+        #: Children in the dominator tree.
+        self.children: Dict[BasicBlock, List[BasicBlock]] = {}
+        self._compute()
+        self._frontiers: Optional[Dict[BasicBlock, set]] = None
+
+    # -- construction ------------------------------------------------------
+    def _compute(self) -> None:
+        if not self.function.blocks:
+            return
+        entry = self.function.entry_block
+        reachable = set(self._rpo_index)
+        idom: Dict[int, BasicBlock] = {id(entry): entry}
+
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo:
+                if block is entry:
+                    continue
+                preds = [
+                    p
+                    for p in self.preds.get(block, [])
+                    if id(p) in idom and id(p) in reachable
+                ]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = self._intersect(pred, new_idom, idom)
+                if idom.get(id(block)) is not new_idom:
+                    idom[id(block)] = new_idom
+                    changed = True
+
+        self.idom = {}
+        self.children = {b: [] for b in self.function.blocks}
+        for block in self.function.blocks:
+            dom = idom.get(id(block))
+            if dom is None:
+                continue
+            self.idom[block] = dom
+            if block is not self.function.entry_block:
+                self.children[dom].append(block)
+
+    def _intersect(self, b1: BasicBlock, b2: BasicBlock, idom: Dict[int, BasicBlock]) -> BasicBlock:
+        finger1, finger2 = b1, b2
+        while finger1 is not finger2:
+            while self._rpo_index[id(finger1)] > self._rpo_index[id(finger2)]:
+                finger1 = idom[id(finger1)]
+            while self._rpo_index[id(finger2)] > self._rpo_index[id(finger1)]:
+                finger2 = idom[id(finger2)]
+        return finger1
+
+    # -- queries ------------------------------------------------------------
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if block ``a`` dominates block ``b`` (reflexive)."""
+        if a is b:
+            return True
+        runner = b
+        entry = self.function.entry_block
+        while runner is not entry:
+            runner = self.idom.get(runner)
+            if runner is None:
+                return False
+            if runner is a:
+                return True
+        return a is entry
+
+    def immediate_dominator(self, block: BasicBlock) -> Optional[BasicBlock]:
+        if block is self.function.entry_block:
+            return None
+        return self.idom.get(block)
+
+    def dominance_frontiers(self) -> Dict[BasicBlock, set]:
+        """Dominance frontier of every reachable block."""
+        if self._frontiers is not None:
+            return self._frontiers
+        frontiers: Dict[BasicBlock, set] = {b: set() for b in self.function.blocks}
+        for block in self.function.blocks:
+            preds = [p for p in self.preds.get(block, []) if p in self.idom]
+            if len(preds) < 2 or block not in self.idom:
+                continue
+            for pred in preds:
+                runner = pred
+                while runner is not self.idom[block]:
+                    frontiers[runner].add(block)
+                    runner = self.idom.get(runner)
+                    if runner is None:
+                        break
+        self._frontiers = frontiers
+        return frontiers
+
+    def tree_preorder(self) -> List[BasicBlock]:
+        """Blocks in dominator-tree preorder starting at the entry block."""
+        if not self.function.blocks:
+            return []
+        order: List[BasicBlock] = []
+        stack = [self.function.entry_block]
+        while stack:
+            block = stack.pop()
+            order.append(block)
+            stack.extend(reversed(self.children.get(block, [])))
+        return order

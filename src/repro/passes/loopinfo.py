@@ -1,0 +1,128 @@
+"""Natural-loop detection.
+
+Loops are identified from back edges (edges ``tail -> head`` where ``head``
+dominates ``tail``).  The resulting :class:`Loop` objects are consumed by
+LICM (hoisting), by the floating-point scalar-evolution analysis
+(convergence-time estimation, paper section 4.2) and by the backends when
+they look for parallelisable grid-search regions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.cfg import predecessor_map
+from ..ir.module import BasicBlock, Function
+from .dominators import DominatorTree
+
+
+class Loop:
+    """A natural loop: a header block plus the set of blocks in its body."""
+
+    def __init__(self, header: BasicBlock, blocks: List[BasicBlock]):
+        self.header = header
+        self.blocks = blocks
+        self._block_ids = {id(b) for b in blocks}
+        #: Nested loops whose headers lie inside this loop (filled by LoopInfo).
+        self.subloops: List["Loop"] = []
+        self.parent: Optional["Loop"] = None
+
+    def contains(self, block: BasicBlock) -> bool:
+        return id(block) in self._block_ids
+
+    def exit_blocks(self) -> List[BasicBlock]:
+        """Blocks outside the loop that are branched to from inside it."""
+        exits: List[BasicBlock] = []
+        seen: set[int] = set()
+        for block in self.blocks:
+            for succ in block.successors():
+                if not self.contains(succ) and id(succ) not in seen:
+                    seen.add(id(succ))
+                    exits.append(succ)
+        return exits
+
+    def exiting_blocks(self) -> List[BasicBlock]:
+        """Blocks inside the loop that branch outside it."""
+        return [
+            block
+            for block in self.blocks
+            if any(not self.contains(s) for s in block.successors())
+        ]
+
+    def latches(self, preds: Dict[BasicBlock, List[BasicBlock]]) -> List[BasicBlock]:
+        """Blocks inside the loop that branch back to the header."""
+        return [p for p in preds.get(self.header, []) if self.contains(p)]
+
+    def preheader(self, preds: Dict[BasicBlock, List[BasicBlock]]) -> Optional[BasicBlock]:
+        """The unique predecessor of the header outside the loop, if any."""
+        outside = [p for p in preds.get(self.header, []) if not self.contains(p)]
+        if len(outside) != 1:
+            return None
+        candidate = outside[0]
+        if len(candidate.successors()) != 1:
+            return None
+        return candidate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Loop header={self.header.name} blocks={len(self.blocks)}>"
+
+
+class LoopInfo:
+    """All natural loops of a function, with nesting information."""
+
+    def __init__(self, function: Function, domtree: Optional[DominatorTree] = None):
+        self.function = function
+        self.domtree = domtree or DominatorTree(function)
+        self.preds = predecessor_map(function)
+        self.loops: List[Loop] = []
+        self._discover()
+
+    def _discover(self) -> None:
+        header_to_body: Dict[int, tuple[BasicBlock, set]] = {}
+        for block in self.function.blocks:
+            for succ in block.successors():
+                if succ in self.domtree.idom and self.domtree.dominates(succ, block):
+                    # back edge block -> succ
+                    body = header_to_body.setdefault(id(succ), (succ, {id(succ)}))[1]
+                    self._collect(block, succ, body)
+
+        for header, body_ids in header_to_body.values():
+            blocks = [b for b in self.function.blocks if id(b) in body_ids]
+            self.loops.append(Loop(header, blocks))
+
+        # Establish nesting: a loop is a subloop of the smallest other loop
+        # that strictly contains its header.
+        for loop in self.loops:
+            best: Optional[Loop] = None
+            for other in self.loops:
+                if other is loop:
+                    continue
+                if other.contains(loop.header) and len(other.blocks) > len(loop.blocks):
+                    if best is None or len(other.blocks) < len(best.blocks):
+                        best = other
+            if best is not None:
+                loop.parent = best
+                best.subloops.append(loop)
+
+        # Deterministic ordering: inner loops first (useful for LICM).
+        self.loops.sort(key=lambda l: len(l.blocks))
+
+    def _collect(self, tail: BasicBlock, header: BasicBlock, body: set) -> None:
+        worklist = [tail]
+        while worklist:
+            block = worklist.pop()
+            if id(block) in body:
+                continue
+            body.add(id(block))
+            for pred in self.preds.get(block, []):
+                if id(pred) not in body:
+                    worklist.append(pred)
+
+    def loop_for_block(self, block: BasicBlock) -> Optional[Loop]:
+        """The innermost loop containing ``block``, if any."""
+        best: Optional[Loop] = None
+        for loop in self.loops:
+            if loop.contains(block):
+                if best is None or len(loop.blocks) < len(best.blocks):
+                    best = loop
+        return best

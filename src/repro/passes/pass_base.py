@@ -1,0 +1,50 @@
+"""Base classes for IR transformation and analysis passes."""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from ..ir.module import Function, Module
+
+
+class Pass:
+    """Common interface: every pass runs over a module and reports changes."""
+
+    #: Short identifier used in pipeline descriptions and timing reports.
+    name = "pass"
+
+    def run(self, module: Module) -> bool:
+        raise NotImplementedError
+
+
+class FunctionPass(Pass):
+    """A pass that processes one function at a time."""
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for function in module.defined_functions():
+            changed |= self.run_on_function(function)
+        return changed
+
+    def run_on_function(self, function: Function) -> bool:
+        raise NotImplementedError
+
+
+class ModulePass(Pass):
+    """A pass that needs to see the whole module (e.g. the inliner)."""
+
+    def run(self, module: Module) -> bool:
+        raise NotImplementedError
+
+
+class PassTiming:
+    """Wall-clock timing record for a single pass execution."""
+
+    def __init__(self, name: str, seconds: float, changed: bool):
+        self.name = name
+        self.seconds = seconds
+        self.changed = changed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<PassTiming {self.name}: {self.seconds * 1e3:.2f} ms changed={self.changed}>"

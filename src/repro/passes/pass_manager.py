@@ -1,0 +1,104 @@
+"""Pass manager and the standard optimisation pipelines (O0–O3).
+
+The pipelines correspond to the optimisation levels the paper sweeps in its
+compilation-cost study (Figure 7):
+
+* **O0** — no optimisation (verification only).
+* **O1** — CFG simplification, mem2reg, constant propagation, DCE.
+* **O2** — O1 plus CSE, peephole combining and LICM, iterated twice.
+* **O3** — O2 preceded by aggressive inlining (whole-model optimisation
+  across node and scheduler boundaries).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from .constprop import ConstantPropagation
+from .cse import CommonSubexpressionElimination
+from .dce import DeadCodeElimination
+from .inline import Inliner
+from .instcombine import InstCombine
+from .licm import LoopInvariantCodeMotion
+from .mem2reg import Mem2Reg
+from .pass_base import Pass, PassTiming
+from .simplifycfg import SimplifyCFG
+
+
+class PassManager:
+    """Runs an ordered list of passes over a module, recording timings."""
+
+    def __init__(self, passes: Sequence[Pass], verify: bool = True, name: str = "pipeline"):
+        self.passes: List[Pass] = list(passes)
+        self.verify = verify
+        self.name = name
+        self.timings: List[PassTiming] = []
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Module) -> bool:
+        """Run every pass once, in order.  Returns True if anything changed."""
+        self.timings = []
+        changed = False
+        if self.verify:
+            verify_module(module)
+        for pass_ in self.passes:
+            start = time.perf_counter()
+            pass_changed = pass_.run(module)
+            elapsed = time.perf_counter() - start
+            self.timings.append(PassTiming(pass_.name, elapsed, pass_changed))
+            changed |= pass_changed
+            if self.verify:
+                verify_module(module)
+        return changed
+
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.timings)
+
+    def describe(self) -> str:
+        return " -> ".join(p.name for p in self.passes)
+
+
+def standard_pipeline(opt_level: int = 2, verify: bool = True) -> PassManager:
+    """The standard pipeline used by Distill for a given ``-O`` level."""
+    if opt_level <= 0:
+        return PassManager([], verify=verify, name="O0")
+
+    base: List[Pass] = [
+        SimplifyCFG(),
+        Mem2Reg(),
+        ConstantPropagation(),
+        SimplifyCFG(),
+        DeadCodeElimination(),
+    ]
+    if opt_level == 1:
+        return PassManager(base, verify=verify, name="O1")
+
+    o2: List[Pass] = []
+    if opt_level >= 3:
+        o2.append(Inliner(threshold=400, aggressive=True))
+    else:
+        o2.append(Inliner(threshold=120))
+    o2 += base
+    o2 += [
+        CommonSubexpressionElimination(),
+        InstCombine(),
+        LoopInvariantCodeMotion(),
+        ConstantPropagation(),
+        DeadCodeElimination(),
+        SimplifyCFG(),
+    ]
+    # A second round catches opportunities exposed by the first.
+    o2 += [
+        Mem2Reg(),
+        ConstantPropagation(),
+        CommonSubexpressionElimination(),
+        DeadCodeElimination(),
+        SimplifyCFG(),
+    ]
+    return PassManager(o2, verify=verify, name=f"O{min(opt_level, 3)}")

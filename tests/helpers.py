@@ -1,0 +1,131 @@
+"""Shared helpers for the test suite: small IR program builders."""
+
+from __future__ import annotations
+
+from repro.ir import (
+    F64,
+    I64,
+    ArrayType,
+    FunctionType,
+    IRBuilder,
+    Module,
+    StructType,
+)
+
+
+def build_affine_function(module: Module, name: str = "affine"):
+    """``f(x, y) = 3*x + y - 2`` as straight-line IR."""
+    fn = module.add_function(name, FunctionType(F64, [F64, F64]), ["x", "y"])
+    block = fn.append_block("entry")
+    b = IRBuilder(block)
+    x, y = fn.args
+    t0 = b.fmul(b.f64(3.0), x)
+    t1 = b.fadd(t0, y)
+    t2 = b.fsub(t1, b.f64(2.0))
+    b.ret(t2)
+    return fn
+
+
+def build_loop_sum_function(module: Module, name: str = "loop_sum", iters: int = 10):
+    """``f(x, y) = sum_{i<iters} (x*y + exp(x))`` with an explicit loop."""
+    fn = module.add_function(name, FunctionType(F64, [F64, F64]), ["x", "y"])
+    entry = fn.append_block("entry")
+    loop = fn.append_block("loop")
+    exit_block = fn.append_block("exit")
+    b = IRBuilder(entry)
+    x, y = fn.args
+    b.br(loop)
+
+    b.position_at_end(loop)
+    i = b.phi(I64, "i")
+    acc = b.phi(F64, "acc")
+    prod = b.fmul(x, y)
+    e = b.exp(x)
+    term = b.fadd(prod, e)
+    acc_next = b.fadd(acc, term)
+    i_next = b.add(i, b.i64(1))
+    cond = b.icmp("slt", i_next, b.i64(iters))
+    b.cond_br(cond, loop, exit_block)
+    i.add_incoming(b.i64(0), entry)
+    i.add_incoming(i_next, loop)
+    acc.add_incoming(b.f64(0.0), entry)
+    acc.add_incoming(acc_next, loop)
+
+    b.position_at_end(exit_block)
+    b.ret(acc_next)
+    return fn
+
+
+def build_branchy_function(module: Module, name: str = "branchy"):
+    """``f(x, y) = (x > y) ? x*2 : y + 1`` built with real control flow."""
+    fn = module.add_function(name, FunctionType(F64, [F64, F64]), ["x", "y"])
+    entry = fn.append_block("entry")
+    then_block = fn.append_block("then")
+    else_block = fn.append_block("else")
+    merge = fn.append_block("merge")
+    b = IRBuilder(entry)
+    x, y = fn.args
+    cond = b.fcmp("ogt", x, y)
+    b.cond_br(cond, then_block, else_block)
+
+    b.position_at_end(then_block)
+    then_val = b.fmul(x, b.f64(2.0))
+    b.br(merge)
+
+    b.position_at_end(else_block)
+    else_val = b.fadd(y, b.f64(1.0))
+    b.br(merge)
+
+    b.position_at_end(merge)
+    phi = b.phi(F64, "result")
+    phi.add_incoming(then_val, then_block)
+    phi.add_incoming(else_val, else_block)
+    b.ret(phi)
+    return fn
+
+
+def build_alloca_function(module: Module, name: str = "with_allocas"):
+    """Computes ``x*x + y`` through scratch allocas (exercises mem2reg)."""
+    fn = module.add_function(name, FunctionType(F64, [F64, F64]), ["x", "y"])
+    entry = fn.append_block("entry")
+    then_block = fn.append_block("then")
+    else_block = fn.append_block("else")
+    merge = fn.append_block("merge")
+    b = IRBuilder(entry)
+    x, y = fn.args
+    slot = b.alloca(F64, "slot")
+    b.store(b.fmul(x, x), slot)
+    cond = b.fcmp("olt", y, b.f64(0.0))
+    b.cond_br(cond, then_block, else_block)
+
+    b.position_at_end(then_block)
+    b.store(b.fadd(b.load(slot), b.fneg(y)), slot)
+    b.br(merge)
+
+    b.position_at_end(else_block)
+    b.store(b.fadd(b.load(slot), y), slot)
+    b.br(merge)
+
+    b.position_at_end(merge)
+    b.ret(b.load(slot))
+    return fn
+
+
+def build_struct_sum_function(module: Module, name: str = "struct_sum"):
+    """Sums the three fields of a struct argument through GEPs."""
+    struct = StructType(f"{name}_params", [("a", F64), ("b", F64), ("c", ArrayType(F64, 2))])
+    module.add_struct(struct)
+    from repro.ir import pointer
+
+    fn = module.add_function(name, FunctionType(F64, [pointer(struct)]), ["p"])
+    block = fn.append_block("entry")
+    b = IRBuilder(block)
+    (p,) = fn.args
+    a = b.load_field(p, "a")
+    b_field = b.load_field(p, "b")
+    c_ptr = b.struct_field_ptr(p, "c")
+    c0 = b.load(b.gep(c_ptr, [b.i64(0), b.i64(0)]))
+    c1 = b.load(b.gep(c_ptr, [b.i64(0), b.i64(1)]))
+    total = b.fadd(b.fadd(a, b_field), b.fadd(c0, c1))
+    b.ret(total)
+    return fn

@@ -1,0 +1,332 @@
+"""Tests for VRP, fast-math legality, scalar evolution, mesh refinement,
+clone detection and CDFG extraction on hand-built IR."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    CloneDetector,
+    Interval,
+    MeshRefiner,
+    ScalarEvolution,
+    analyze_fastmath,
+    analyze_ranges,
+    build_cdfg,
+    cdfg_statistics,
+    functions_equivalent,
+    model_flow_graph,
+)
+from repro.ir import (
+    F64,
+    I64,
+    FunctionType,
+    IRBuilder,
+    Module,
+    verify_module,
+)
+
+from helpers import build_affine_function, build_branchy_function, build_loop_sum_function
+
+
+def build_logistic_function(module, name="logistic_fn", gain=2.0, bias=0.0):
+    fn = module.add_function(name, FunctionType(F64, [F64]), ["x"])
+    b = IRBuilder(fn.append_block("entry"))
+    b.ret(b.logistic(fn.args[0], b.f64(gain), b.f64(bias)))
+    return fn
+
+
+def build_accumulator_loop(module, name="accumulate", threshold=10.0):
+    """``while (x < threshold) x += step;  return x`` — a DDM-style accumulator."""
+    fn = module.add_function(name, FunctionType(F64, [F64, F64]), ["start", "step"])
+    entry = fn.append_block("entry")
+    loop = fn.append_block("loop")
+    done = fn.append_block("done")
+    b = IRBuilder(entry)
+    start, step = fn.args
+    b.br(loop)
+    b.position_at_end(loop)
+    acc = b.phi(F64, "acc")
+    nxt = b.fadd(acc, step)
+    cond = b.fcmp("oge", nxt, b.f64(threshold))
+    b.cond_br(cond, done, loop)
+    acc.add_incoming(start, entry)
+    acc.add_incoming(nxt, loop)
+    b.position_at_end(done)
+    b.ret(nxt)
+    return fn
+
+
+class TestVRP:
+    def test_exp_always_positive(self):
+        m = Module("t")
+        fn = m.add_function("f", FunctionType(F64, [F64]), ["x"])
+        b = IRBuilder(fn.append_block("entry"))
+        e = b.exp(fn.args[0])
+        b.ret(e)
+        result = analyze_ranges(fn)
+        assert result.return_range.lo >= 0.0
+
+    def test_logistic_range_in_unit_interval(self):
+        """The paper's example: a Logistic function always outputs in (0, 1]."""
+        m = Module("t")
+        fn = build_logistic_function(m)
+        result = analyze_ranges(fn, arg_ranges={"x": Interval(-50.0, 50.0)})
+        rng = result.return_range
+        assert rng.lo >= 0.0
+        assert rng.hi <= 1.0
+        assert not rng.may_nan
+
+    def test_argument_ranges_seeded_by_name_and_index(self):
+        m = Module("t")
+        fn = build_affine_function(m)  # 3x + y - 2
+        by_name = analyze_ranges(fn, arg_ranges={"x": Interval(0, 1), "y": Interval(0, 1)})
+        by_index = analyze_ranges(fn, arg_ranges={0: Interval(0, 1), 1: Interval(0, 1)})
+        for result in (by_name, by_index):
+            assert result.return_range.lo == pytest.approx(-2.0)
+            assert result.return_range.hi == pytest.approx(2.0)
+
+    def test_branchy_join(self):
+        m = Module("t")
+        fn = build_branchy_function(m)  # (x>y) ? 2x : y+1
+        result = analyze_ranges(
+            fn, arg_ranges={"x": Interval(0.0, 1.0), "y": Interval(0.0, 1.0)}
+        )
+        rng = result.return_range
+        assert rng.lo <= 0.0
+        assert rng.hi >= 2.0
+        assert rng.hi <= 2.1
+
+    def test_branch_refinement_narrows_range(self):
+        m = Module("t")
+        fn = m.add_function("f", FunctionType(F64, [F64]), ["x"])
+        entry = fn.append_block("entry")
+        pos = fn.append_block("pos")
+        neg = fn.append_block("neg")
+        b = IRBuilder(entry)
+        x = fn.args[0]
+        cond = b.fcmp("ogt", x, b.f64(0.0))
+        b.cond_br(cond, pos, neg)
+        b.position_at_end(pos)
+        root = b.sqrt(x)
+        b.ret(root)
+        b.position_at_end(neg)
+        b.ret(b.f64(0.0))
+        result = analyze_ranges(fn)
+        # On the taken edge x > 0, so sqrt cannot produce NaN.
+        assert not result.range_of(root).may_nan
+
+    def test_loop_accumulator_is_widened_not_divergent(self):
+        m = Module("t")
+        fn = build_loop_sum_function(m)
+        result = analyze_ranges(fn, arg_ranges={"x": Interval(0, 1), "y": Interval(0, 1)})
+        assert result.return_range.hi == math.inf  # widened, but analysis terminated
+
+    def test_rng_intrinsic_ranges(self):
+        from repro.ir import pointer
+
+        m = Module("t")
+        fn = m.add_function("f", FunctionType(F64, [pointer(F64)]), ["state"])
+        b = IRBuilder(fn.append_block("entry"))
+        u = b.rng_uniform(fn.args[0])
+        n = b.rng_normal(fn.args[0])
+        b.ret(b.fadd(u, n))
+        result = analyze_ranges(fn, assume_normal_range=3.0)
+        assert result.range_of(u) == Interval(0.0, 1.0)
+        assert result.range_of(n).lo == -3.0
+        assert result.range_of(n).hi == 3.0
+
+
+class TestFastMath:
+    def test_flags_on_bounded_function(self):
+        m = Module("t")
+        fn = build_affine_function(m)
+        report = analyze_fastmath(fn, arg_ranges={"x": Interval(0, 1), "y": Interval(0, 1)})
+        summary = report.summary()
+        assert summary["float_instructions"] >= 3
+        assert summary["nnan"] == summary["float_instructions"]
+        assert summary["ninf"] == summary["float_instructions"]
+
+    def test_no_flags_for_unbounded_arguments(self):
+        m = Module("t")
+        fn = build_affine_function(m)
+        report = analyze_fastmath(fn)  # arguments unconstrained: may be NaN/Inf
+        assert report.count_with_flag("nnan") == 0
+
+
+class TestScalarEvolution:
+    def test_add_recurrence_detected(self):
+        m = Module("t")
+        fn = build_accumulator_loop(m)
+        scev = ScalarEvolution(
+            fn, arg_ranges={"start": Interval.point(0.0), "step": Interval(0.5, 1.0)}
+        )
+        evolutions = scev.analyze()
+        assert len(evolutions) == 1
+        recs = evolutions[0].recurrences
+        assert len(recs) == 1
+        assert recs[0].step_range == Interval(0.5, 1.0)
+
+    def test_trip_count_bounds(self):
+        m = Module("t")
+        fn = build_accumulator_loop(m, threshold=10.0)
+        scev = ScalarEvolution(
+            fn, arg_ranges={"start": Interval.point(0.0), "step": Interval(0.5, 1.0)}
+        )
+        estimate = scev.analyze()[0].best_estimate()
+        assert estimate is not None
+        # 10/1.0 = 10 iterations at least, 10/0.5 = 20 at most.
+        assert estimate.min_trips == pytest.approx(10)
+        assert estimate.max_trips == pytest.approx(20)
+
+    def test_non_converging_step_reports_infinite(self):
+        m = Module("t")
+        fn = build_accumulator_loop(m, threshold=5.0)
+        scev = ScalarEvolution(
+            fn, arg_ranges={"start": Interval.point(0.0), "step": Interval(-1.0, -0.5)}
+        )
+        estimate = scev.analyze()[0].best_estimate()
+        assert estimate is not None
+        assert math.isinf(estimate.max_trips)
+
+    def test_integer_loop_recurrence(self):
+        m = Module("t")
+        fn = build_loop_sum_function(m, iters=10)
+        scev = ScalarEvolution(fn, arg_ranges={"x": Interval(0, 1), "y": Interval(0, 1)})
+        evolutions = scev.analyze()
+        assert evolutions and evolutions[0].recurrences
+
+
+class TestMeshRefinement:
+    def _build_quadratic_cost(self, module):
+        """cost(p) = (p - 3)^2 + 1 — minimum at p = 3."""
+        fn = module.add_function("cost", FunctionType(F64, [F64]), ["p"])
+        b = IRBuilder(fn.append_block("entry"))
+        d = b.fsub(fn.args[0], b.f64(3.0))
+        sq = b.fmul(d, d)
+        b.ret(b.fadd(sq, b.f64(1.0)))
+        return fn
+
+    def test_refinement_converges_to_minimum(self):
+        m = Module("t")
+        fn = self._build_quadratic_cost(m)
+        refiner = MeshRefiner(fn, parameter="p", objective="min")
+        result = refiner.refine(0.0, 5.0, tolerance=0.05)
+        assert result.estimate == pytest.approx(3.0, abs=0.2)
+        assert result.rounds <= 10
+        assert result.vrp_runs == 2 * result.rounds
+        assert result.history[0].chosen in ("left", "right")
+
+    def test_refinement_for_maximum(self):
+        m = Module("t")
+        fn = m.add_function("gain", FunctionType(F64, [F64]), ["p"])
+        b = IRBuilder(fn.append_block("entry"))
+        d = b.fsub(fn.args[0], b.f64(1.5))
+        b.ret(b.fneg(b.fmul(d, d)))
+        result = MeshRefiner(fn, "p", objective="max").refine(0.0, 4.0, tolerance=0.05)
+        assert result.estimate == pytest.approx(1.5, abs=0.2)
+
+    def test_invalid_interval_rejected(self):
+        m = Module("t")
+        fn = self._build_quadratic_cost(m)
+        with pytest.raises(ValueError):
+            MeshRefiner(fn, "p").refine(2.0, 1.0)
+
+
+class TestCloneDetection:
+    def test_identical_functions_detected(self):
+        m = Module("t")
+        a = build_affine_function(m, "a")
+        b = build_affine_function(m, "b")
+        report = functions_equivalent(a, b)
+        assert report.equivalent
+        assert report.matched_instructions >= 4
+
+    def test_different_constants_detected(self):
+        m = Module("t")
+        a = build_affine_function(m, "a")
+        fn = m.add_function("c", FunctionType(F64, [F64, F64]), ["x", "y"])
+        bld = IRBuilder(fn.append_block("entry"))
+        t0 = bld.fmul(bld.f64(4.0), fn.args[0])  # 4x instead of 3x
+        t1 = bld.fadd(t0, fn.args[1])
+        bld.ret(bld.fsub(t1, bld.f64(2.0)))
+        report = functions_equivalent(a, fn)
+        assert not report.equivalent
+
+    def test_commutative_operand_order_ignored(self):
+        m = Module("t")
+        a = m.add_function("a", FunctionType(F64, [F64, F64]), ["x", "y"])
+        bld = IRBuilder(a.append_block("entry"))
+        bld.ret(bld.fadd(a.args[0], a.args[1]))
+        c = m.add_function("c", FunctionType(F64, [F64, F64]), ["x", "y"])
+        bld = IRBuilder(c.append_block("entry"))
+        bld.ret(bld.fadd(c.args[1], c.args[0]))
+        assert functions_equivalent(a, c).equivalent
+
+    def test_control_flow_shape_must_match(self):
+        m = Module("t")
+        a = build_affine_function(m, "a")
+        b = build_branchy_function(m, "b")
+        assert not functions_equivalent(a, b).equivalent
+
+    def test_binding_based_equivalence(self):
+        """A leaky accumulator with rate bound to 0 equals a pure accumulator
+        (the DDM/LCA situation of Figure 3, reduced to its essence)."""
+        m = Module("t")
+        # leaky: out = prev + step - rate*prev + offset
+        leaky = m.add_function(
+            "leaky", FunctionType(F64, [F64, F64, F64, F64]), ["prev", "step", "rate", "offset"]
+        )
+        bld = IRBuilder(leaky.append_block("entry"))
+        prev, step, rate, offset = leaky.args
+        decay = bld.fmul(rate, prev)
+        acc = bld.fadd(prev, step)
+        acc = bld.fsub(acc, decay)
+        bld.ret(bld.fadd(acc, offset))
+        # pure: out = prev + step*gain  (gain bound to 1)
+        pure = m.add_function("pure", FunctionType(F64, [F64, F64, F64, F64]), ["prev", "step", "gain", "unused"])
+        bld = IRBuilder(pure.append_block("entry"))
+        p_prev, p_step, p_gain, _ = pure.args
+        scaled = bld.fmul(p_step, p_gain)
+        bld.ret(bld.fadd(p_prev, scaled))
+
+        detector = CloneDetector()
+        report = detector.compare(
+            leaky,
+            pure,
+            left_bindings={"rate": 0.0, "offset": 0.0},
+            right_bindings={"gain": 1.0},
+        )
+        assert report.equivalent
+        # Without the bindings they are different computations.
+        assert not detector.compare(leaky, pure).equivalent
+
+
+class TestCDFG:
+    def test_cdfg_statistics(self):
+        m = Module("t")
+        fn = build_loop_sum_function(m)
+        stats = cdfg_statistics(fn)
+        assert stats["instructions"] == fn.instruction_count()
+        assert stats["data_edges"] > 0
+        assert stats["control_edges"] >= 2
+
+    def test_model_flow_graph_from_metadata(self):
+        m = Module("t")
+        fn = m.add_function("f", FunctionType(F64, [F64]), ["x"])
+        b = IRBuilder(fn.append_block("entry"))
+        b.current_source_node = "input"
+        scaled = b.fmul(fn.args[0], b.f64(2.0))
+        b.current_source_node = "decision"
+        out = b.fadd(scaled, b.f64(1.0))
+        b.ret(out)
+        graph = model_flow_graph(fn)
+        assert set(graph.nodes) == {"input", "decision"}
+        assert graph.has_edge("input", "decision")
+
+    def test_build_cdfg_kinds(self):
+        m = Module("t")
+        fn = build_branchy_function(m)
+        graph = build_cdfg(fn)
+        kinds = {d["kind"] for _, _, d in graph.edges(data=True)}
+        assert kinds == {"data", "control"}

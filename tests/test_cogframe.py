@@ -1,0 +1,476 @@
+"""Tests for the cognitive-modelling substrate: functions, mechanisms,
+projections, conditions, sanitization and the reference runner."""
+
+import numpy as np
+import pytest
+
+from repro.cogframe import (
+    AfterNPasses,
+    AfterPass,
+    All,
+    Always,
+    Any,
+    AtPass,
+    Composition,
+    CounterRNG,
+    EveryNCalls,
+    EveryNPasses,
+    GridSearchControlMechanism,
+    InputPort,
+    IntegratorMechanism,
+    Never,
+    Not,
+    ObjectiveMechanism,
+    ProcessingMechanism,
+    ReferenceRunner,
+    SchedulerState,
+    SimulationStep,
+    ThresholdCrossed,
+    sanitize,
+)
+from repro.cogframe.functions import (
+    AccumulatorIntegrator,
+    AttentionModulatedObservation,
+    DriftDiffusionAnalytical,
+    EnergyFunction,
+    LeakyCompetingIntegrator,
+    LeakyIntegrator,
+    Linear,
+    LinearCombination,
+    LinearMatrix,
+    Logistic,
+    PredatorPreyObjective,
+    PursuitAvoidanceAction,
+    ReLU,
+    Softmax,
+)
+from repro.errors import EngineError, ModelStructureError, SanitizationError
+
+
+class TestPRNG:
+    def test_reproducible_streams(self):
+        a = CounterRNG(42, stream=1)
+        b = CounterRNG(42, stream=1)
+        assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+    def test_streams_are_independent(self):
+        a = CounterRNG(42, stream=1)
+        b = CounterRNG(42, stream=2)
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_uniform_range(self):
+        rng = CounterRNG(0)
+        draws = [rng.uniform() for _ in range(1000)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert 0.3 < np.mean(draws) < 0.7
+
+    def test_normal_moments(self):
+        rng = CounterRNG(1)
+        draws = [rng.normal() for _ in range(4000)]
+        assert abs(np.mean(draws)) < 0.1
+        assert 0.85 < np.std(draws) < 1.15
+
+    def test_counter_based_statelessness(self):
+        from repro.cogframe.prng import normal_from_state, uniform_from_state
+
+        value1, next1 = uniform_from_state(123, 7)
+        value2, _ = uniform_from_state(123, 7)
+        assert value1 == value2
+        assert next1 == 8
+        _, after_normal = normal_from_state(123, 0)
+        assert after_normal == 2  # Box-Muller consumes two counter ticks
+
+    def test_state_roundtrip(self):
+        rng = CounterRNG(5, stream=3)
+        rng.uniform()
+        saved = rng.state
+        x = rng.normal()
+        rng.state = saved
+        assert rng.normal() == x
+
+    def test_choice_index_bounds(self):
+        rng = CounterRNG(0)
+        for _ in range(100):
+            assert 0 <= rng.choice_index(7) < 7
+        with pytest.raises(ValueError):
+            rng.choice_index(0)
+
+
+class TestFunctions:
+    def test_linear(self):
+        fn = Linear(slope=2.0, intercept=1.0)
+        out = fn.compute(np.array([1.0, -2.0]), fn.params, {}, None)
+        assert out == pytest.approx([3.0, -3.0])
+
+    def test_logistic_bounds(self):
+        fn = Logistic(gain=3.0)
+        out = fn.compute(np.array([-100.0, 0.0, 100.0]), fn.params, {}, None)
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(1.0)
+
+    def test_relu(self):
+        fn = ReLU(gain=2.0)
+        assert fn.compute(np.array([-1.0, 3.0]), fn.params, {}, None) == pytest.approx([0.0, 6.0])
+
+    def test_softmax_sums_to_one(self):
+        fn = Softmax()
+        out = fn.compute(np.array([1.0, 2.0, 3.0]), fn.params, {}, None)
+        assert np.sum(out) == pytest.approx(1.0)
+        assert np.argmax(out) == 2
+
+    def test_linear_matrix(self):
+        fn = LinearMatrix(np.array([[1.0, 2.0], [0.0, -1.0]]))
+        out = fn.compute(np.array([3.0, 4.0]), fn.params, {}, None)
+        assert out == pytest.approx([11.0, -4.0])
+        assert fn.output_size(2) == 2
+
+    def test_leaky_integrator_state(self):
+        fn = LeakyIntegrator(rate=1.0, leak=0.0, noise=0.0, time_step=1.0)
+        state = fn.state_spec(2)
+        out1 = fn.compute(np.array([1.0, 2.0]), fn.params, state, None)
+        out2 = fn.compute(np.array([1.0, 2.0]), fn.params, state, None)
+        assert out1 == pytest.approx([1.0, 2.0])
+        assert out2 == pytest.approx([2.0, 4.0])
+
+    def test_lca_competition(self):
+        fn = LeakyCompetingIntegrator(leak=0.0, competition=1.0, noise=0.0, time_step=1.0, non_negative=0.0)
+        state = {"previous_value": np.array([1.0, 0.5])}
+        out = fn.compute(np.array([0.0, 0.0]), fn.params, state, None)
+        # unit 0: 1 + (0 - 0 - 1*0.5) = 0.5 ; unit 1: 0.5 + (0 - 1*1.0) = -0.5
+        assert out == pytest.approx([0.5, -0.5])
+
+    def test_ddm_analytical_error_rate(self):
+        fn = DriftDiffusionAnalytical(drift_rate=1.0, threshold=1.0, noise=1.0)
+        rt, er = fn.compute(np.array([2.0]), fn.params, {}, None)
+        assert 0.0 < er < 0.5
+        assert rt > fn.params["non_decision_time"]
+
+    def test_energy_function(self):
+        fn = EnergyFunction(weight=-2.0)
+        out = fn.compute(np.array([0.5, 0.4]), fn.params, {}, None)
+        assert out[0] == pytest.approx(-2.0 * 0.5 * 0.4)
+
+    def test_linear_combination_weights(self):
+        fn = LinearCombination(weights=[1.0, 0.0, 2.0], scale=0.5, offset=1.0)
+        out = fn.compute(np.array([2.0, 9.0, 3.0]), fn.params, {}, None)
+        assert out[0] == pytest.approx(0.5 * (2.0 + 6.0) + 1.0)
+
+    def test_attention_observation_accuracy_scales_with_attention(self):
+        fn = AttentionModulatedObservation(base_std=2.0)
+        rng_low = CounterRNG(0, stream=5)
+        rng_high = CounterRNG(0, stream=5)
+        low = [
+            abs(fn.compute(np.array([1.0, 1.0, 0.1]), fn.params, {}, rng_low)[0] - 1.0)
+            for _ in range(200)
+        ]
+        high = [
+            abs(fn.compute(np.array([1.0, 1.0, 5.0]), fn.params, {}, rng_high)[0] - 1.0)
+            for _ in range(200)
+        ]
+        assert np.mean(high) < np.mean(low)
+
+    def test_pursuit_avoidance_action(self):
+        fn = PursuitAvoidanceAction(avoid_gain=0.5)
+        variable = np.array([0.0, 0.0, 1.0, 0.0, 0.0, 2.0])  # player, predator, prey
+        out = fn.compute(variable, fn.params, {}, None)
+        assert out == pytest.approx([-0.5, 2.0])
+
+    def test_predator_prey_objective_prefers_tracking(self):
+        fn = PredatorPreyObjective(avoid_cost=0.0, attention_cost=0.0)
+        toward = np.concatenate([[0.0, 1.0], [0, 0], [5, 5], [0, 2], [1, 1, 1]])
+        away = np.concatenate([[0.0, -1.0], [0, 0], [5, 5], [0, 2], [1, 1, 1]])
+        assert fn.compute(toward, fn.params, {}, None)[0] < fn.compute(away, fn.params, {}, None)[0]
+
+    def test_predator_prey_objective_attention_tradeoff(self):
+        """Zero attention is penalised through uncertainty, excessive attention
+        through its quadratic cost: a moderate allocation is cheapest."""
+        fn = PredatorPreyObjective()
+        base = [[0.0, 1.0], [0, 0], [5, 5], [0, 2]]
+        none = np.concatenate(base + [[0.0, 0.0, 0.0]])
+        moderate = np.concatenate(base + [[2.5, 2.5, 2.5]])
+        extreme = np.concatenate(base + [[25.0, 25.0, 25.0]])
+        cost = lambda v: fn.compute(v, fn.params, {}, None)[0]  # noqa: E731
+        assert cost(moderate) < cost(none)
+        assert cost(moderate) < cost(extreme)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(TypeError, match="unknown parameters"):
+            Linear(slop=1.0)
+
+
+class TestMechanisms:
+    def test_port_offsets_and_sizes(self):
+        mech = ProcessingMechanism(
+            "m", Linear(), input_ports=[InputPort("a", 2), InputPort("b", 3)]
+        )
+        assert mech.input_size == 5
+        assert mech.port_offset("b") == 2
+        assert mech.port_size("a") == 2
+        with pytest.raises(ModelStructureError):
+            mech.port_size("missing")
+
+    def test_execute_checks_input_size(self):
+        mech = ProcessingMechanism("m", Linear(), size=3)
+        with pytest.raises(ModelStructureError):
+            mech.execute(np.zeros(2), {}, None)
+
+    def test_duplicate_port_names_rejected(self):
+        with pytest.raises(ModelStructureError):
+            ProcessingMechanism(
+                "m", Linear(), input_ports=[InputPort("a", 1), InputPort("a", 2)]
+            )
+
+    def test_state_spec_copy_is_independent(self):
+        mech = IntegratorMechanism("i", AccumulatorIntegrator(), size=2)
+        s1 = mech.state_spec()
+        s2 = mech.state_spec()
+        s1["previous_value"][0] = 99.0
+        assert s2["previous_value"][0] == 0.0
+
+
+class TestConditions:
+    def test_basic_conditions(self):
+        state = SchedulerState(pass_index=4, call_counts={"a": 4})
+        assert Always().is_satisfied(state)
+        assert not Never().is_satisfied(state)
+        assert AtPass(4).is_satisfied(state)
+        assert not AtPass(3).is_satisfied(state)
+        assert AfterPass(2).is_satisfied(state)
+        assert EveryNPasses(2).is_satisfied(state)
+        assert not EveryNPasses(3).is_satisfied(state)
+        assert EveryNCalls("a", 2).is_satisfied(state)
+        assert not EveryNCalls("a", 3).is_satisfied(state)
+
+    def test_composite_conditions(self):
+        state = SchedulerState(pass_index=5)
+        assert All(Always(), AfterPass(3)).is_satisfied(state)
+        assert not All(Always(), Never()).is_satisfied(state)
+        assert Any(Never(), AfterPass(3)).is_satisfied(state)
+        assert Not(Never()).is_satisfied(state)
+
+    def test_threshold_condition(self):
+        state = SchedulerState(pass_index=1, outputs={"d": np.array([0.2, -1.5])})
+        assert ThresholdCrossed("d", 1.0, ">=", "max_abs").is_satisfied(state)
+        assert not ThresholdCrossed("d", 1.0, ">=", "max").is_satisfied(state)
+        assert ThresholdCrossed("d", -1.0, "<=", "min").is_satisfied(state)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            EveryNPasses(0)
+        with pytest.raises(ValueError):
+            ThresholdCrossed("d", 1.0, comparator="!=")
+
+
+def build_two_node_chain(gain=2.0, passes=3):
+    comp = Composition("chain")
+    source = ProcessingMechanism("source", Linear(), size=2)
+    sink = ProcessingMechanism("sink", Logistic(gain=gain), size=2)
+    comp.add_node(source, is_input=True)
+    comp.add_node(sink, is_output=True, monitor=True)
+    comp.add_projection(source, sink)
+    comp.set_termination(AfterNPasses(passes), max_passes=passes)
+    return comp
+
+
+class TestCompositionAndSanitize:
+    def test_validate_requires_inputs_and_outputs(self):
+        comp = Composition("empty")
+        with pytest.raises(ModelStructureError):
+            comp.validate()
+
+    def test_execution_order_topological(self):
+        comp = build_two_node_chain()
+        assert comp.execution_order() == ["source", "sink"]
+
+    def test_sanitize_collects_shapes(self):
+        comp = build_two_node_chain()
+        info = sanitize(comp)
+        assert info.mechanisms["sink"].input_size == 2
+        assert info.mechanisms["sink"].output_size == 2
+        assert info.input_size == 2
+        assert info.output_layout["sink"] == (0, 2)
+        assert info.execution_order == ["source", "sink"]
+
+    def test_sanitize_detects_shape_mismatch(self):
+        comp = Composition("bad")
+        a = ProcessingMechanism("a", Linear(), size=2)
+        b = ProcessingMechanism("b", Linear(), size=3)
+        comp.add_node(a, is_input=True)
+        comp.add_node(b, is_output=True)
+        with pytest.raises(ModelStructureError):
+            comp.add_projection(a, b)
+
+    def test_duplicate_node_rejected(self):
+        comp = Composition("dup")
+        a = ProcessingMechanism("a", Linear(), size=1)
+        comp.add_node(a)
+        with pytest.raises(ModelStructureError):
+            comp.add_node(ProcessingMechanism("a", Linear(), size=1))
+
+    def test_projection_to_unknown_node_rejected(self):
+        comp = Composition("x")
+        a = ProcessingMechanism("a", Linear(), size=1)
+        comp.add_node(a)
+        other = ProcessingMechanism("other", Linear(), size=1)
+        with pytest.raises(ModelStructureError):
+            comp.add_projection(a, other)
+
+
+class TestReferenceRunner:
+    def test_feedforward_propagation_takes_one_pass(self):
+        comp = build_two_node_chain(gain=1.0, passes=3)
+        runner = ReferenceRunner(comp, seed=0)
+        results = runner.run([{"source": [2.0, -2.0]}], num_trials=1)
+        final = results.trials[0].outputs["sink"]
+        expected = 1.0 / (1.0 + np.exp(-np.array([2.0, -2.0])))
+        assert final == pytest.approx(expected)
+        assert results.trials[0].passes == 3
+
+    def test_monitored_series_recorded_every_pass(self):
+        comp = build_two_node_chain(passes=4)
+        results = ReferenceRunner(comp).run([{"source": [1.0, 1.0]}])
+        series = results.monitored_series("sink")
+        assert series.shape == (4, 2)
+
+    def test_trials_reset_state(self):
+        comp = Composition("acc")
+        src = ProcessingMechanism("src", Linear(), size=1)
+        acc = IntegratorMechanism("acc", AccumulatorIntegrator(rate=1.0), size=1)
+        comp.add_node(src, is_input=True)
+        comp.add_node(acc, is_output=True)
+        comp.add_projection(src, acc)
+        comp.set_termination(AfterNPasses(3), max_passes=3)
+        results = ReferenceRunner(comp).run([{"src": [1.0]}], num_trials=2)
+        # Source output becomes available to the accumulator from pass 1, so
+        # two accumulation steps happen in a 3-pass trial — and the second
+        # trial starts fresh.
+        assert results.trials[0].outputs["acc"][0] == pytest.approx(2.0)
+        assert results.trials[1].outputs["acc"][0] == pytest.approx(2.0)
+
+    def test_condition_gating(self):
+        comp = build_two_node_chain(passes=4)
+        comp.conditions["sink"] = EveryNPasses(2)
+        results = ReferenceRunner(comp).run([{"source": [1.0, 1.0]}])
+        runner_counts = ReferenceRunner(comp)
+        results = runner_counts.run([{"source": [1.0, 1.0]}])
+        assert runner_counts.execution_counts["source"] == 4
+        assert runner_counts.execution_counts["sink"] == 2
+
+    def test_threshold_termination_shortens_trial(self):
+        comp = Composition("ddm")
+        src = ProcessingMechanism("src", Linear(), size=1)
+        acc = IntegratorMechanism("acc", AccumulatorIntegrator(rate=0.3), size=1)
+        comp.add_node(src, is_input=True)
+        comp.add_node(acc, is_output=True)
+        comp.add_projection(src, acc)
+        comp.set_termination(
+            ThresholdCrossed("acc", 1.0, ">=", "max_abs"), max_passes=100
+        )
+        results = ReferenceRunner(comp).run([{"src": [1.0]}])
+        assert results.trials[0].passes < 100
+        assert abs(results.trials[0].outputs["acc"][0]) >= 1.0
+
+    def test_flat_input_form_accepted(self):
+        comp = build_two_node_chain()
+        flat = ReferenceRunner(comp).run([[1.0, 2.0]])
+        named = ReferenceRunner(comp).run([{"source": [1.0, 2.0]}])
+        assert flat.trials[0].outputs["sink"] == pytest.approx(named.trials[0].outputs["sink"])
+
+    def test_missing_input_rejected(self):
+        comp = build_two_node_chain()
+        with pytest.raises(EngineError):
+            ReferenceRunner(comp).run([{"wrong": [1.0, 2.0]}])
+        with pytest.raises(EngineError):
+            ReferenceRunner(comp).run([[1.0, 2.0, 3.0]])
+
+    def test_deterministic_given_seed(self):
+        comp = Composition("noisy")
+        src = ProcessingMechanism("src", Linear(), size=2)
+        noisy = IntegratorMechanism("noisy", LeakyIntegrator(noise=0.5), size=2)
+        comp.add_node(src, is_input=True)
+        comp.add_node(noisy, is_output=True)
+        comp.add_projection(src, noisy)
+        comp.set_termination(AfterNPasses(5), max_passes=5)
+        r1 = ReferenceRunner(comp, seed=3).run([{"src": [1.0, 1.0]}])
+        r2 = ReferenceRunner(comp, seed=3).run([{"src": [1.0, 1.0]}])
+        r3 = ReferenceRunner(comp, seed=4).run([{"src": [1.0, 1.0]}])
+        assert r1.trials[0].outputs["noisy"] == pytest.approx(r2.trials[0].outputs["noisy"])
+        assert not np.allclose(r1.trials[0].outputs["noisy"], r3.trials[0].outputs["noisy"])
+
+
+class TestGridSearchControl:
+    def _control_only_model(self, levels=(0.0, 2.5, 5.0)):
+        from repro.models.predator_prey import build_predator_prey
+
+        return build_predator_prey(levels_per_entity=len(levels))
+
+    def test_control_outputs_a_grid_allocation(self):
+        from repro.models.predator_prey import build_predator_prey, default_inputs
+
+        comp = build_predator_prey(levels_per_entity=3, attention_cost=0.01)
+        results = ReferenceRunner(comp, seed=1).run(default_inputs(1), num_trials=1)
+        allocation = results.trials[0].outputs["control"]
+        assert allocation.shape == (3,)
+        control = comp.node("control")
+        assert tuple(allocation) in set(control.grid_points())
+
+    def test_attention_lowers_expected_cost(self):
+        """Average evaluation cost drops when the prey gets attention — the
+        Figure 2 landscape that makes the grid search meaningful."""
+        from repro.models.predator_prey import build_predator_prey, default_inputs
+
+        comp = build_predator_prey(levels_per_entity=2, attention_cost=0.0)
+        control = comp.node("control")
+        true_input = np.concatenate(
+            [default_inputs(1)[0][k] for k in ("player_loc", "predator_loc", "prey_loc")]
+        )
+        rng = CounterRNG(0, stream=11)
+        reps = 150
+
+        def mean_cost(allocation):
+            costs = []
+            for i in range(reps):
+                eval_rng = CounterRNG(0, stream=11)
+                eval_rng.counter = i * 1000
+                costs.append(control.evaluate_allocation(true_input, allocation, eval_rng))
+            return float(np.mean(costs))
+
+        assert mean_cost((0.0, 0.0, 5.0)) < mean_cost((0.0, 0.0, 0.0))
+
+    def test_invalid_pipeline_rejected(self):
+        obs = ProcessingMechanism(
+            "obs",
+            AttentionModulatedObservation(),
+            input_ports=[InputPort("location", 2), InputPort("attention", 1)],
+        )
+        with pytest.raises(ModelStructureError):
+            GridSearchControlMechanism(
+                "ctl",
+                input_size=2,
+                levels=[[0.0, 1.0]],
+                steps=[SimulationStep(obs, [("input", 0, 2), ("allocation", 5)])],
+                objective_step="obs",
+            )
+
+    def test_objective_step_must_exist(self):
+        obs = ProcessingMechanism(
+            "obs",
+            AttentionModulatedObservation(),
+            input_ports=[InputPort("location", 2), InputPort("attention", 1)],
+        )
+        with pytest.raises(ModelStructureError):
+            GridSearchControlMechanism(
+                "ctl",
+                input_size=2,
+                levels=[[0.0, 1.0]],
+                steps=[SimulationStep(obs, [("input", 0, 2), ("allocation", 0)])],
+                objective_step="missing",
+            )
+
+    def test_grid_size(self):
+        comp = self._control_only_model()
+        control = comp.node("control")
+        assert control.grid_size == 27
+        assert len(control.grid_points()) == 27
+        assert control.rng_draws_per_evaluation() == 6

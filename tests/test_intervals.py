@@ -1,0 +1,210 @@
+"""Tests for the floating-point interval domain, including hypothesis-based
+soundness checks (concrete results always lie in the abstract result)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.intervals import Interval, join_all
+
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def interval_with_point(draw):
+    """An interval together with a concrete point inside it."""
+    a = draw(finite_floats)
+    b = draw(finite_floats)
+    lo, hi = min(a, b), max(a, b)
+    t = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    x = lo + t * (hi - lo)
+    # Rounding in the affine combination can push x just outside [lo, hi];
+    # clamp so the point really belongs to the interval.
+    x = min(max(x, lo), hi)
+    return Interval(lo, hi), x
+
+
+class TestConstructorsAndPredicates:
+    def test_point(self):
+        iv = Interval.point(3.5)
+        assert iv.is_point()
+        assert iv.contains(3.5)
+        assert not iv.contains(3.6)
+
+    def test_top_contains_everything(self):
+        top = Interval.top()
+        assert top.contains(1e300)
+        assert top.contains(-1e300)
+        assert top.contains(math.nan)
+
+    def test_bottom_contains_nothing(self):
+        bottom = Interval.bottom()
+        assert bottom.is_bottom()
+        assert not bottom.contains(0.0)
+
+    def test_nan_point(self):
+        iv = Interval.point(math.nan)
+        assert iv.may_nan
+        assert iv.contains(math.nan)
+
+    def test_finite_predicates(self):
+        assert Interval(0.0, 1.0).is_finite()
+        assert not Interval(0.0, math.inf).is_finite()
+        assert not Interval(0.0, 1.0, may_nan=True).is_finite()
+
+    def test_sign_predicates(self):
+        assert Interval(1.0, 2.0).positive()
+        assert Interval(0.0, 2.0).non_negative()
+        assert not Interval(0.0, 2.0).positive()
+        assert Interval(-3.0, -1.0).negative()
+
+    def test_width_and_midpoint(self):
+        iv = Interval(2.0, 6.0)
+        assert iv.width() == 4.0
+        assert iv.midpoint() == 4.0
+        with pytest.raises(ValueError):
+            Interval.top().midpoint()
+
+
+class TestLattice:
+    def test_join(self):
+        assert Interval(0, 1).join(Interval(2, 3)) == Interval(0, 3)
+        assert Interval(0, 1).join(Interval(0.5, 0.7)) == Interval(0, 1)
+
+    def test_join_propagates_nan(self):
+        assert Interval(0, 1).join(Interval(2, 3, may_nan=True)).may_nan
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+        assert Interval(0, 1).intersect(Interval(2, 3)).is_empty_range()
+
+    def test_widen(self):
+        prev = Interval(0, 10)
+        grown = Interval(-1, 12)
+        widened = grown.widen(prev)
+        assert widened.lo == -math.inf
+        assert widened.hi == math.inf
+        stable = Interval(2, 8).widen(prev)
+        assert stable == Interval(2, 8)
+
+    def test_join_all(self):
+        assert join_all([Interval(0, 1), Interval(5, 6)]) == Interval(0, 6)
+        assert join_all([]).is_bottom()
+
+
+class TestArithmeticSoundness:
+    @given(interval_with_point(), interval_with_point())
+    @settings(max_examples=200, deadline=None)
+    def test_add_sound(self, a, b):
+        (ia, xa), (ib, xb) = a, b
+        assert ia.add(ib).contains(xa + xb)
+
+    @given(interval_with_point(), interval_with_point())
+    @settings(max_examples=200, deadline=None)
+    def test_sub_sound(self, a, b):
+        (ia, xa), (ib, xb) = a, b
+        assert ia.sub(ib).contains(xa - xb)
+
+    @given(interval_with_point(), interval_with_point())
+    @settings(max_examples=200, deadline=None)
+    def test_mul_sound(self, a, b):
+        (ia, xa), (ib, xb) = a, b
+        result = ia.mul(ib)
+        product = xa * xb
+        # Allow for rounding at the extreme corners.
+        assert result.contains(product) or math.isclose(
+            product, result.lo, rel_tol=1e-12
+        ) or math.isclose(product, result.hi, rel_tol=1e-12)
+
+    @given(interval_with_point(), interval_with_point())
+    @settings(max_examples=200, deadline=None)
+    def test_div_sound(self, a, b):
+        (ia, xa), (ib, xb) = a, b
+        result = ia.div(ib)
+        if xb == 0:
+            return
+        quotient = xa / xb
+        assert result.contains(quotient) or math.isclose(
+            quotient, result.lo, rel_tol=1e-9
+        ) or math.isclose(quotient, result.hi, rel_tol=1e-9)
+
+    @given(interval_with_point())
+    @settings(max_examples=200, deadline=None)
+    def test_exp_sound(self, a):
+        iv, x = a
+        assert iv.exp().contains(math.exp(x) if x < 700 else math.inf)
+
+    @given(interval_with_point())
+    @settings(max_examples=200, deadline=None)
+    def test_tanh_fabs_sound(self, a):
+        iv, x = a
+        assert iv.tanh().contains(math.tanh(x))
+        assert iv.fabs().contains(abs(x))
+
+    @given(interval_with_point())
+    @settings(max_examples=200, deadline=None)
+    def test_neg_sound(self, a):
+        iv, x = a
+        assert (-iv).contains(-x)
+
+    @given(interval_with_point(), interval_with_point())
+    @settings(max_examples=100, deadline=None)
+    def test_min_max_sound(self, a, b):
+        (ia, xa), (ib, xb) = a, b
+        assert ia.minimum(ib).contains(min(xa, xb))
+        assert ia.maximum(ib).contains(max(xa, xb))
+
+
+class TestSpecialValues:
+    def test_div_by_zero_interval_unbounded(self):
+        result = Interval(1.0, 2.0).div(Interval(-1.0, 1.0))
+        assert result.lo == -math.inf and result.hi == math.inf
+
+    def test_zero_div_zero_flags_nan(self):
+        result = Interval(0.0, 0.0).div(Interval(0.0, 0.0))
+        assert result.may_nan
+
+    def test_zero_times_infinity_flags_nan(self):
+        result = Interval(0.0, 1.0).mul(Interval(0.0, math.inf))
+        assert result.may_nan
+
+    def test_inf_minus_inf_flags_nan(self):
+        result = Interval(0.0, math.inf).sub(Interval(0.0, math.inf))
+        assert result.may_nan
+
+    def test_log_of_negative_flags_nan(self):
+        assert Interval(-2.0, 1.0).log().may_nan
+        assert Interval(-2.0, -1.0).log().may_nan
+
+    def test_log_of_positive_clean(self):
+        result = Interval(1.0, math.e).log()
+        assert not result.may_nan
+        assert result.lo == pytest.approx(0.0)
+        assert result.hi == pytest.approx(1.0)
+
+    def test_sqrt_of_negative_flags_nan(self):
+        assert Interval(-1.0, 4.0).sqrt().may_nan
+        assert not Interval(0.0, 4.0).sqrt().may_nan
+
+    def test_logistic_always_in_unit_interval(self):
+        result = Interval(-100.0, 100.0).logistic(gain=2.0, bias=0.5)
+        assert result.lo >= 0.0
+        assert result.hi <= 1.0
+
+    def test_exp_always_non_negative(self):
+        assert Interval(-1e9, 1e9).exp().lo >= 0.0
+
+
+class TestComparisons:
+    def test_always_less_than(self):
+        assert Interval(0, 1).always_less_than(Interval(2, 3))
+        assert not Interval(0, 2.5).always_less_than(Interval(2, 3))
+        assert not Interval(0, 1, may_nan=True).always_less_than(Interval(2, 3))
+
+    def test_always_greater_than(self):
+        assert Interval(5, 6).always_greater_than(Interval(1, 2))
