@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench.harness import figure2_report
-from repro.core.distill import compile_model
+from repro.core.distill import compile_composition
 from repro.core.specialize import specialize_on_buffer
 from repro.models import predator_prey as pp
 
@@ -11,7 +11,7 @@ from repro.models import predator_prey as pp
 def bench_vrp_mesh_refinement(benchmark):
     from repro.analysis import Interval, MeshRefiner
 
-    compiled = compile_model(pp.build_predator_prey("m"), opt_level=2)
+    compiled = compile_composition(pp.build_predator_prey("m"), pipeline="default<O2>")
     info = compiled.grid_searches[0]
     kernel = specialize_on_buffer(
         compiled.module.get_function(info.kernel_name), 0, compiled.layout.param_values

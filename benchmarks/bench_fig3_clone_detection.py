@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis import CloneDetector, functions_equivalent
 from repro.bench.harness import figure3_report
-from repro.core.distill import compile_model
+from repro.core.distill import compile_composition
 from repro.models import stroop
 
 
@@ -32,8 +32,8 @@ def test_extended_stroop_variants_equivalent():
     """
     import numpy as np
 
-    compiled_a = compile_model(stroop.build_extended_stroop("a", cycles=10), opt_level=3)
-    compiled_b = compile_model(stroop.build_extended_stroop("b", cycles=10), opt_level=3)
+    compiled_a = compile_composition(stroop.build_extended_stroop("a", cycles=10), pipeline="default<O3>")
+    compiled_b = compile_composition(stroop.build_extended_stroop("b", cycles=10), pipeline="default<O3>")
     detector = CloneDetector(opt_level=3)
 
     inputs = stroop.default_inputs("incongruent")

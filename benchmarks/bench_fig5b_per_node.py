@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench.harness import figure5b_report
-from repro.core.distill import compile_model
+from repro.core.distill import compile_composition
 from repro.models import stroop
 
 TRIALS = 10
@@ -12,7 +12,7 @@ INPUTS = stroop.default_inputs("incongruent")
 
 @pytest.fixture(scope="module")
 def compiled():
-    return compile_model(stroop.build_botvinick_stroop(cycles=100), opt_level=2)
+    return compile_composition(stroop.build_botvinick_stroop(cycles=100), pipeline="default<O2>")
 
 
 def bench_distill_whole_model(benchmark, compiled):

@@ -4,7 +4,7 @@ predator-prey grid search."""
 import pytest
 
 from repro.bench.harness import figure5c_report
-from repro.core.distill import compile_model
+from repro.core.distill import compile_composition
 from repro.models import predator_prey as pp
 
 INPUTS = pp.default_inputs(1)
@@ -13,7 +13,7 @@ LEVELS = 12  # 1728 evaluations per controller execution
 
 @pytest.fixture(scope="module")
 def compiled():
-    return compile_model(pp.build_predator_prey(levels_per_entity=LEVELS), opt_level=2)
+    return compile_composition(pp.build_predator_prey(levels_per_entity=LEVELS), pipeline="default<O2>")
 
 
 def bench_grid_serial(benchmark, compiled):

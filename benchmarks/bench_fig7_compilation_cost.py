@@ -1,15 +1,38 @@
-"""Figure 7 — compilation-cost and run-time breakdown at O0–O3."""
+"""Figure 7 — compilation-cost and run-time breakdown at O0–O3.
+
+Also measures the verification-policy win: the pass manager historically ran
+``verify_module`` after *every* pass (O(passes × module) on the hot compile
+path); the driver's default ``verify="boundary"`` policy checks the module
+only before the first and after the last pass.  ``bench_verify_policy``
+times both; the exact verifier call counts are pinned down by
+``tests/test_verify_policy.py`` (which runs in the tier-1 suite, unlike
+this file).
+"""
 
 import pytest
 
 from repro.bench.harness import figure7_report
-from repro.core.distill import compile_model
+from repro.core.distill import compile_composition
 from repro.models import predator_prey as pp
 
 
 @pytest.mark.parametrize("opt_level", [0, 2])
 def bench_compilation(benchmark, opt_level):
-    benchmark(lambda: compile_model(pp.build_predator_prey("m"), opt_level=opt_level))
+    benchmark(
+        lambda: compile_composition(
+            pp.build_predator_prey("m"), pipeline=f"default<O{opt_level}>"
+        )
+    )
+
+
+@pytest.mark.parametrize("policy", ["each", "boundary"])
+def bench_verify_policy(benchmark, policy):
+    """Compile time with per-pass vs boundary-only verification."""
+    benchmark(
+        lambda: compile_composition(
+            pp.build_predator_prey("m"), pipeline="default<O2>", verify=policy
+        )
+    )
 
 
 def test_figure7_report(print_report):

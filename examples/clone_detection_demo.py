@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.analysis import CloneDetector
 from repro.cogframe.functions import DriftDiffusionIntegrator, LeakyCompetingIntegrator
-from repro.core.distill import compile_model
+import repro
 from repro.core.specialize import emit_library_function
 from repro.ir import Module, print_function
 from repro.models.stroop import build_extended_stroop, default_inputs
@@ -58,8 +58,9 @@ def main() -> None:
     print("=> the LCA node can be replaced by the DDM's analytical solution.")
 
     print("\n=== 2. Extended Stroop A vs B (computational equivalence) ===")
-    compiled_a = compile_model(build_extended_stroop("a", cycles=25), opt_level=2)
-    compiled_b = compile_model(build_extended_stroop("b", cycles=25), opt_level=2)
+    session = repro.Session()
+    compiled_a = session.compile_model(build_extended_stroop("a", cycles=25))
+    compiled_b = session.compile_model(build_extended_stroop("b", cycles=25))
     inputs = default_inputs("incongruent")
     results_a = compiled_a.run(inputs, num_trials=2, seed=0)
     results_b = compiled_b.run(inputs, num_trials=2, seed=0)

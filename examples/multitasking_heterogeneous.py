@@ -12,8 +12,8 @@ import time
 
 import numpy as np
 
+import repro
 from repro.cogframe import ReferenceRunner
-from repro.core.distill import compile_model
 from repro.models.multitasking import (
     build_multitasking,
     build_pretrained_network,
@@ -28,9 +28,9 @@ def main() -> None:
     inputs = default_inputs(16)
     trials = 64
 
-    compiled = compile_model(model, opt_level=2)
+    engine = repro.compile(model, target="compiled", pipeline="default<O2>")
     start = time.perf_counter()
-    results = compiled.run(inputs, num_trials=trials, seed=3)
+    results = engine.run(inputs, num_trials=trials, seed=3)
     compiled_seconds = time.perf_counter() - start
 
     runner = ReferenceRunner(build_multitasking(max_cycles=150, network=network), seed=3)

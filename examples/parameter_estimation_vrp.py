@@ -16,14 +16,14 @@ import numpy as np
 
 from repro.analysis import Interval, MeshRefiner, ScalarEvolution, analyze_ranges
 from repro.bench.harness import empirical_attention_curve
-from repro.core.distill import compile_model
+import repro
 from repro.core.specialize import specialize_on_buffer
 from repro.models.predator_prey import build_predator_prey, default_inputs
 
 
 def main() -> None:
     model = build_predator_prey("m")
-    compiled = compile_model(model, opt_level=2)
+    compiled = repro.default_session().compile_model(model)
     info = compiled.grid_searches[0]
     kernel = specialize_on_buffer(
         compiled.module.get_function(info.kernel_name), 0, compiled.layout.param_values

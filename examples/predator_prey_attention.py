@@ -10,7 +10,7 @@ Run with:  python examples/predator_prey_attention.py [levels_per_entity]
 import sys
 import time
 
-from repro.core.distill import compile_model
+import repro
 from repro.models.predator_prey import build_predator_prey, default_inputs
 
 
@@ -21,11 +21,12 @@ def main() -> None:
 
     model = build_predator_prey(levels_per_entity=levels)
     inputs = default_inputs(3)
-    compiled = compile_model(model, opt_level=2)
-
+    # One compile, two targets: the session caches the artifacts and the
+    # backend registry provides a ready-to-run instance per engine.
     for engine in ("compiled", "gpu-sim"):
+        prepared = repro.compile(model, target=engine, pipeline="default<O2>")
         start = time.perf_counter()
-        results = compiled.run(inputs, num_trials=3, seed=0, engine=engine)
+        results = prepared.run(inputs, num_trials=3, seed=0)
         seconds = time.perf_counter() - start
         allocation = results.trials[0].outputs["control"]
         action = results.trials[0].outputs["action"]
@@ -36,7 +37,7 @@ def main() -> None:
             f"move = ({action[0]:+.2f}, {action[1]:+.2f})"
         )
 
-    info = compiled.grid_searches[0]
+    info = prepared.model.grid_searches[0]
     print(
         f"\ngrid-search region: kernel @{info.kernel_name}, {info.grid_size} points, "
         f"{info.counter_stride} PRNG counter ticks reserved per evaluation"

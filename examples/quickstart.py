@@ -16,8 +16,8 @@ from repro.cogframe import (
     ProcessingMechanism,
     ReferenceRunner,
 )
+import repro
 from repro.cogframe.functions import LeakyIntegrator, Linear, Logistic
-from repro.core.distill import compile_model
 
 
 def build_model(cycles: int = 50) -> Composition:
@@ -49,13 +49,20 @@ def main() -> None:
     reference_seconds = time.perf_counter() - start
 
     # 2. Distill: sanitize -> static structures -> IR -> optimise -> execute.
-    compiled = compile_model(model, opt_level=2)
+    #    repro.compile parses the textual pipeline, compiles through the
+    #    caching session and binds the artifacts to the requested engine.
+    engine = repro.compile(model, target="compiled", pipeline="default<O2>")
     start = time.perf_counter()
-    result = compiled.run(inputs, num_trials=trials, seed=0)
+    result = engine.run(inputs, num_trials=trials, seed=0)
     compiled_seconds = time.perf_counter() - start
 
+    # 3. Recompiling a structurally identical model is a cache hit.
+    repro.compile(build_model(), target="compiled", pipeline="default<O2>")
+    cache = repro.default_session().cache_info()
+
     print("=== quickstart ===")
-    print(f"IR instructions (after -O2): {compiled.stats.instructions_after}")
+    print(f"IR instructions (after -O2): {engine.model.stats.instructions_after}")
+    print(f"session cache    : {cache['hits']} hit(s), {cache['misses']} miss(es)")
     print(f"reference runner : {reference_seconds * 1e3:8.2f} ms for {trials} trials")
     print(f"Distill compiled : {compiled_seconds * 1e3:8.2f} ms for {trials} trials")
     print(f"speedup          : {reference_seconds / compiled_seconds:8.1f}x")

@@ -10,15 +10,15 @@ Run with:  python examples/stroop_conflict.py
 
 import numpy as np
 
+import repro
 from repro.cogframe import ReferenceRunner
-from repro.core.distill import compile_model
 from repro.models.stroop import build_botvinick_stroop, default_inputs
 
 
 def main() -> None:
     cycles = 100
     model = build_botvinick_stroop(cycles=cycles)
-    compiled = compile_model(model, opt_level=2)
+    compiled = repro.compile(model, target="compiled", pipeline="default<O2>")
 
     print("=== Botvinick Stroop: decision energy by condition ===")
     peaks = {}

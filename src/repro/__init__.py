@@ -1,6 +1,16 @@
 """repro — a reproduction of "Distill: Domain-Specific Compilation for Cognitive Models".
 
-The package is organised as follows (see DESIGN.md for the full inventory):
+Quickstart (see DESIGN.md for the full architecture)::
+
+    import repro
+    from repro.models import stroop
+
+    engine = repro.compile(
+        stroop.build_botvinick_stroop(), target="compiled", pipeline="default<O2>"
+    )
+    results = engine.run(stroop.default_inputs("incongruent"), num_trials=8)
+
+The package is organised as follows:
 
 * :mod:`repro.cogframe` — a PsyNeuLink-like cognitive-modelling substrate:
   mechanisms, projections, compositions, a condition-based scheduler, a
@@ -9,21 +19,54 @@ The package is organised as follows (see DESIGN.md for the full inventory):
   PyTorch, with a bridge that lowers its modules into the IR.
 * :mod:`repro.ir` — a typed SSA intermediate representation modelled on LLVM.
 * :mod:`repro.passes` — optimisation passes (mem2reg, constant propagation,
-  CSE, DCE, LICM, inlining, CFG simplification).
+  CSE, DCE, LICM, inlining, CFG simplification), each registered with the
+  driver's pass registry.
+* :mod:`repro.driver` — the compiler driver: the pass/alias registries,
+  textual pipeline parsing (:func:`parse_pipeline`), the pluggable
+  execution-engine registry and the caching :class:`Session` facade behind
+  :func:`repro.compile`.
 * :mod:`repro.analysis` — the paper's model analyses: floating-point value
   range propagation, floating-point scalar evolution, adaptive mesh
   refinement and clone detection.
 * :mod:`repro.core` — the Distill compiler itself: type/shape extraction,
   static data-structure conversion, per-node and whole-model code generation,
-  and the public :func:`repro.core.distill.compile_model` API.
+  and :func:`repro.core.distill.compile_composition`.
 * :mod:`repro.backends` — execution engines: IR interpreter, compiled
-  Python/NumPy backend, multicore backend and the SIMT GPU simulator.
+  Python/NumPy backend, multicore backend and the SIMT GPU simulator; each
+  self-registers with the driver's backend registry.
 * :mod:`repro.models` — the evaluated cognitive models (Necker cube,
   Predator-Prey, Botvinick Stroop, Extended Stroop, Multitasking).
 * :mod:`repro.bench` — the benchmark harness regenerating the paper's
-  figures.
+  figures through a shared compilation session.
 """
 
-__version__ = "1.0.0"
+from .driver.engines import (
+    EngineCapabilities,
+    ExecutionEngine,
+    engine_capabilities,
+    list_engines,
+    register_engine,
+)
+from .driver.pipeline import PipelineParseError, parse_pipeline
+from .driver.registry import list_passes, register_pass, register_pipeline_alias
+from .driver.session import Session, compile, default_session, structural_fingerprint
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "compile",
+    "Session",
+    "default_session",
+    "structural_fingerprint",
+    "parse_pipeline",
+    "PipelineParseError",
+    "list_passes",
+    "register_pass",
+    "register_pipeline_alias",
+    "list_engines",
+    "engine_capabilities",
+    "register_engine",
+    "ExecutionEngine",
+    "EngineCapabilities",
+]

@@ -48,7 +48,7 @@ from ..ir.instructions import (
 from ..ir.module import Function, Module
 from ..ir.values import Argument, Constant, UndefValue, Value
 from ..passes.cloning import clone_function
-from ..passes.pass_manager import standard_pipeline
+from ..passes.pass_manager import build_standard_pipeline
 
 
 @dataclass
@@ -236,7 +236,7 @@ class CloneDetector:
         left_clone = self._specialise(scratch, left, "left", left_bindings)
         right_clone = self._specialise(scratch, right, "right", right_bindings)
         if normalize:
-            standard_pipeline(self.opt_level).run(scratch)
+            build_standard_pipeline(self.opt_level).run(scratch)
             if self.fast_math:
                 from ..passes.constprop import ConstantPropagation
                 from ..passes.dce import DeadCodeElimination
@@ -311,7 +311,7 @@ def modules_equivalent(
         # Clone callees lazily: aggressive inlining resolves calls against the
         # original callee objects, so inlining works without re-cloning them.
         Inliner(aggressive=True).run(scratch)
-        standard_pipeline(opt_level).run(scratch)
+        build_standard_pipeline(opt_level).run(scratch)
         return cloned_entry
 
     left_entry = prepare(left)

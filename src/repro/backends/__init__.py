@@ -13,9 +13,14 @@ pointers, counter-based PRNG intrinsics) defined in
   across processes/threads.
 * :mod:`repro.backends.gpu_sim` — SIMT execution simulator with an
   occupancy/latency model (stands in for the NVPTX/CUDA path).
+
+Each backend module registers an :class:`repro.driver.ExecutionEngine` with
+the driver's backend registry (``compiled``, ``per-node``, ``ir-interp``,
+``mcpu``, ``gpu-sim``); ``repro.list_engines()`` enumerates them and
+``repro.compile(model, target=...)`` dispatches through the registry.
 """
 
 from . import runtime
-from .interp import Interpreter, run_function
+from .interp import Interpreter, IRInterpreterEngine, run_function
 
-__all__ = ["runtime", "Interpreter", "run_function"]
+__all__ = ["runtime", "Interpreter", "IRInterpreterEngine", "run_function"]

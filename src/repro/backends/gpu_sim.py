@@ -374,3 +374,35 @@ def run_gpu_sim(compiled, buffers, num_trials: int) -> None:
         compiled._run_whole_compiled(buffers, num_trials)
         return
     run_with_grid_driver(compiled, buffers, num_trials, _vectorized_grid_evaluator)
+
+
+# ---------------------------------------------------------------------------
+# Engine registration (see repro.driver.engines)
+# ---------------------------------------------------------------------------
+
+from ..driver.engines import EngineCapabilities, EngineInstance, register_engine  # noqa: E402
+
+
+class _GpuSimInstance(EngineInstance):
+    def execute(self, buffers, num_trials, **options):
+        run_gpu_sim(self.model, buffers, num_trials)
+
+
+@register_engine
+class GpuSimEngine:
+    """Data-parallel SIMT simulation of the evaluation kernel (``gpu-sim``)."""
+
+    name = "gpu-sim"
+
+    def capabilities(self) -> EngineCapabilities:
+        return EngineCapabilities(
+            name=self.name,
+            description=(
+                "data-parallel SIMT simulation of the grid-search kernel with an "
+                "analytical occupancy model (DISTILL-GPU, Figures 5c and 6)"
+            ),
+            parallel=True,
+        )
+
+    def prepare(self, model) -> EngineInstance:
+        return _GpuSimInstance(self.name, model)

@@ -238,3 +238,37 @@ class Interpreter:
 def run_function(module: Module, name: str, args: Sequence[object], max_steps: int = 200_000_000):
     """One-shot convenience wrapper: interpret ``module.name(args)``."""
     return Interpreter(module, max_steps=max_steps).call(name, args)
+
+
+# ---------------------------------------------------------------------------
+# Engine registration (see repro.driver.engines)
+# ---------------------------------------------------------------------------
+
+from ..driver.engines import EngineCapabilities, EngineInstance, register_engine  # noqa: E402
+
+
+class _InterpreterInstance(EngineInstance):
+    def execute(self, buffers, num_trials, **options):
+        self.model._run_whole_interp(buffers, num_trials)
+
+
+@register_engine
+class IRInterpreterEngine:
+    """The per-instruction interpreter as an execution engine (``ir-interp``)."""
+
+    name = "ir-interp"
+
+    def capabilities(self) -> EngineCapabilities:
+        return EngineCapabilities(
+            name=self.name,
+            description=(
+                "per-instruction IR interpreter: the semantic reference and the "
+                "generic-JIT baseline stand-in (PyPy/Pyston role in Figure 4)"
+            ),
+            parallel=False,
+            supports_workers=False,
+            compiled=False,
+        )
+
+    def prepare(self, model) -> EngineInstance:
+        return _InterpreterInstance(self.name, model)

@@ -161,3 +161,36 @@ def run_multicore(compiled, buffers, num_trials: int, workers: Optional[int] = N
                 cm, info, params, true_input, key, base
             ),
         )
+
+
+# ---------------------------------------------------------------------------
+# Engine registration (see repro.driver.engines)
+# ---------------------------------------------------------------------------
+
+from ..driver.engines import EngineCapabilities, EngineInstance, register_engine  # noqa: E402
+
+
+class _MulticoreInstance(EngineInstance):
+    def execute(self, buffers, num_trials, **options):
+        run_multicore(self.model, buffers, num_trials, workers=options.get("workers"))
+
+
+@register_engine
+class MulticoreEngine:
+    """Grid-search evaluation partitioned over worker processes (``mcpu``)."""
+
+    name = "mcpu"
+
+    def capabilities(self) -> EngineCapabilities:
+        return EngineCapabilities(
+            name=self.name,
+            description=(
+                "grid-search regions partitioned across worker processes "
+                "(DISTILL-mCPU, Figure 5c); identical results to serial execution"
+            ),
+            parallel=True,
+            supports_workers=True,
+        )
+
+    def prepare(self, model) -> EngineInstance:
+        return _MulticoreInstance(self.name, model)

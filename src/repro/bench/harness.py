@@ -8,6 +8,11 @@ instead of the paper's i7-8700 + GTX 1060), so every report also records the
 paper's reference numbers where applicable; EXPERIMENTS.md discusses the
 comparison.  The ``benchmarks/`` directory wraps these reports in
 pytest-benchmark entry points.
+
+All reports compile through one shared :class:`repro.Session`
+(:data:`SESSION`), so a model that several figures rebuild (e.g. the medium
+predator-prey variant) is compiled once per pipeline and reused — see
+DESIGN.md, "Sessions and caching".
 """
 
 from __future__ import annotations
@@ -21,11 +26,17 @@ import numpy as np
 from ..analysis import CloneDetector, Interval, MeshRefiner
 from ..cogframe import ReferenceRunner
 from ..cogframe.functions import DriftDiffusionIntegrator, LeakyCompetingIntegrator
-from ..core.distill import CompiledModel, compile_model
+from ..core.distill import CompiledModel, compile_composition
 from ..core.specialize import emit_library_function, specialize_on_buffer
 from ..backends.gpu_sim import GpuOccupancyModel
 from ..models import FIGURE4_MODELS, get_model, predator_prey_variant
 from ..models import predator_prey as pp_model
+from ..driver.session import Session
+
+
+#: Shared compilation session: structurally identical models rebuilt by
+#: different figures hit the artifact cache instead of recompiling.
+SESSION = Session()
 
 
 @dataclass
@@ -122,7 +133,7 @@ def figure4_report(
         if "reference" in engines:
             runner = ReferenceRunner(entry.build(), seed=0)
             timings["reference"] = _time_call(lambda: runner.run(inputs, num_trials=trials))
-        compiled = compile_model(composition, opt_level=2)
+        compiled = SESSION.compile_model(composition)
         for engine in engines:
             if engine == "reference":
                 continue
@@ -187,7 +198,7 @@ def figure5a_report(
             runner = ReferenceRunner(entry.build(), seed=0)
             reference_time = _time_call(lambda: runner.run(inputs, num_trials=1))
             per_eval_seconds = reference_time / evaluations
-        compiled = compile_model(composition, opt_level=2)
+        compiled = SESSION.compile_model(composition)
         compiled_time = _time_call(
             lambda: compiled.run(inputs, num_trials=1, seed=0, engine="compiled")
         )
@@ -206,7 +217,7 @@ def figure5a_report(
         estimated_reference = (
             per_eval_seconds * evaluations if per_eval_seconds is not None else float("nan")
         )
-        compiled = compile_model(composition, opt_level=2)
+        compiled = SESSION.compile_model(composition)
         compiled_time = _time_call(
             lambda: compiled.run(inputs, num_trials=1, seed=0, engine="gpu-sim")
         )
@@ -247,7 +258,7 @@ def figure5b_report(cycles: int = 100, trials: int = 20) -> FigureReport:
 
     runner = ReferenceRunner(build(), seed=0)
     reference = _time_call(lambda: runner.run(inputs, num_trials=trials))
-    compiled = compile_model(build(), opt_level=2)
+    compiled = SESSION.compile_model(build())
     per_node = _time_call(
         lambda: compiled.run(inputs, num_trials=trials, seed=0, engine="per-node")
     )
@@ -281,7 +292,7 @@ def figure5c_report(levels_per_entity: int = 20, workers: int = 2) -> FigureRepo
     )
     composition = pp_model.build_predator_prey(levels_per_entity=levels_per_entity)
     inputs = pp_model.default_inputs(1)
-    compiled = compile_model(composition, opt_level=2)
+    compiled = SESSION.compile_model(composition)
 
     serial = _time_call(lambda: compiled.run(inputs, num_trials=1, seed=0, engine="compiled"))
     mcpu = _time_call(
@@ -317,7 +328,7 @@ def figure6_report(grid_size: int = 1_000_000) -> FigureReport:
     """Occupancy and runtime under register caps (paper Figure 6)."""
     report = FigureReport("Figure 6", "GPU register throttling (analytical occupancy model)")
     composition = pp_model.build_predator_prey("m")
-    compiled = compile_model(composition, opt_level=2)
+    compiled = SESSION.compile_model(composition)
     info = compiled.grid_searches[0]
     model = GpuOccupancyModel(
         private_bytes_per_thread=18_500.0,
@@ -359,7 +370,9 @@ def figure7_report(trials: int = 4) -> FigureReport:
     baseline = None
     for label, build, inputs, num_trials in cases:
         for opt_level in (0, 1, 2, 3):
-            compiled = compile_model(build(), opt_level=opt_level)
+            # Figure 7 measures compilation cost itself, so it must bypass the
+            # session cache: a memoized model would replay stale stats.
+            compiled = compile_composition(build(), pipeline=f"default<O{opt_level}>")
             result = compiled.run(inputs, num_trials=num_trials, seed=0, engine="compiled")
             total = (
                 result.breakdown["input_construction"]
@@ -438,7 +451,7 @@ def figure2_report(grid_levels: int = 100, samples_per_level: int = 1000) -> Fig
         "Figure 2", "Finding the best prey attention: compiler analysis vs grid search"
     )
     composition = pp_model.build_predator_prey("m")
-    compiled = compile_model(composition, opt_level=2)
+    compiled = SESSION.compile_model(composition)
     info = compiled.grid_searches[0]
     kernel = compiled.module.get_function(info.kernel_name)
     specialised = specialize_on_buffer(kernel, 0, compiled.layout.param_values)

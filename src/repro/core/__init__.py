@@ -10,11 +10,12 @@
 """
 
 from .codegen import CompiledArtifacts, GridSearchInfo, generate_model_ir
-from .distill import ENGINES, CompiledModel, CompileStats, compile_model
+from .distill import ENGINES, CompiledModel, CompileStats, compile_composition, compile_model
 from .reservoir import merge_chunk_minima, reservoir_argmin
 from .structs import StaticLayout, build_layout
 
 __all__ = [
+    "compile_composition",
     "compile_model",
     "CompiledModel",
     "CompileStats",

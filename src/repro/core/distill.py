@@ -1,13 +1,18 @@
-"""Distill's public API: compile a composition and run it on any engine.
+"""Distill's compilation core: lower a composition to IR and run it.
 
-Typical usage::
+Typical usage goes through the driver facade (see DESIGN.md)::
 
-    from repro.core import distill
+    import repro
     from repro.models.predator_prey import build_predator_prey, default_inputs
 
     model = build_predator_prey("m")
-    compiled = distill.compile_model(model, opt_level=2)
-    results = compiled.run(default_inputs(4), num_trials=16)
+    engine = repro.compile(model, target="compiled", pipeline="default<O2>")
+    results = engine.run(default_inputs(4), num_trials=16)
+
+This module holds the actual compilation stages
+(:func:`compile_composition`) and the :class:`CompiledModel` artifact
+bundle.  :func:`compile_model` remains as a deprecated shim over
+:func:`compile_composition`.
 
 The compiled model exposes the same result structure as the interpretive
 reference runner, so downstream analysis code does not care which engine
@@ -17,8 +22,9 @@ produced the numbers (paper design principle 1: no model changes).
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -29,13 +35,14 @@ from ..cogframe.composition import Composition
 from ..cogframe.mechanisms import GridSearchControlMechanism
 from ..cogframe.runner import RunResults, TrialResult, normalize_inputs
 from ..cogframe.sanitize import SanitizationInfo, sanitize
-from ..errors import CompilationError, EngineError
-from ..ir.verifier import verify_module
-from ..passes.pass_manager import standard_pipeline
+from ..driver.engines import get_engine
+from ..driver.pipeline import resolve_pipeline
+from ..passes.pass_manager import PassManager
 from .codegen import CompiledArtifacts, generate_model_ir
 from .structs import StaticLayout, build_layout
 
-#: Engines accepted by :meth:`CompiledModel.run`.
+#: Deprecated: the built-in engine names.  Backends now self-register with
+#: :mod:`repro.driver.engines`; use :func:`repro.list_engines` instead.
 ENGINES = ("compiled", "ir-interp", "per-node", "mcpu", "gpu-sim")
 
 
@@ -71,16 +78,21 @@ class CompiledModel:
         info: SanitizationInfo,
         layout: StaticLayout,
         artifacts: CompiledArtifacts,
-        opt_level: int,
         stats: CompileStats,
         compiled_functions: Dict[str, object],
+        pipeline: Optional[PassManager] = None,
+        opt_level: Optional[int] = None,
+        flags: Optional[Dict[str, object]] = None,
     ):
         self.composition = composition
         self.info = info
         self.layout = layout
         self.artifacts = artifacts
         self.module = artifacts.module
+        self.pipeline = pipeline
+        self.pipeline_text = pipeline.describe() if pipeline is not None else ""
         self.opt_level = opt_level
+        self.flags = dict(flags or {})
         self.stats = stats
         self._compiled = compiled_functions
 
@@ -167,42 +179,16 @@ class CompiledModel:
           processes (DISTILL-mCPU, Figure 5c);
         * ``"gpu-sim"``    — data-parallel SIMT simulation of the evaluation
           kernel (DISTILL-GPU, Figures 5c and 6).
+
+        Engines are resolved through the driver's backend registry
+        (:mod:`repro.driver.engines`), so backends registered by user code
+        are accepted as well; :func:`repro.list_engines` enumerates them.
         """
-        if engine not in ENGINES:
-            raise EngineError(f"unknown engine {engine!r}; choose one of {ENGINES}")
-        input_sets = normalize_inputs(self.composition, inputs)
-        if num_trials is None:
-            num_trials = len(input_sets)
-
-        breakdown: Dict[str, float] = {}
-        start = time.perf_counter()
-        buffers = self.allocate_buffers(inputs, num_trials, seed)
-        breakdown["input_construction"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        if engine == "compiled":
-            self._run_whole_compiled(buffers, num_trials)
-        elif engine == "ir-interp":
-            self._run_whole_interp(buffers, num_trials)
-        elif engine == "per-node":
-            self._run_per_node(buffers, num_trials)
-        elif engine == "mcpu":
-            from ..backends.multicore import run_multicore
-
-            run_multicore(self, buffers, num_trials, workers=workers)
-        else:  # gpu-sim
-            from ..backends.gpu_sim import run_gpu_sim
-
-            run_gpu_sim(self, buffers, num_trials)
-        breakdown["execution"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        results = self._collect_results(buffers, num_trials, engine)
-        breakdown["output_extraction"] = time.perf_counter() - start
-        breakdown["compilation"] = self.stats.total_seconds
-        results.wall_seconds = breakdown["execution"]
-        results.breakdown = breakdown
-        return results
+        instance = get_engine(engine).prepare(self)
+        options: Dict[str, object] = {}
+        if workers is not None:
+            options["workers"] = workers
+        return instance.run(inputs, num_trials=num_trials, seed=seed, **options)
 
     # -- engine implementations --------------------------------------------------------------
     def _model_args(self, buffers, num_trials: int):
@@ -308,19 +294,36 @@ class CompiledModel:
         }
 
 
-def compile_model(
+def compile_composition(
     composition: Composition,
-    opt_level: int = 2,
+    pipeline: Union[str, PassManager] = "default<O2>",
     seed: int = 0,
-    verify: bool = True,
+    verify: Union[str, bool, None] = None,
+    flags: Optional[Dict[str, object]] = None,
+    opt_level: Optional[int] = None,
 ) -> CompiledModel:
     """Compile ``composition`` with Distill.
 
     The stages mirror the paper: sanitization-run mining (types and shapes),
     static data-structure conversion, IR generation for every node and the
-    scheduler, standard optimisation passes at ``opt_level`` and lowering to
-    the execution engine.
+    scheduler, the optimisation ``pipeline`` (a textual description such as
+    ``"default<O2>,licm"`` or a prebuilt :class:`PassManager`) and lowering
+    to the execution engines.
+
+    ``verify`` is the module-verification policy (``"each"``, ``"boundary"``
+    or ``"off"``; legacy booleans accepted).  With the default ``None``, a
+    textual pipeline gets ``"boundary"`` (verify once after IR generation
+    and once after the last pass, not after every pass) and a prebuilt
+    :class:`PassManager` keeps its own policy.  An explicit policy always
+    wins; a caller-supplied manager is then rewrapped rather than mutated.
+
+    ``flags`` is an optional mapping of auxiliary compilation options; it is
+    recorded on the returned model and participates in
+    :class:`repro.Session` cache keys.  ``opt_level`` is informational (set
+    by the deprecated :func:`compile_model` shim).
     """
+    pipeline = resolve_pipeline(pipeline, verify=verify)
+
     stats = CompileStats()
 
     start = time.perf_counter()
@@ -335,13 +338,12 @@ def compile_model(
     artifacts = generate_model_ir(composition, info, layout)
     stats.codegen_seconds = time.perf_counter() - start
     stats.instructions_before = artifacts.module.instruction_count()
-    if verify:
-        verify_module(artifacts.module)
 
+    # The pass manager verifies at the policy's boundaries: the freshly
+    # generated module is checked before the first pass runs, and the
+    # optimised module after the last one.
     start = time.perf_counter()
-    standard_pipeline(opt_level, verify=False).run(artifacts.module)
-    if verify:
-        verify_module(artifacts.module)
+    pipeline.run(artifacts.module)
     stats.optimize_seconds = time.perf_counter() - start
     stats.instructions_after = artifacts.module.instruction_count()
 
@@ -349,4 +351,42 @@ def compile_model(
     compiled_functions = PythonCodeGenerator(artifacts.module).compile()
     stats.lower_seconds = time.perf_counter() - start
 
-    return CompiledModel(composition, info, layout, artifacts, opt_level, stats, compiled_functions)
+    return CompiledModel(
+        composition,
+        info,
+        layout,
+        artifacts,
+        stats,
+        compiled_functions,
+        pipeline=pipeline,
+        opt_level=opt_level,
+        flags=flags,
+    )
+
+
+def compile_model(
+    composition: Composition,
+    opt_level: int = 2,
+    seed: int = 0,
+    verify: bool = True,
+) -> CompiledModel:
+    """Deprecated: use :func:`repro.compile` / :meth:`repro.Session.compile`
+    (or :func:`compile_composition` for the low-level path) instead.
+
+    Kept as a thin shim so pre-driver call sites continue to work; it maps
+    ``opt_level`` onto the ``default<Ok>`` pipeline alias.
+    """
+    warnings.warn(
+        "repro.core.distill.compile_model() is deprecated; use repro.compile()"
+        " or repro.Session.compile() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    level = max(0, min(int(opt_level), 3))
+    return compile_composition(
+        composition,
+        pipeline=f"default<O{level}>",
+        seed=seed,
+        verify="boundary" if verify else "off",
+        opt_level=opt_level,
+    )

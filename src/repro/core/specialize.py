@@ -39,7 +39,7 @@ from ..ir import (
 )
 from ..ir.instructions import GEP, Load
 from ..passes.cloning import clone_function
-from ..passes.pass_manager import standard_pipeline
+from ..passes.pass_manager import build_standard_pipeline
 
 
 class _StandaloneEmitContext(EmitContext):
@@ -198,6 +198,6 @@ def specialize_on_buffer(
             instr.replace_all_uses_with(const_float(float(buffer_values[offset])))
             instr.erase()
             replaced += 1
-    standard_pipeline(opt_level, verify=False).run(scratch)
+    build_standard_pipeline(opt_level, verify="off").run(scratch)
     target.attributes["specialised_loads"] = replaced
     return target

@@ -1,0 +1,88 @@
+"""repro.driver — the unified compiler-driver layer.
+
+This package is the extensibility seam of the reproduction (see DESIGN.md,
+"Driver architecture"), modelled on LLVM's new-pass-manager idiom that the
+source paper builds on:
+
+* :mod:`repro.driver.registry` — the pass registry (``@register_pass``) and
+  the pipeline-alias registry (``@register_pipeline_alias``).
+* :mod:`repro.driver.pipeline` — ``parse_pipeline``: textual pipeline
+  descriptions ("default<O2>,licm,cse(iterations=2)") compiled into a
+  :class:`repro.passes.PassManager`.
+* :mod:`repro.driver.engines` — the :class:`ExecutionEngine` protocol and the
+  backend registry replacing the old hard-coded ``ENGINES`` tuple.
+* :mod:`repro.driver.session` — the caching :class:`Session` facade and the
+  top-level :func:`repro.compile` entry point.
+
+Submodules are loaded lazily so that low-level modules (``repro.passes.*``,
+``repro.backends.*``) can import their registries from here without creating
+an import cycle through this package's public surface.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING
+
+_LAZY_EXPORTS = {
+    "register_pass": "registry",
+    "register_pipeline_alias": "registry",
+    "create_pass": "registry",
+    "list_passes": "registry",
+    "list_pipeline_aliases": "registry",
+    "parse_pipeline": "pipeline",
+    "PipelineParseError": "pipeline",
+    "ExecutionEngine": "engines",
+    "EngineCapabilities": "engines",
+    "EngineInstance": "engines",
+    "register_engine": "engines",
+    "get_engine": "engines",
+    "list_engines": "engines",
+    "engine_capabilities": "engines",
+    "Session": "session",
+    "default_session": "session",
+    "compile": "session",
+    "structural_fingerprint": "session",
+}
+
+__all__ = sorted(_LAZY_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .engines import (  # noqa: F401
+        EngineCapabilities,
+        EngineInstance,
+        ExecutionEngine,
+        engine_capabilities,
+        get_engine,
+        list_engines,
+        register_engine,
+    )
+    from .pipeline import PipelineParseError, parse_pipeline  # noqa: F401
+    from .registry import (  # noqa: F401
+        create_pass,
+        list_passes,
+        list_pipeline_aliases,
+        register_pass,
+        register_pipeline_alias,
+    )
+    from .session import (  # noqa: F401
+        Session,
+        compile,
+        default_session,
+        structural_fingerprint,
+    )
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,167 @@
+"""The execution-engine protocol and the pluggable backend registry.
+
+This replaces the hard-coded ``ENGINES`` tuple and the if/elif dispatch that
+used to live inside ``CompiledModel.run``.  Each backend module registers an
+:class:`ExecutionEngine` under its engine name::
+
+    @register_engine
+    class GpuSimEngine:
+        name = "gpu-sim"
+        def capabilities(self): ...
+        def prepare(self, model): ...
+
+``prepare`` binds the engine to one compiled model's artifacts/layout and
+returns an :class:`EngineInstance` whose ``run(inputs, num_trials)`` executes
+trials and collects :class:`RunResults`.  The shared buffer-allocation /
+result-extraction choreography lives in the :class:`EngineInstance` base
+class; engines only implement :meth:`EngineInstance.execute`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+from typing import Protocol, runtime_checkable
+
+from ..cogframe.runner import RunResults, normalize_inputs
+from ..errors import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.distill import CompiledModel
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """Static description of what an engine can do (for schedulers/UIs)."""
+
+    name: str
+    description: str
+    #: Executes evaluations in parallel (processes, threads or SIMT lanes).
+    parallel: bool = False
+    #: Honours the ``workers=N`` run option.
+    supports_workers: bool = False
+    #: Runs lowered Python code rather than interpreting IR.
+    compiled: bool = True
+
+
+class EngineInstance:
+    """An engine bound to one compiled model, ready to run trials.
+
+    Subclasses implement :meth:`execute`; the base class owns the
+    buffer-allocation / execution / result-extraction choreography (and its
+    timing breakdown, which feeds the Figure 7 analysis).
+    """
+
+    def __init__(self, engine_name: str, model: "CompiledModel"):
+        self.engine_name = engine_name
+        self.model = model
+
+    def run(
+        self,
+        inputs: Sequence,
+        num_trials: Optional[int] = None,
+        seed: int = 0,
+        **options,
+    ) -> RunResults:
+        """Execute ``num_trials`` trials and collect the results."""
+        model = self.model
+        input_sets = normalize_inputs(model.composition, inputs)
+        if num_trials is None:
+            num_trials = len(input_sets)
+
+        breakdown: Dict[str, float] = {}
+        start = time.perf_counter()
+        buffers = model.allocate_buffers(inputs, num_trials, seed)
+        breakdown["input_construction"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        self.execute(buffers, num_trials, **options)
+        breakdown["execution"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        results = model._collect_results(buffers, num_trials, self.engine_name)
+        breakdown["output_extraction"] = time.perf_counter() - start
+        breakdown["compilation"] = model.stats.total_seconds
+        results.wall_seconds = breakdown["execution"]
+        results.breakdown = breakdown
+        return results
+
+    def execute(self, buffers: Dict[str, object], num_trials: int, **options) -> None:
+        raise NotImplementedError
+
+
+@runtime_checkable
+class ExecutionEngine(Protocol):
+    """What a pluggable backend must provide to join the registry."""
+
+    name: str
+
+    def capabilities(self) -> EngineCapabilities:  # pragma: no cover - protocol
+        ...
+
+    def prepare(self, model: "CompiledModel") -> EngineInstance:  # pragma: no cover
+        ...
+
+
+#: engine name -> registered engine (a singleton instance per engine class).
+_ENGINE_REGISTRY: Dict[str, "ExecutionEngine"] = {}
+
+#: Backend modules whose import registers the built-in engines.
+_BUILTIN_BACKEND_MODULES = (
+    "repro.backends.interp",
+    "repro.backends.pycodegen",
+    "repro.backends.multicore",
+    "repro.backends.gpu_sim",
+)
+
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        for module in _BUILTIN_BACKEND_MODULES:
+            importlib.import_module(module)
+        # Only mark loaded on success so a transient import failure is
+        # retried (and re-raised) instead of leaving the registry empty.
+        _BUILTINS_LOADED = True
+
+
+def register_engine(engine_cls):
+    """Class decorator: instantiate and register an engine under ``cls.name``."""
+    name = getattr(engine_cls, "name", None)
+    if not name:
+        raise ValueError(f"engine class {engine_cls!r} needs a non-empty 'name' attribute")
+    existing = _ENGINE_REGISTRY.get(name)
+    if existing is not None and type(existing) is not engine_cls:
+        raise ValueError(
+            f"engine name {name!r} is already registered to {type(existing).__name__}"
+        )
+    _ENGINE_REGISTRY[name] = engine_cls()
+    return engine_cls
+
+
+def get_engine(name: str) -> "ExecutionEngine":
+    """Look up a registered engine; raises :class:`EngineError` when unknown."""
+    _ensure_builtins()
+    engine = _ENGINE_REGISTRY.get(name)
+    if engine is None:
+        raise EngineError(
+            f"unknown engine {name!r}; choose one of {list_engines()}"
+        )
+    return engine
+
+
+def list_engines() -> Tuple[str, ...]:
+    """Names of every registered execution engine, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_ENGINE_REGISTRY))
+
+
+def engine_capabilities() -> Dict[str, EngineCapabilities]:
+    """Capability descriptions for every registered engine."""
+    _ensure_builtins()
+    return {name: engine.capabilities() for name, engine in sorted(_ENGINE_REGISTRY.items())}

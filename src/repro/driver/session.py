@@ -1,0 +1,319 @@
+"""The caching :class:`Session` facade and the top-level ``repro.compile``.
+
+A :class:`Session` memoizes compiled artifacts keyed on the *structure* of a
+composition (not its object identity), the canonical pipeline text, the
+sanitization seed, the verification policy and any auxiliary compile flags.
+Grid searches, parameter sweeps and the benchmark harness routinely rebuild
+structurally identical models; with a session they compile once::
+
+    import repro
+    from repro.models import stroop
+
+    engine = repro.compile(stroop.build_botvinick_stroop(), target="gpu-sim")
+    results = engine.run(stroop.default_inputs("incongruent"), num_trials=8)
+
+``repro.compile`` uses a process-wide default session; construct your own
+:class:`Session` for isolated caches (e.g. per experiment).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..cogframe.composition import Composition
+from ..passes.pass_manager import (
+    FixpointPass,
+    PassManager,
+    RepeatPass,
+    coerce_verify_policy,
+)
+from .engines import EngineInstance, get_engine
+from .pipeline import resolve_pipeline
+
+__all__ = ["Session", "compile", "default_session", "structural_fingerprint"]
+
+
+# ---------------------------------------------------------------------------
+# Structural fingerprinting
+# ---------------------------------------------------------------------------
+
+
+def _canonical(value) -> object:
+    """Reduce an arbitrary model attribute to a hashable canonical form."""
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.shape, tuple(np.asarray(value, dtype=float).ravel().tolist()))
+    if isinstance(value, (np.floating, np.integer)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(repr(_canonical(v)) for v in value)))
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _canonical(v)) for k, v in value.items()))
+    return value
+
+
+def _function_key(function) -> Tuple:
+    return (
+        type(function).__name__,
+        _canonical(getattr(function, "params", {})),
+    )
+
+
+def _condition_key(condition) -> Tuple:
+    """Recursively serialise a scheduling condition."""
+    from ..cogframe.conditions import Condition
+    from ..cogframe.mechanisms import Mechanism
+
+    parts = []
+    for key, value in sorted(vars(condition).items()):
+        if isinstance(value, Condition):
+            parts.append((key, _condition_key(value)))
+        elif isinstance(value, (list, tuple)) and any(isinstance(v, Condition) for v in value):
+            parts.append((key, tuple(_condition_key(v) for v in value)))
+        elif isinstance(value, Mechanism):
+            parts.append((key, ("node", value.name)))
+        else:
+            parts.append((key, _canonical(value)))
+    return (type(condition).__name__, tuple(parts))
+
+
+def _mechanism_key(mechanism) -> Tuple:
+    from ..cogframe.mechanisms import GridSearchControlMechanism
+
+    key = [
+        type(mechanism).__name__,
+        mechanism.name,
+        tuple((port.name, int(port.size)) for port in mechanism.input_ports),
+        _function_key(mechanism.function),
+    ]
+    if isinstance(mechanism, GridSearchControlMechanism):
+        key.append(_canonical(mechanism.levels))
+        key.append(mechanism.objective_step)
+        key.append(
+            tuple(
+                (_mechanism_key(step.mechanism), _canonical(step.sources))
+                for step in mechanism.steps
+            )
+        )
+    return tuple(key)
+
+
+def structural_fingerprint(composition: Composition) -> str:
+    """A hex digest identifying a composition's structure.
+
+    Two compositions built by the same code path (same nodes, functions,
+    parameters, projections, conditions and scheduling limits) produce the
+    same fingerprint even though they are distinct objects — this is what
+    lets :class:`Session` reuse compiled artifacts across rebuilds.
+    """
+    key = (
+        composition.name,
+        tuple(_mechanism_key(m) for _, m in sorted(composition.mechanisms.items())),
+        tuple(
+            (
+                p.sender.name,
+                p.receiver.name,
+                p.port,
+                _canonical(p.matrix),
+                _canonical(p.sender_slice),
+            )
+            for p in composition.projections
+        ),
+        tuple(sorted((name, _condition_key(c)) for name, c in composition.conditions.items())),
+        _condition_key(composition.termination),
+        int(composition.max_passes),
+        tuple(composition.input_nodes),
+        tuple(composition.output_nodes),
+        tuple(composition.monitored_nodes),
+    )
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Session
+# ---------------------------------------------------------------------------
+
+
+def _freeze_flags(flags: Optional[Dict[str, object]]) -> Tuple:
+    if not flags:
+        return ()
+    return tuple(sorted((str(k), _canonical(v)) for k, v in flags.items()))
+
+
+def _pass_struct(pass_) -> object:
+    """Structural identity of a pass for cache keying.
+
+    ``PassManager.describe()`` alone is not sufficient: a hand-built pass
+    that never went through the registry has no ``pipeline_repr`` and would
+    describe as its bare name, collapsing differently-parameterised
+    pipelines onto one key.  This walks the actual objects instead.
+    """
+    if isinstance(pass_, PassManager):
+        return ("pipeline", tuple(_pass_struct(p) for p in pass_.passes))
+    if isinstance(pass_, RepeatPass):
+        return ("repeat", pass_.iterations, _pass_struct(pass_.inner))
+    if isinstance(pass_, FixpointPass):
+        return ("fixpoint", pass_.max_iterations, _pass_struct(pass_.inner))
+    attrs = tuple(
+        sorted(
+            (key, repr(_canonical(value)))
+            for key, value in vars(pass_).items()
+            if key != "pipeline_repr" and not key.startswith("_") and not callable(value)
+        )
+    )
+    return (type(pass_).__module__, type(pass_).__qualname__, attrs)
+
+
+def _pipeline_fingerprint(pipeline: PassManager) -> str:
+    return repr(_pass_struct(pipeline))
+
+
+class Session:
+    """A compilation session with artifact memoization.
+
+    ``compile_model`` returns the cached :class:`CompiledModel` for a
+    structurally identical request; ``compile`` additionally binds the model
+    to a target engine from the backend registry and returns a ready-to-run
+    :class:`EngineInstance`.  Both are thread-safe.
+    """
+
+    def __init__(self, verify: Union[str, bool] = "boundary"):
+        self.default_verify = coerce_verify_policy(verify)
+        self._lock = threading.RLock()
+        self._models: Dict[Tuple, object] = {}
+        self._instances: Dict[Tuple, EngineInstance] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- compilation -------------------------------------------------------------
+    def _model_key(
+        self,
+        composition: Composition,
+        pipeline: PassManager,
+        seed: int,
+        flags: Optional[Dict[str, object]],
+    ) -> Tuple:
+        return (
+            structural_fingerprint(composition),
+            _pipeline_fingerprint(pipeline),
+            int(seed),
+            pipeline.verify,
+            _freeze_flags(flags),
+        )
+
+    def compile_model(
+        self,
+        composition: Composition,
+        pipeline: Union[str, PassManager] = "default<O2>",
+        seed: int = 0,
+        verify: Union[str, bool, None] = None,
+        flags: Optional[Dict[str, object]] = None,
+    ):
+        """Compile (or fetch from cache) a composition; returns a
+        :class:`repro.core.distill.CompiledModel`.
+
+        With ``verify=None`` a textual pipeline gets the session's default
+        policy and a prebuilt :class:`PassManager` keeps its own; an
+        explicit policy always wins (the manager is rewrapped, not mutated).
+        """
+        from ..core.distill import compile_composition
+
+        pipeline = resolve_pipeline(
+            pipeline, verify=verify, default_policy=self.default_verify
+        )
+        key = self._model_key(composition, pipeline, seed, flags)
+        with self._lock:
+            model = self._models.get(key)
+            if model is not None:
+                self.hits += 1
+                return model
+        # Compile outside the lock: compilation can take seconds and other
+        # threads may be compiling unrelated models meanwhile.
+        model = compile_composition(
+            composition, pipeline=pipeline, seed=seed, flags=flags
+        )
+        with self._lock:
+            winner = self._models.setdefault(key, model)
+            if winner is model:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return winner
+
+    def compile(
+        self,
+        composition: Composition,
+        target: str = "compiled",
+        pipeline: Union[str, PassManager] = "default<O2>",
+        seed: int = 0,
+        verify: Union[str, bool, None] = None,
+        flags: Optional[Dict[str, object]] = None,
+    ) -> EngineInstance:
+        """Compile a composition and bind it to ``target``; returns an
+        :class:`EngineInstance` whose ``run(inputs, num_trials)`` executes
+        trials on that engine."""
+        engine = get_engine(target)  # validate the target before compiling
+        model = self.compile_model(
+            composition, pipeline=pipeline, seed=seed, verify=verify, flags=flags
+        )
+        instance_key = (id(model), target)
+        with self._lock:
+            instance = self._instances.get(instance_key)
+            if instance is None:
+                instance = engine.prepare(model)
+                self._instances[instance_key] = instance
+        return instance
+
+    # -- cache management ----------------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "models": len(self._models),
+                "instances": len(self._instances),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._models.clear()
+            self._instances.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+_DEFAULT_SESSION: Optional[Session] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_session() -> Session:
+    """The process-wide session backing :func:`repro.compile`."""
+    global _DEFAULT_SESSION
+    with _DEFAULT_LOCK:
+        if _DEFAULT_SESSION is None:
+            _DEFAULT_SESSION = Session()
+        return _DEFAULT_SESSION
+
+
+def compile(
+    composition: Composition,
+    target: str = "compiled",
+    pipeline: Union[str, PassManager] = "default<O2>",
+    seed: int = 0,
+    verify: Union[str, bool, None] = None,
+    flags: Optional[Dict[str, object]] = None,
+) -> EngineInstance:
+    """Compile ``composition`` and bind it to ``target`` (``repro.compile``).
+
+    Equivalent to ``default_session().compile(...)``: repeated calls with a
+    structurally identical model, pipeline, seed and flags reuse the cached
+    artifacts instead of recompiling.
+    """
+    return default_session().compile(
+        composition, target=target, pipeline=pipeline, seed=seed, verify=verify, flags=flags
+    )

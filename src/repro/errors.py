@@ -19,6 +19,14 @@ class CompilationError(ReproError):
     """Distill could not compile the model (e.g. unsupported construct)."""
 
 
+class PipelineParseError(CompilationError):
+    """A textual pipeline description could not be parsed.
+
+    Raised by :func:`repro.parse_pipeline` with a message naming the offending
+    entry and, where possible, the set of known passes/aliases.
+    """
+
+
 class UnsupportedConstructError(CompilationError):
     """A model uses a construct outside the compilable subset."""
 

@@ -17,7 +17,16 @@ from .licm import LoopInvariantCodeMotion
 from .loopinfo import Loop, LoopInfo
 from .mem2reg import Mem2Reg
 from .pass_base import FunctionPass, ModulePass, Pass, PassTiming
-from .pass_manager import PassManager, standard_pipeline
+from .pass_manager import (
+    VERIFY_POLICIES,
+    FixpointPass,
+    PassManager,
+    RepeatPass,
+    build_standard_pipeline,
+    coerce_verify_policy,
+    describe_pass,
+    standard_pipeline,
+)
 from .simplifycfg import SimplifyCFG
 
 __all__ = [
@@ -26,6 +35,12 @@ __all__ = [
     "ModulePass",
     "PassTiming",
     "PassManager",
+    "RepeatPass",
+    "FixpointPass",
+    "VERIFY_POLICIES",
+    "coerce_verify_policy",
+    "describe_pass",
+    "build_standard_pipeline",
     "standard_pipeline",
     "DominatorTree",
     "Loop",

@@ -23,6 +23,7 @@ from ..ir.instructions import (
 )
 from ..ir.module import Function
 from ..ir.values import Constant, Value
+from ..driver.registry import register_pass
 from .pass_base import FunctionPass
 
 
@@ -91,6 +92,7 @@ def fold_instruction(instr) -> Constant | None:
     return None
 
 
+@register_pass("constprop")
 class ConstantPropagation(FunctionPass):
     """Iteratively fold constant expressions and simplify trivial phis/selects."""
 

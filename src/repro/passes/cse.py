@@ -23,6 +23,7 @@ from ..ir.instructions import (
 from ..ir.module import Function
 from ..ir.values import Constant, Value
 from .dominators import DominatorTree
+from ..driver.registry import register_pass
 from .pass_base import FunctionPass
 
 
@@ -79,6 +80,7 @@ def expression_key(instr) -> Tuple | None:
     return None
 
 
+@register_pass("cse")
 class CommonSubexpressionElimination(FunctionPass):
     """Dominator-tree scoped CSE for pure expressions."""
 

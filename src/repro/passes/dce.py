@@ -9,9 +9,11 @@ from __future__ import annotations
 
 from ..ir.instructions import Alloca, GEP, Load, Store
 from ..ir.module import Function
+from ..driver.registry import register_pass
 from .pass_base import FunctionPass
 
 
+@register_pass("dce")
 class DeadCodeElimination(FunctionPass):
     """Iteratively remove unused pure instructions and dead allocas."""
 

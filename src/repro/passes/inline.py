@@ -16,9 +16,11 @@ from ..ir.instructions import Branch, Call, Phi, Return
 from ..ir.module import BasicBlock, Function, Module
 from ..ir.values import Constant, UndefValue, Value
 from .cloning import clone_instruction
+from ..driver.registry import register_pass
 from .pass_base import ModulePass
 
 
+@register_pass("inline")
 class Inliner(ModulePass):
     """Inline calls to defined functions into their callers.
 

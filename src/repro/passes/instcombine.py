@@ -14,6 +14,7 @@ from __future__ import annotations
 from ..ir.instructions import BinaryOp, Select
 from ..ir.module import Function
 from ..ir.values import Constant, Value
+from ..driver.registry import register_pass
 from .pass_base import FunctionPass
 
 
@@ -21,6 +22,7 @@ def _const(value: Value, expected) -> bool:
     return isinstance(value, Constant) and value.value == expected
 
 
+@register_pass("instcombine")
 class InstCombine(FunctionPass):
     """Apply simple algebraic identities."""
 

@@ -14,9 +14,11 @@ from ..ir.instructions import Call, Instruction, Load, Phi
 from ..ir.module import Function
 from .dominators import DominatorTree
 from .loopinfo import Loop, LoopInfo
+from ..driver.registry import register_pass
 from .pass_base import FunctionPass
 
 
+@register_pass("licm")
 class LoopInvariantCodeMotion(FunctionPass):
     """Hoist loop-invariant pure computations to loop preheaders."""
 

@@ -23,6 +23,7 @@ from ..ir.instructions import Alloca, Load, Phi, Store
 from ..ir.module import BasicBlock, Function
 from ..ir.values import UndefValue, Value
 from .dominators import DominatorTree
+from ..driver.registry import register_pass
 from .pass_base import FunctionPass
 
 
@@ -38,6 +39,7 @@ def _promotable(alloca: Alloca) -> bool:
     return True
 
 
+@register_pass("mem2reg")
 class Mem2Reg(FunctionPass):
     """Rewrite promotable allocas into SSA values with phi nodes."""
 

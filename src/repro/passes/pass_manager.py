@@ -8,32 +8,81 @@ compilation-cost study (Figure 7):
 * **O2** — O1 plus CSE, peephole combining and LICM, iterated twice.
 * **O3** — O2 preceded by aggressive inlining (whole-model optimisation
   across node and scheduler boundaries).
+
+They are exposed to textual pipeline descriptions as the ``default<Ok>``
+alias (``parse_pipeline("default<O2>")``); :func:`standard_pipeline` remains
+as a deprecated shim over :func:`build_standard_pipeline`.
+
+Verification is governed by a policy instead of the historical
+verify-after-every-pass behaviour:
+
+* ``"boundary"`` (default) — verify once before the first pass and once
+  after the last; O(module) instead of O(passes × module) on hot compile
+  paths.
+* ``"each"`` — the old paranoid mode: verify before the pipeline and after
+  every single pass (use when debugging a miscompiling pass).
+* ``"off"`` — no verification.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence
+import warnings
+from typing import List, Optional, Sequence, Union
 
+from ..driver.registry import create_pass, register_pipeline_alias
 from ..ir.module import Module
 from ..ir.verifier import verify_module
-from .constprop import ConstantPropagation
-from .cse import CommonSubexpressionElimination
-from .dce import DeadCodeElimination
-from .inline import Inliner
-from .instcombine import InstCombine
-from .licm import LoopInvariantCodeMotion
-from .mem2reg import Mem2Reg
 from .pass_base import Pass, PassTiming
-from .simplifycfg import SimplifyCFG
+
+#: Accepted verification policies, in decreasing order of paranoia.
+VERIFY_POLICIES = ("each", "boundary", "off")
 
 
-class PassManager:
-    """Runs an ordered list of passes over a module, recording timings."""
+def coerce_verify_policy(verify: Union[str, bool, None]) -> str:
+    """Normalise a verify argument (policy string or legacy bool) to a policy."""
+    if verify is None:
+        return "boundary"
+    if isinstance(verify, bool):
+        return "boundary" if verify else "off"
+    if verify not in VERIFY_POLICIES:
+        raise ValueError(
+            f"unknown verify policy {verify!r}; choose one of {VERIFY_POLICIES}"
+        )
+    return verify
 
-    def __init__(self, passes: Sequence[Pass], verify: bool = True, name: str = "pipeline"):
+
+def describe_pass(pass_: Pass) -> str:
+    """Canonical pipeline text for one pass (see ``PassManager.describe``)."""
+    repr_ = getattr(pass_, "pipeline_repr", None)
+    if repr_ is not None:
+        return repr_
+    if isinstance(pass_, PassManager):
+        return pass_.describe()
+    describe = getattr(pass_, "describe", None)
+    if callable(describe):
+        return describe()
+    return pass_.name
+
+
+class PassManager(Pass):
+    """Runs an ordered list of passes over a module, recording timings.
+
+    A ``PassManager`` is itself a :class:`Pass`, so pipelines nest: a manager
+    can appear as an entry of another manager (the textual ``repeat<N>(...)``
+    and ``fixpoint(...)`` constructs build on this).  Nested managers default
+    to ``verify="off"`` when built by the parser — the outermost pipeline
+    owns the verification policy.
+    """
+
+    def __init__(
+        self,
+        passes: Sequence[Pass] = (),
+        verify: Union[str, bool] = "boundary",
+        name: str = "pipeline",
+    ):
         self.passes: List[Pass] = list(passes)
-        self.verify = verify
+        self.verify = coerce_verify_policy(verify)
         self.name = name
         self.timings: List[PassTiming] = []
 
@@ -45,7 +94,7 @@ class PassManager:
         """Run every pass once, in order.  Returns True if anything changed."""
         self.timings = []
         changed = False
-        if self.verify:
+        if self.verify != "off":
             verify_module(module)
         for pass_ in self.passes:
             start = time.perf_counter()
@@ -53,52 +102,146 @@ class PassManager:
             elapsed = time.perf_counter() - start
             self.timings.append(PassTiming(pass_.name, elapsed, pass_changed))
             changed |= pass_changed
-            if self.verify:
+            if self.verify == "each":
                 verify_module(module)
+        if self.verify == "boundary" and self.passes:
+            verify_module(module)
         return changed
 
     def total_seconds(self) -> float:
         return sum(t.seconds for t in self.timings)
 
     def describe(self) -> str:
-        return " -> ".join(p.name for p in self.passes)
+        """Canonical textual pipeline; ``parse_pipeline`` round-trips it."""
+        return ",".join(describe_pass(p) for p in self.passes)
 
 
-def standard_pipeline(opt_level: int = 2, verify: bool = True) -> PassManager:
-    """The standard pipeline used by Distill for a given ``-O`` level."""
+class RepeatPass(Pass):
+    """Run an inner pass (or sub-pipeline) a fixed number of times.
+
+    Textual forms: ``repeat<2>(cse,dce)`` or the per-pass shorthand
+    ``cse(iterations=2)``.
+    """
+
+    def __init__(self, inner: Pass, iterations: int):
+        if iterations < 1:
+            raise ValueError(f"repeat iterations must be >= 1, got {iterations}")
+        self.inner = inner
+        self.iterations = int(iterations)
+        self.name = f"repeat<{self.iterations}>"
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for _ in range(self.iterations):
+            changed |= self.inner.run(module)
+        return changed
+
+    def describe(self) -> str:
+        return f"repeat<{self.iterations}>({describe_pass(self.inner)})"
+
+
+class FixpointPass(Pass):
+    """Run an inner pass (or sub-pipeline) until it stops changing the module.
+
+    This is the conditional-pipeline building block: iteration continues
+    *while* the previous round reported a change, bounded by
+    ``max_iterations``.  Textual forms: ``fixpoint(instcombine,dce)`` or
+    ``fixpoint<5>(...)``.
+    """
+
+    DEFAULT_MAX_ITERATIONS = 10
+
+    def __init__(self, inner: Pass, max_iterations: int = DEFAULT_MAX_ITERATIONS):
+        if max_iterations < 1:
+            raise ValueError(f"fixpoint max_iterations must be >= 1, got {max_iterations}")
+        self.inner = inner
+        self.max_iterations = int(max_iterations)
+        self.name = f"fixpoint<{self.max_iterations}>"
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for _ in range(self.max_iterations):
+            if not self.inner.run(module):
+                break
+            changed = True
+        return changed
+
+    def describe(self) -> str:
+        return f"fixpoint<{self.max_iterations}>({describe_pass(self.inner)})"
+
+
+def _standard_passes(opt_level: int) -> List[Pass]:
+    """The pass instances making up ``default<Ok>`` (built via the registry
+    so every instance carries its canonical ``pipeline_repr``)."""
     if opt_level <= 0:
-        return PassManager([], verify=verify, name="O0")
+        return []
 
     base: List[Pass] = [
-        SimplifyCFG(),
-        Mem2Reg(),
-        ConstantPropagation(),
-        SimplifyCFG(),
-        DeadCodeElimination(),
+        create_pass("simplifycfg"),
+        create_pass("mem2reg"),
+        create_pass("constprop"),
+        create_pass("simplifycfg"),
+        create_pass("dce"),
     ]
     if opt_level == 1:
-        return PassManager(base, verify=verify, name="O1")
+        return base
 
     o2: List[Pass] = []
     if opt_level >= 3:
-        o2.append(Inliner(threshold=400, aggressive=True))
+        o2.append(create_pass("inline", threshold=400, aggressive=True))
     else:
-        o2.append(Inliner(threshold=120))
+        o2.append(create_pass("inline", threshold=120))
     o2 += base
     o2 += [
-        CommonSubexpressionElimination(),
-        InstCombine(),
-        LoopInvariantCodeMotion(),
-        ConstantPropagation(),
-        DeadCodeElimination(),
-        SimplifyCFG(),
+        create_pass("cse"),
+        create_pass("instcombine"),
+        create_pass("licm"),
+        create_pass("constprop"),
+        create_pass("dce"),
+        create_pass("simplifycfg"),
     ]
     # A second round catches opportunities exposed by the first.
     o2 += [
-        Mem2Reg(),
-        ConstantPropagation(),
-        CommonSubexpressionElimination(),
-        DeadCodeElimination(),
-        SimplifyCFG(),
+        create_pass("mem2reg"),
+        create_pass("constprop"),
+        create_pass("cse"),
+        create_pass("dce"),
+        create_pass("simplifycfg"),
     ]
-    return PassManager(o2, verify=verify, name=f"O{min(opt_level, 3)}")
+    return o2
+
+
+def build_standard_pipeline(
+    opt_level: int = 2, verify: Union[str, bool] = "boundary"
+) -> PassManager:
+    """The standard Distill pipeline for a given ``-O`` level."""
+    level = max(0, min(int(opt_level), 3))
+    return PassManager(_standard_passes(level), verify=verify, name=f"O{level}")
+
+
+@register_pipeline_alias("default")
+def _default_alias(variant: Optional[str]) -> List[Pass]:
+    """Expand ``default<Ok>`` (or bare ``default`` = O2) to the standard passes."""
+    if variant is None:
+        return _standard_passes(2)
+    text = variant.strip().upper()
+    if text.startswith("O"):
+        text = text[1:]
+    if not text.isdigit():
+        raise ValueError(f"expected an optimisation level O0..O3, got {variant!r}")
+    level = int(text)
+    if level > 3:
+        raise ValueError(f"expected an optimisation level O0..O3, got {variant!r}")
+    return _standard_passes(level)
+
+
+def standard_pipeline(opt_level: int = 2, verify: Union[str, bool, None] = None) -> PassManager:
+    """Deprecated: use ``repro.parse_pipeline(f"default<O{k}>")`` or
+    :func:`build_standard_pipeline` instead."""
+    warnings.warn(
+        "standard_pipeline() is deprecated; use repro.parse_pipeline"
+        "(\"default<Ok>\") or build_standard_pipeline() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_standard_pipeline(opt_level, verify=coerce_verify_policy(verify))

@@ -16,9 +16,11 @@ from ..ir.cfg import reachable_blocks
 from ..ir.instructions import Branch, CondBranch, Phi
 from ..ir.module import Function
 from ..ir.values import Constant
+from ..driver.registry import register_pass
 from .pass_base import FunctionPass
 
 
+@register_pass("simplifycfg")
 class SimplifyCFG(FunctionPass):
     """Remove unreachable blocks and fold/merge trivial control flow."""
 

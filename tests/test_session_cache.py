@@ -1,0 +1,181 @@
+"""Tests for the caching Session, the engine registry and the deprecation
+shims (repro.driver.session / repro.driver.engines).
+
+Covers the satellite requirements: a second compile of a structurally
+identical model is a cache hit; differing pipeline/target/seed/flags are
+misses; cached engines produce results identical to fresh compiles on the
+Stroop and predator-prey models; ``repro.compile`` works for every
+registered engine; and the legacy entry points emit ``DeprecationWarning``.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.distill import ENGINES, compile_composition, compile_model
+from repro.driver.session import Session, structural_fingerprint
+from repro.errors import EngineError
+from repro.models import predator_prey, stroop
+from repro.passes import standard_pipeline
+
+
+def assert_results_match(reference, candidate, rtol=1e-9, atol=1e-12):
+    assert len(reference.trials) == len(candidate.trials)
+    for ref_trial, new_trial in zip(reference.trials, candidate.trials):
+        assert ref_trial.passes == new_trial.passes
+        assert set(ref_trial.outputs) == set(new_trial.outputs)
+        for node, value in ref_trial.outputs.items():
+            np.testing.assert_allclose(
+                value, new_trial.outputs[node], rtol=rtol, atol=atol, err_msg=node
+            )
+
+
+def build_stroop():
+    return stroop.build_botvinick_stroop(cycles=15)
+
+
+def build_pp():
+    return predator_prey.build_predator_prey("s")
+
+
+class TestStructuralFingerprint:
+    def test_rebuilt_model_has_same_fingerprint(self):
+        assert structural_fingerprint(build_stroop()) == structural_fingerprint(build_stroop())
+        assert structural_fingerprint(build_pp()) == structural_fingerprint(build_pp())
+
+    def test_structural_change_changes_fingerprint(self):
+        assert structural_fingerprint(
+            stroop.build_botvinick_stroop(cycles=15)
+        ) != structural_fingerprint(stroop.build_botvinick_stroop(cycles=16))
+
+    def test_different_models_differ(self):
+        assert structural_fingerprint(build_stroop()) != structural_fingerprint(build_pp())
+
+
+class TestSessionCaching:
+    def test_second_compile_is_a_hit(self):
+        session = Session()
+        first = session.compile_model(build_stroop())
+        second = session.compile_model(build_stroop())
+        assert second is first
+        info = session.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1 and info["models"] == 1
+
+    def test_pipeline_target_seed_and_flags_are_key_components(self):
+        session = Session()
+        session.compile_model(build_stroop())
+        session.compile_model(build_stroop(), pipeline="default<O1>")
+        session.compile_model(build_stroop(), seed=7)
+        session.compile_model(build_stroop(), flags={"fast_math": True})
+        info = session.cache_info()
+        assert info["misses"] == 4 and info["hits"] == 0
+
+        # Same artifacts, two targets: one model, two engine instances.
+        a = session.compile(build_stroop(), target="compiled")
+        b = session.compile(build_stroop(), target="ir-interp")
+        assert a.model is b.model
+        assert session.cache_info()["instances"] == 2
+
+    def test_hand_built_pipelines_with_different_params_do_not_collide(self):
+        from repro.passes import Inliner, PassManager
+
+        session = Session()
+        first = session.compile_model(
+            build_stroop(), pipeline=PassManager([Inliner(threshold=120)])
+        )
+        second = session.compile_model(
+            build_stroop(), pipeline=PassManager([Inliner(threshold=400, aggressive=True)])
+        )
+        assert first is not second
+        assert session.cache_info()["misses"] == 2
+
+    def test_equivalent_pipeline_texts_share_an_entry(self):
+        session = Session()
+        first = session.compile_model(build_stroop(), pipeline="default<O2>")
+        expanded = first.pipeline_text
+        assert session.compile_model(build_stroop(), pipeline=expanded) is first
+
+    def test_repeated_engine_binding_reuses_instance(self):
+        session = Session()
+        assert session.compile(build_stroop()) is session.compile(build_stroop())
+
+    def test_clear_resets(self):
+        session = Session()
+        session.compile_model(build_stroop())
+        session.clear()
+        assert session.cache_info() == {"hits": 0, "misses": 0, "models": 0, "instances": 0}
+
+
+class TestCachedResultsIdentical:
+    @pytest.mark.parametrize(
+        "build, inputs, trials",
+        [
+            (build_stroop, lambda: stroop.default_inputs("incongruent"), 3),
+            (build_pp, lambda: predator_prey.default_inputs(1), 1),
+        ],
+        ids=["stroop", "predator_prey"],
+    )
+    def test_cached_engine_matches_fresh_compile(self, build, inputs, trials):
+        session = Session()
+        session.compile(build(), target="compiled")  # populate the cache
+        cached = session.compile(build(), target="compiled")  # hit
+        assert session.cache_info()["hits"] >= 1
+        fresh = compile_composition(build(), pipeline="default<O2>")
+        assert_results_match(
+            fresh.run(inputs(), num_trials=trials, seed=0),
+            cached.run(inputs(), num_trials=trials, seed=0),
+        )
+
+
+class TestCompileFacade:
+    @pytest.mark.parametrize("target", ["compiled", "ir-interp", "per-node", "gpu-sim", "mcpu"])
+    def test_every_registered_engine_runs_via_repro_compile(self, target):
+        inputs = predator_prey.default_inputs(1)
+        baseline = repro.compile(build_pp(), target="compiled").run(inputs, num_trials=1, seed=0)
+        engine = repro.compile(build_pp(), target=target, pipeline="default<O2>")
+        results = engine.run(inputs, num_trials=1, seed=0)
+        assert results.engine == target
+        assert_results_match(baseline, results)
+
+    def test_unknown_target_raises_engine_error(self):
+        with pytest.raises(EngineError) as excinfo:
+            repro.compile(build_stroop(), target="cuda")
+        assert "cuda" in str(excinfo.value)
+        assert "compiled" in str(excinfo.value)
+
+    def test_list_engines_covers_legacy_tuple(self):
+        assert set(ENGINES) <= set(repro.list_engines())
+
+    def test_engine_capabilities_exposed(self):
+        caps = repro.engine_capabilities()
+        assert caps["mcpu"].supports_workers
+        assert not caps["ir-interp"].compiled
+
+    def test_run_with_pipeline_string_and_explicit_session(self):
+        session = Session()
+        engine = session.compile(build_stroop(), pipeline="default<O1>,cse(iterations=2)")
+        results = engine.run(stroop.default_inputs("congruent"), num_trials=2, seed=0)
+        assert len(results.trials) == 2
+
+
+class TestDeprecatedShims:
+    def test_compile_model_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="compile_model"):
+            compiled = compile_model(build_stroop(), opt_level=2)
+        results = compiled.run(stroop.default_inputs("incongruent"), num_trials=2, seed=0)
+        assert len(results.trials) == 2
+
+    def test_standard_pipeline_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="standard_pipeline"):
+            pm = standard_pipeline(2)
+        assert len(pm.passes) == 17
+
+    def test_shim_matches_driver_output(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = compile_model(build_stroop(), opt_level=2)
+        modern = compile_composition(build_stroop(), pipeline="default<O2>")
+        assert legacy.pipeline_text == modern.pipeline_text
+        assert_results_match(
+            legacy.run(stroop.default_inputs("incongruent"), num_trials=2, seed=0),
+            modern.run(stroop.default_inputs("incongruent"), num_trials=2, seed=0),
+        )

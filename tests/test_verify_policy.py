@@ -1,0 +1,59 @@
+"""Tests pinning down the PassManager verification policy.
+
+The historical behaviour verified the module after *every* pass
+(O(passes × module) on the hot compile path); the driver defaults to
+``verify="boundary"`` — once before the first pass, once after the last.
+``benchmarks/bench_fig7_compilation_cost.py::bench_verify_policy`` times the
+win; these tests assert the exact verifier call counts and the
+respect-the-caller semantics for prebuilt pipelines.
+"""
+
+import pytest
+
+import repro.passes.pass_manager as pass_manager_module
+from repro.core.distill import compile_composition
+from repro.models import predator_prey as pp
+from repro.passes import build_standard_pipeline
+
+
+@pytest.fixture
+def verify_counter(monkeypatch):
+    counts = []
+    real_verify = pass_manager_module.verify_module
+
+    def counting_verify(module):
+        counts.append(module)
+        return real_verify(module)
+
+    monkeypatch.setattr(pass_manager_module, "verify_module", counting_verify)
+    return counts
+
+
+NUM_O2_PASSES = 17  # the O2 sequence (see passes/pass_manager.py)
+
+
+@pytest.mark.parametrize(
+    "policy, expected",
+    [("each", 1 + NUM_O2_PASSES), ("boundary", 2), ("off", 0)],
+)
+def test_verify_policy_call_counts(verify_counter, policy, expected):
+    """``boundary`` verifies twice per pipeline; ``each`` after every pass."""
+    compile_composition(
+        pp.build_predator_prey("s"), pipeline="default<O2>", verify=policy
+    )
+    assert len(verify_counter) == expected
+
+
+def test_prebuilt_pipeline_keeps_its_own_policy(verify_counter):
+    """verify=None must not override a caller-supplied PassManager's policy."""
+    pm = build_standard_pipeline(2, verify="each")
+    compile_composition(pp.build_predator_prey("s"), pipeline=pm)
+    assert len(verify_counter) == 1 + NUM_O2_PASSES
+    assert pm.verify == "each"  # not mutated
+
+
+def test_explicit_policy_rewraps_without_mutation(verify_counter):
+    pm = build_standard_pipeline(2, verify="each")
+    compile_composition(pp.build_predator_prey("s"), pipeline=pm, verify="boundary")
+    assert len(verify_counter) == 2
+    assert pm.verify == "each"  # the caller's manager is untouched
