@@ -340,40 +340,63 @@ class GpuOccupancyModel:
 # ---------------------------------------------------------------------------
 
 
-def _vectorized_grid_evaluator(compiled, info, params, true_input, key, counter_base) -> np.ndarray:
-    kernel = compiled.module.get_function(info.kernel_name)
-    executor = VectorizedKernelExecutor(kernel)
-    lanes = info.grid_size
+class GpuSimEvaluator:
+    """Persistent vectorised state for the SIMT engine.
 
-    # Build per-lane allocation arrays from the level tables.
-    counts = [len(lv) for lv in info.levels]
-    indices = np.arange(lanes)
-    lane_args: Dict[int, np.ndarray] = {}
-    remainder = indices
-    arg_base = 1 + info.input_size  # params + true inputs come first
-    for signal, levels in enumerate(info.levels):
-        tail = 1
-        for later in range(signal + 1, len(info.levels)):
-            tail *= counts[later]
-        lane_args[arg_base + signal] = np.asarray(levels, dtype=float)[remainder // tail]
-        remainder = remainder % tail
-    # Per-lane PRNG counters; the key is shared.
-    counter_arg = 1 + info.input_size + len(info.levels) + 1
-    lane_args[counter_arg] = counter_base + indices.astype(np.float64) * info.counter_stride
+    Building a :class:`VectorizedKernelExecutor` and the per-lane allocation
+    and counter arrays is pure layout work — it depends only on the compiled
+    kernel and the level tables, not on the trial being evaluated — so the
+    evaluator derives them once per grid-search region and reuses them across
+    every ``run()`` / ``run_batch()`` call of the owning engine instance.
+    """
 
-    scalar_args: List[object] = [(params, 0)]
-    scalar_args += [float(v) for v in true_input]
-    scalar_args += [0.0] * len(info.levels)
-    scalar_args += [float(key), 0.0]
-    return executor(scalar_args, lane_args, lanes)
+    def __init__(self, compiled):
+        self._compiled = compiled
+        self._lanes: Dict[str, tuple] = {}
+
+    def _lane_state(self, prepared) -> tuple:
+        cached = self._lanes.get(prepared.control_name)
+        if cached is None:
+            kernel = self._compiled.module.get_function(prepared.kernel_name)
+            executor = VectorizedKernelExecutor(kernel)
+            indices = np.arange(prepared.grid_size)
+            arg_base = 1 + prepared.input_size  # params + true inputs come first
+            alloc_lanes: Dict[int, np.ndarray] = {}
+            for signal, (levels, stride) in enumerate(
+                zip(prepared.levels, prepared.strides)
+            ):
+                table = np.asarray(levels, dtype=float)
+                alloc_lanes[arg_base + signal] = table[(indices // stride) % table.size]
+            counter_arg = 1 + prepared.input_size + len(prepared.levels) + 1
+            counter_lanes = indices.astype(np.float64) * prepared.counter_stride
+            cached = (executor, alloc_lanes, counter_arg, counter_lanes)
+            self._lanes[prepared.control_name] = cached
+        return cached
+
+    def evaluate(self, request) -> np.ndarray:
+        prepared = request.prepared
+        executor, alloc_lanes, counter_arg, counter_lanes = self._lane_state(prepared)
+        lane_args: Dict[int, np.ndarray] = dict(alloc_lanes)
+        lane_args[counter_arg] = request.counter_base + counter_lanes
+        scalar_args: List[object] = [(request.params, 0)]
+        scalar_args += [float(v) for v in request.true_input]
+        scalar_args += [0.0] * len(prepared.levels)
+        scalar_args += [float(request.key), 0.0]
+        return executor(scalar_args, lane_args, prepared.grid_size)
+
+    def evaluate_batch(self, compiled, requests) -> List[np.ndarray]:
+        return [self.evaluate(request) for request in requests]
 
 
 def run_gpu_sim(compiled, buffers, num_trials: int) -> None:
-    """Entry point used by :meth:`CompiledModel.run(engine="gpu-sim")`."""
+    """One-shot entry point (persistent callers go through the engine instance)."""
     if not compiled.grid_searches:
         compiled._run_whole_compiled(buffers, num_trials)
         return
-    run_with_grid_driver(compiled, buffers, num_trials, _vectorized_grid_evaluator)
+    evaluator = GpuSimEvaluator(compiled)
+    run_with_grid_driver(
+        compiled, buffers, num_trials, batch_evaluator=evaluator.evaluate_batch
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -384,8 +407,28 @@ from ..driver.engines import EngineCapabilities, EngineInstance, register_engine
 
 
 class _GpuSimInstance(EngineInstance):
+    """A gpu-sim binding that keeps the vectorised lane state alive."""
+
+    def __init__(self, engine_name: str, model):
+        super().__init__(engine_name, model)
+        self._evaluator = GpuSimEvaluator(model)
+
     def execute(self, buffers, num_trials, **options):
-        run_gpu_sim(self.model, buffers, num_trials)
+        if not self.model.grid_searches:
+            self.model._run_whole_compiled(buffers, num_trials)
+            return
+        run_with_grid_driver(
+            self.model, buffers, num_trials, batch_evaluator=self._evaluator.evaluate_batch
+        )
+
+    def execute_batch(self, elements, **options):
+        if not self.model.grid_searches:
+            for buffers, num_trials in elements:
+                self.model._run_whole_compiled(buffers, num_trials)
+            return
+        from .grid_driver import drive_elements
+
+        drive_elements(self.model, elements, self._evaluator.evaluate_batch)
 
 
 @register_engine

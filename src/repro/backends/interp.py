@@ -248,8 +248,15 @@ from ..driver.engines import EngineCapabilities, EngineInstance, register_engine
 
 
 class _InterpreterInstance(EngineInstance):
+    """Reuses one :class:`Interpreter` across ``run()``/``run_batch()`` calls
+    (the interpreter holds no run state; only the per-run buffers do)."""
+
+    def __init__(self, engine_name: str, model):
+        super().__init__(engine_name, model)
+        self._interpreter = Interpreter(model.module)
+
     def execute(self, buffers, num_trials, **options):
-        self.model._run_whole_interp(buffers, num_trials)
+        self._interpreter.call("run_model", self.model._model_args(buffers, num_trials))
 
 
 @register_engine

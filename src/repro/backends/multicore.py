@@ -6,22 +6,36 @@ the GIL.  Compiled code in this reproduction is generated Python, which does
 hold the GIL, so the equivalent strategy is one worker **process** per core:
 each worker receives the generated kernel source once (at pool start-up),
 rebuilds the callable, evaluates its segment of the grid with its own
-replicated PRNG counters, and returns its segment's reservoir state; the
-parent merges the segments.  Results are identical to serial execution
-because every evaluation's random draws depend only on the evaluation index
-(see :mod:`repro.cogframe.prng`).
+replicated PRNG counters, and returns its segment's candidate scan events;
+the parent replays the serial reservoir scan over the merged events (see
+:mod:`repro.backends.grid_driver`).  Results are bit-identical to serial
+execution because every evaluation's random draws depend only on the
+evaluation index (see :mod:`repro.cogframe.prng`) and the tie-break replay
+consumes exactly the uniforms the serial scan would.
+
+The worker pool is expensive to start (each worker re-builds the kernels),
+so it is **persistent**: the engine instance returned by
+``Session.compile(model, target="mcpu")`` / ``model.engine_instance("mcpu")``
+keeps the pool alive across ``run()`` and ``run_batch()`` calls, and
+``run_batch`` dispatches the grid chunks of *all* batch elements in a single
+``pool.map`` per scheduler step.  ``pool_starts`` counts pool constructions
+so benchmarks and tests can assert reuse.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from typing import Dict, List, Optional
+import weakref
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
-from ..core.reservoir import merge_chunk_minima
-from .grid_driver import allocation_for_index, run_with_grid_driver
+from ..core.reservoir import merge_chunk_minima  # noqa: F401 (re-export: legacy API)
+from .grid_driver import (
+    CandidateEvents,
+    GridRequest,
+    drive_elements,
+    run_with_grid_driver,
+)
 
 # ---------------------------------------------------------------------------
 # Worker-side machinery.  Globals are initialised once per worker process.
@@ -53,8 +67,21 @@ def _worker_init(kernel_sources: Dict[str, tuple]) -> None:
         _WORKER_KERNELS[name] = namespace[py_name]
 
 
-def _worker_evaluate(task) -> tuple:
-    """Evaluate one contiguous chunk of the grid; return its reservoir state."""
+def _worker_evaluate(task) -> Tuple[List[Tuple[int, float]], int]:
+    """Evaluate one contiguous chunk of the grid.
+
+    Returns the chunk's candidate scan events — every ``(index, cost)`` whose
+    cost is <= the chunk's running prefix minimum — plus the number of NaN
+    costs.  The parent concatenates chunk events in index order and replays
+    the serial reservoir scan over them, which is exact: an entry above its
+    chunk's prefix minimum is also above the global prefix minimum, so it can
+    never be a new minimum or a tie in the serial scan.
+
+    NaN costs are detected with ``cost != cost`` (a NaN compares unequal even
+    to itself, so the float ``==`` tie test would silently skip it) and never
+    become events; the parent raises a clear error when *no* comparable cost
+    exists instead of letting a ``-1`` index escape.
+    """
     (
         kernel_name,
         start,
@@ -62,104 +89,167 @@ def _worker_evaluate(task) -> tuple:
         params,
         true_input,
         levels,
+        strides,
         key,
         counter_base,
         stride,
     ) = task
     kernel = _WORKER_KERNELS[kernel_name]
-    best_index, best_cost, ties = -1, float("inf"), 0
+    events: List[Tuple[int, float]] = []
+    prefix = float("inf")
+    nan_count = 0
     for index in range(start, stop):
-        allocation = allocation_for_index(levels, index)
+        allocation = [
+            float(lv[(index // s) % len(lv)]) for lv, s in zip(levels, strides)
+        ]
         counter = counter_base + index * stride
         cost = kernel((params, 0), *true_input, *allocation, float(key), float(counter))
-        if cost < best_cost:
-            best_index, best_cost, ties = index, cost, 1
-        elif cost == best_cost:
-            ties += 1
-    return best_index, best_cost, ties
+        if cost != cost:  # NaN
+            nan_count += 1
+            continue
+        if cost <= prefix:
+            events.append((index, cost))
+            if cost < prefix:
+                prefix = cost
+    return events, nan_count
+
+
+def _close_pool(holder: List[Optional[mp.pool.Pool]]) -> None:
+    pool = holder[0]
+    holder[0] = None
+    if pool is not None:
+        pool.terminate()
+        pool.join()
 
 
 class MulticoreGridEvaluator:
-    """Evaluates grid-search regions on a process pool."""
+    """Evaluates grid-search regions on a persistent process pool.
 
-    def __init__(self, compiled, workers: Optional[int] = None, chunk_multiplier: int = 4):
+    The pool is created lazily on the first evaluation and reused until
+    :meth:`close` (or garbage collection); ``pool_starts`` counts how many
+    times a pool was actually constructed.  The evaluator still works as a
+    context manager for one-shot use (:func:`run_multicore`).
+    """
+
+    def __init__(
+        self,
+        compiled,
+        workers: Optional[int] = None,
+        chunk_multiplier: int = 4,
+        start_method: Optional[str] = None,
+    ):
         from .pycodegen import PythonCodeGenerator
 
         self.workers = workers or max(os.cpu_count() or 1, 1)
         self.chunk_multiplier = chunk_multiplier
+        self.start_method = start_method or ("spawn" if os.name == "nt" else "fork")
+        self.pool_starts = 0
         generator = PythonCodeGenerator(compiled.module)
         source = generator.generate_source()
         self._kernel_sources = {
             info.kernel_name: (source, f"ir_{info.kernel_name}".replace(".", "_"))
             for info in compiled.grid_searches
         }
-        self._pool: Optional[mp.pool.Pool] = None
+        # The pool lives in a holder list so the GC finalizer can terminate
+        # it without keeping the evaluator itself alive.
+        self._pool_holder: List[Optional[mp.pool.Pool]] = [None]
+        self._finalizer = weakref.finalize(self, _close_pool, self._pool_holder)
 
     # -- pool management -----------------------------------------------------------
+    @property
+    def _pool(self) -> Optional[mp.pool.Pool]:
+        return self._pool_holder[0]
+
+    def ensure_pool(self) -> mp.pool.Pool:
+        """The live worker pool, constructing it on first use."""
+        pool = self._pool_holder[0]
+        if pool is None:
+            context = mp.get_context(self.start_method)
+            pool = context.Pool(
+                processes=self.workers,
+                initializer=_worker_init,
+                initargs=(self._kernel_sources,),
+            )
+            self._pool_holder[0] = pool
+            self.pool_starts += 1
+        return pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later evaluation restarts it)."""
+        pool = self._pool_holder[0]
+        self._pool_holder[0] = None
+        if pool is not None:
+            pool.close()
+            pool.join()
+
     def __enter__(self) -> "MulticoreGridEvaluator":
-        context = mp.get_context("spawn" if os.name == "nt" else "fork")
-        self._pool = context.Pool(
-            processes=self.workers,
-            initializer=_worker_init,
-            initargs=(self._kernel_sources,),
-        )
+        self.ensure_pool()
         return self
 
     def __exit__(self, *exc_info) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        self.close()
 
     # -- evaluation -------------------------------------------------------------------
-    def evaluate(self, compiled, info, params, true_input, key, counter_base) -> np.ndarray:
-        """Return a cost array whose argmin/ties match the full evaluation.
+    def evaluate_batch(self, compiled, requests: List[GridRequest]) -> List[CandidateEvents]:
+        """Evaluate a whole batch of grid regions in one pool ``map``.
 
-        Only the winning entries matter for selection, so workers return the
-        reservoir state of their chunk and the merged result is materialised
-        as a sparse cost array (losers get +inf).
+        Every request is split into ``workers * chunk_multiplier`` contiguous
+        chunks; the chunks of *all* requests travel in a single ``map`` call,
+        so a batch of B concurrent elements costs one IPC round-trip instead
+        of B.
         """
-        if self._pool is None:
-            raise RuntimeError("MulticoreGridEvaluator must be used as a context manager")
-        grid_size = info.grid_size
-        num_chunks = max(self.workers * self.chunk_multiplier, 1)
-        chunk = max((grid_size + num_chunks - 1) // num_chunks, 1)
+        pool = self.ensure_pool()
         tasks = []
-        for start in range(0, grid_size, chunk):
-            stop = min(start + chunk, grid_size)
-            tasks.append(
-                (
-                    info.kernel_name,
-                    start,
-                    stop,
-                    list(params),
-                    list(true_input),
-                    [list(lv) for lv in info.levels],
-                    key,
-                    counter_base,
-                    info.counter_stride,
+        owners: List[int] = []
+        for request_index, request in enumerate(requests):
+            grid = request.prepared
+            num_chunks = max(self.workers * self.chunk_multiplier, 1)
+            chunk = max((grid.grid_size + num_chunks - 1) // num_chunks, 1)
+            for start in range(0, grid.grid_size, chunk):
+                stop = min(start + chunk, grid.grid_size)
+                tasks.append(
+                    (
+                        grid.kernel_name,
+                        start,
+                        stop,
+                        list(request.params),
+                        list(request.true_input),
+                        [list(lv) for lv in grid.levels],
+                        list(grid.strides),
+                        request.key,
+                        request.counter_base,
+                        grid.counter_stride,
+                    )
                 )
-            )
-        chunk_results = self._pool.map(_worker_evaluate, tasks)
-        best_index, best_cost, _ = merge_chunk_minima(chunk_results)
-        costs = np.full(grid_size, np.inf)
-        costs[best_index] = best_cost
-        return costs
+                owners.append(request_index)
+        chunk_results = pool.map(_worker_evaluate, tasks)
+
+        merged: List[CandidateEvents] = [
+            CandidateEvents(events=[], grid_size=r.prepared.grid_size, nan_count=0)
+            for r in requests
+        ]
+        # Chunks were generated in ascending index order per request and
+        # pool.map preserves order, so plain concatenation keeps the events
+        # sorted by grid index — the order the replay requires.
+        for owner, (events, nan_count) in zip(owners, chunk_results):
+            merged[owner].events.extend(events)
+            merged[owner].nan_count += nan_count
+        return merged
 
 
 def run_multicore(compiled, buffers, num_trials: int, workers: Optional[int] = None) -> None:
-    """Entry point used by :meth:`CompiledModel.run(engine="mcpu")`."""
+    """One-shot entry point (builds and tears down its own pool).
+
+    Persistent callers go through ``model.engine_instance("mcpu")`` or
+    ``Session.compile(..., target="mcpu")`` instead, which keep the pool
+    alive across calls.
+    """
     if not compiled.grid_searches:
         compiled._run_whole_compiled(buffers, num_trials)
         return
     with MulticoreGridEvaluator(compiled, workers=workers) as evaluator:
         run_with_grid_driver(
-            compiled,
-            buffers,
-            num_trials,
-            lambda cm, info, params, true_input, key, base: evaluator.evaluate(
-                cm, info, params, true_input, key, base
-            ),
+            compiled, buffers, num_trials, batch_evaluator=evaluator.evaluate_batch
         )
 
 
@@ -171,8 +261,55 @@ from ..driver.engines import EngineCapabilities, EngineInstance, register_engine
 
 
 class _MulticoreInstance(EngineInstance):
+    """An mcpu binding that owns a persistent :class:`MulticoreGridEvaluator`."""
+
+    def __init__(self, engine_name: str, model):
+        super().__init__(engine_name, model)
+        self._evaluator: Optional[MulticoreGridEvaluator] = None
+
+    def _evaluator_for(self, options: Dict[str, object]) -> MulticoreGridEvaluator:
+        workers = options.get("workers")
+        start_method = options.get("start_method")
+        evaluator = self._evaluator
+        if evaluator is not None:
+            same_workers = workers is None or workers == evaluator.workers
+            same_method = start_method is None or start_method == evaluator.start_method
+            if same_workers and same_method:
+                return evaluator
+            evaluator.close()
+        evaluator = MulticoreGridEvaluator(
+            self.model, workers=workers, start_method=start_method
+        )
+        self._evaluator = evaluator
+        return evaluator
+
+    @property
+    def pool_starts(self) -> int:
+        """Worker-pool constructions so far (1 after any number of runs
+        with consistent options — the proof of pool reuse)."""
+        return self._evaluator.pool_starts if self._evaluator is not None else 0
+
     def execute(self, buffers, num_trials, **options):
-        run_multicore(self.model, buffers, num_trials, workers=options.get("workers"))
+        if not self.model.grid_searches:
+            self.model._run_whole_compiled(buffers, num_trials)
+            return
+        evaluator = self._evaluator_for(options)
+        run_with_grid_driver(
+            self.model, buffers, num_trials, batch_evaluator=evaluator.evaluate_batch
+        )
+
+    def execute_batch(self, elements, **options):
+        if not self.model.grid_searches:
+            for buffers, num_trials in elements:
+                self.model._run_whole_compiled(buffers, num_trials)
+            return
+        evaluator = self._evaluator_for(options)
+        drive_elements(self.model, elements, evaluator.evaluate_batch)
+
+    def close(self) -> None:
+        if self._evaluator is not None:
+            self._evaluator.close()
+            self._evaluator = None
 
 
 @register_engine
@@ -185,8 +322,9 @@ class MulticoreEngine:
         return EngineCapabilities(
             name=self.name,
             description=(
-                "grid-search regions partitioned across worker processes "
-                "(DISTILL-mCPU, Figure 5c); identical results to serial execution"
+                "grid-search regions partitioned across a persistent pool of "
+                "worker processes (DISTILL-mCPU, Figure 5c); identical results "
+                "to serial execution, including tie-break PRNG draws"
             ),
             parallel=True,
             supports_workers=True,

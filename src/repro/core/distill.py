@@ -21,6 +21,7 @@ produced the numbers (paper design principle 1: no model changes).
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -95,6 +96,8 @@ class CompiledModel:
         self.flags = dict(flags or {})
         self.stats = stats
         self._compiled = compiled_functions
+        self._engine_instances: Dict[str, object] = {}
+        self._engine_lock = threading.Lock()
 
     # -- introspection -------------------------------------------------------------
     def print_ir(self) -> str:
@@ -183,12 +186,65 @@ class CompiledModel:
         Engines are resolved through the driver's backend registry
         (:mod:`repro.driver.engines`), so backends registered by user code
         are accepted as well; :func:`repro.list_engines` enumerates them.
+
+        Engine bindings are memoized per model (:meth:`engine_instance`), so
+        consecutive ``run`` calls reuse persistent engine state — notably the
+        mcpu worker pool and the gpu-sim vectorised lane arrays.
         """
-        instance = get_engine(engine).prepare(self)
+        instance = self.engine_instance(engine)
         options: Dict[str, object] = {}
         if workers is not None:
             options["workers"] = workers
         return instance.run(inputs, num_trials=num_trials, seed=seed, **options)
+
+    def run_batch(
+        self,
+        inputs_batch: Sequence[Sequence],
+        num_trials: Union[int, Sequence[Optional[int]], None] = None,
+        seed: Union[int, Sequence[int]] = 0,
+        engine: str = "compiled",
+        workers: Optional[int] = None,
+    ) -> List[RunResults]:
+        """Run several independent input batches against this compiled model.
+
+        Semantically equivalent to one :meth:`run` per element (results are
+        bitwise identical); parallel engines execute the elements in lockstep
+        and dispatch the whole batch's grid evaluations per scheduler step in
+        one pool round-trip.  See :meth:`EngineInstance.run_batch`.
+        """
+        instance = self.engine_instance(engine)
+        options: Dict[str, object] = {}
+        if workers is not None:
+            options["workers"] = workers
+        return instance.run_batch(
+            inputs_batch, num_trials=num_trials, seed=seed, **options
+        )
+
+    def engine_instance(self, engine: str = "compiled"):
+        """The cached :class:`EngineInstance` binding this model to ``engine``.
+
+        One instance exists per (model, engine name); it owns whatever
+        persistent state the engine keeps between runs (worker pools,
+        vectorised lane state).  Use :meth:`close_engines` to release that
+        state explicitly.
+        """
+        with self._engine_lock:
+            instance = self._engine_instances.get(engine)
+        if instance is not None:
+            return instance
+        prepared = get_engine(engine).prepare(self)
+        with self._engine_lock:
+            instance = self._engine_instances.setdefault(engine, prepared)
+        if instance is not prepared:
+            prepared.close()  # lost the race; drop the duplicate's resources
+        return instance
+
+    def close_engines(self) -> None:
+        """Release resources held by cached engine instances (worker pools)."""
+        with self._engine_lock:
+            instances = list(self._engine_instances.values())
+        for instance in instances:
+            instance.close()
 
     # -- engine implementations --------------------------------------------------------------
     def _model_args(self, buffers, num_trials: int):

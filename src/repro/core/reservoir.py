@@ -40,8 +40,14 @@ def reservoir_argmin(
     best_index = -1
     best_cost = float("inf")
     ties = 0
+    saw_nan = False
+    count = 0
     for index, cost in enumerate(costs):
         cost = float(cost)
+        count += 1
+        if cost != cost:  # NaN: the float ==/< tie tests would silently skip it
+            saw_nan = True
+            continue
         if cost < best_cost:
             best_cost = cost
             best_index = index
@@ -51,6 +57,11 @@ def reservoir_argmin(
             if uniform() < 1.0 / ties:
                 best_index = index
     if best_index < 0:
+        if saw_nan:
+            raise ValueError(
+                f"reservoir_argmin: all {count} costs are NaN — the objective "
+                f"produced no comparable value"
+            )
         raise ValueError("reservoir_argmin requires at least one cost")
     return best_index, best_cost
 
@@ -60,13 +71,27 @@ def merge_chunk_minima(
 ) -> Tuple[int, float, int]:
     """Merge per-chunk ``(index, cost, ties)`` results from a partitioned search.
 
-    Used by the multicore driver: each worker returns the reservoir state of
-    its segment; the merge keeps the lowest cost and the earliest index, and
-    accumulates tie counts so that the overall selection remains unbiased for
-    the (measure-zero, in noisy models) case of cross-chunk ties.
+    Keeps the lowest cost and the earliest index, and accumulates tie counts.
+    Chunks that found nothing comparable — empty or all-NaN segments, which
+    report ``best_index = -1`` — are skipped instead of letting the ``-1``
+    escape into the merged result (the float ``==`` tie test would otherwise
+    happily merge a ``(-1, inf)`` sentinel with a real ``inf`` minimum); a
+    NaN best cost is likewise rejected.  When no chunk carries a comparable
+    cost the merge raises a clear error.
+
+    .. note:: since the serial-equivalence fix, the multicore driver ships
+       per-chunk *candidate events* (see
+       :mod:`repro.backends.grid_driver`) rather than reservoir triples —
+       a chunk's ``(index, cost, ties)`` summary cannot replay the serial
+       scan's tie-break draws exactly.  This merge remains for coarse
+       reductions where draw-exactness is not required.
     """
     best_index, best_cost, total_ties = -1, float("inf"), 0
+    saw_chunk = False
     for index, cost, ties in chunks:
+        saw_chunk = True
+        if index < 0 or cost != cost:  # empty / all-NaN chunk sentinel
+            continue
         if cost < best_cost:
             best_index, best_cost, total_ties = index, cost, ties
         elif cost == best_cost:
@@ -74,5 +99,10 @@ def merge_chunk_minima(
             if best_index < 0 or index < best_index:
                 best_index = index
     if best_index < 0:
+        if saw_chunk:
+            raise ValueError(
+                "merge_chunk_minima: no chunk carries a comparable cost "
+                "(all segments were empty or produced only NaN costs)"
+            )
         raise ValueError("merge_chunk_minima requires at least one chunk")
     return best_index, best_cost, total_ties

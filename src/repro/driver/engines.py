@@ -22,7 +22,7 @@ from __future__ import annotations
 import importlib
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from typing import Protocol, runtime_checkable
 
@@ -89,8 +89,90 @@ class EngineInstance:
         results.breakdown = breakdown
         return results
 
+    def run_batch(
+        self,
+        inputs_batch: Sequence[Sequence],
+        num_trials: Union[int, Sequence[Optional[int]], None] = None,
+        seed: Union[int, Sequence[int]] = 0,
+        **options,
+    ) -> List[RunResults]:
+        """Execute several independent input batches against one compiled model.
+
+        Each element of ``inputs_batch`` is an ``inputs`` value exactly as
+        :meth:`run` accepts; ``num_trials`` and ``seed`` may be scalars
+        (applied to every element) or per-element sequences.  Results are
+        bitwise identical to calling :meth:`run` once per element on this
+        same instance — parallel engines merely overlap the elements'
+        grid evaluations (one pool dispatch per scheduler step for the whole
+        batch) instead of paying one round-trip per element.
+        """
+        model = self.model
+        count = len(inputs_batch)
+        trials_list = (
+            list(num_trials)
+            if isinstance(num_trials, (list, tuple))
+            else [num_trials] * count
+        )
+        seeds = list(seed) if isinstance(seed, (list, tuple)) else [seed] * count
+        if len(trials_list) != count or len(seeds) != count:
+            raise ValueError(
+                "per-element num_trials/seed sequences must match the batch size"
+            )
+
+        breakdown: Dict[str, float] = {}
+        start = time.perf_counter()
+        elements = []
+        for inputs, trials, element_seed in zip(inputs_batch, trials_list, seeds):
+            if trials is None:
+                trials = len(normalize_inputs(model.composition, inputs))
+            elements.append((model.allocate_buffers(inputs, trials, element_seed), trials))
+        breakdown["input_construction"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        self.execute_batch(elements, **options)
+        breakdown["execution"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        results = [
+            model._collect_results(buffers, trials, self.engine_name)
+            for buffers, trials in elements
+        ]
+        breakdown["output_extraction"] = time.perf_counter() - start
+        breakdown["compilation"] = model.stats.total_seconds
+        breakdown["batch_size"] = float(count)
+        for result in results:
+            # Timing is shared across the whole batch (the elements ran
+            # interleaved); each result carries the batch-level numbers.
+            result.wall_seconds = breakdown["execution"]
+            result.breakdown = dict(breakdown)
+        return results
+
     def execute(self, buffers: Dict[str, object], num_trials: int, **options) -> None:
         raise NotImplementedError
+
+    def execute_batch(
+        self, elements: Sequence[Tuple[Dict[str, object], int]], **options
+    ) -> None:
+        """Execute several ``(buffers, num_trials)`` elements.
+
+        The default runs them back to back; parallel engines override this
+        to interleave the elements and batch their grid evaluations.
+        """
+        for buffers, num_trials in elements:
+            self.execute(buffers, num_trials, **options)
+
+    def close(self) -> None:
+        """Release engine-held resources (worker pools, device state).
+
+        The default is a no-op; instances remain usable after ``close`` —
+        engines lazily rebuild what they need.
+        """
+
+    def __enter__(self) -> "EngineInstance":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @runtime_checkable

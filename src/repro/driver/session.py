@@ -257,17 +257,52 @@ class Session:
         """Compile a composition and bind it to ``target``; returns an
         :class:`EngineInstance` whose ``run(inputs, num_trials)`` executes
         trials on that engine."""
-        engine = get_engine(target)  # validate the target before compiling
+        get_engine(target)  # validate the target before compiling
         model = self.compile_model(
             composition, pipeline=pipeline, seed=seed, verify=verify, flags=flags
         )
-        instance_key = (id(model), target)
+        # Bindings are memoized on the model itself, so the session, direct
+        # `model.run(engine=...)` calls and other sessions holding the same
+        # cached model all share one instance (and one worker pool).
+        instance = model.engine_instance(target)
         with self._lock:
-            instance = self._instances.get(instance_key)
-            if instance is None:
-                instance = engine.prepare(model)
-                self._instances[instance_key] = instance
+            self._instances[(id(model), target)] = instance
         return instance
+
+    def run_batch(
+        self,
+        composition: Composition,
+        inputs_batch,
+        target: str = "compiled",
+        num_trials=None,
+        seed=0,
+        pipeline: Union[str, PassManager] = "default<O2>",
+        compile_seed: int = 0,
+        verify: Union[str, bool, None] = None,
+        flags: Optional[Dict[str, object]] = None,
+        **options,
+    ):
+        """Compile (cached) and execute many input batches in one call.
+
+        ``inputs_batch`` is a sequence of ``inputs`` values as accepted by
+        :meth:`EngineInstance.run`; ``num_trials`` and ``seed`` (the *run*
+        seed — ``compile_seed`` is the sanitization seed) may be scalars or
+        per-element sequences.  Returns one :class:`RunResults` per element,
+        bitwise identical to looping ``run`` over the elements — parallel
+        targets batch the elements' grid evaluations into shared pool
+        dispatches (see DESIGN.md, "Parallel grid search").
+        """
+        instance = self.compile(
+            composition,
+            target=target,
+            pipeline=pipeline,
+            seed=compile_seed,
+            verify=verify,
+            flags=flags,
+        )
+        return instance.run_batch(
+            inputs_batch, num_trials=num_trials, seed=seed, **options
+        )
 
     # -- cache management ----------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
@@ -279,12 +314,26 @@ class Session:
                 "instances": len(self._instances),
             }
 
+    def close(self) -> None:
+        """Release engine-held resources (worker pools) of cached bindings."""
+        with self._lock:
+            instances = list(self._instances.values())
+        for instance in instances:
+            instance.close()
+
     def clear(self) -> None:
+        self.close()
         with self._lock:
             self._models.clear()
             self._instances.clear()
             self.hits = 0
             self.misses = 0
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 _DEFAULT_SESSION: Optional[Session] = None

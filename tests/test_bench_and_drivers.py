@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.backends.grid_driver import allocation_for_index, select_best
+from repro.backends.grid_driver import allocation_for_index, grid_strides, select_best
 from repro.bench.harness import FigureReport, figure3_report, figure6_report
 from repro.cogframe.prng import CounterRNG
 
@@ -63,3 +63,20 @@ class TestGridDriverHelpers:
         index = select_best(costs, state, rng_offset=0)
         assert index in (0, 1)
         assert state[1] == 1.0  # one uniform consumed for the single tie
+
+    def test_select_best_draws_for_intermediate_minima_ties(self):
+        """Ties with a minimum later displaced by a lower cost still draw —
+        the serial scan consumed that uniform, so the parallel replay must."""
+        state = [float(CounterRNG.derive_key(0, 1)), 0.0]
+        index = select_best(np.array([5.0, 5.0, 3.0, 4.0]), state, rng_offset=0)
+        assert index == 2
+        assert state[1] == 1.0  # the 5.0/5.0 tie drew even though 3.0 wins
+
+    def test_allocation_with_precomputed_strides_matches(self):
+        levels = [[0.0, 1.0, 2.0], [10.0, 20.0], [5.0, 6.0, 7.0]]
+        strides = grid_strides(levels)
+        assert strides == (6, 3, 1)
+        for index in range(3 * 2 * 3):
+            assert allocation_for_index(levels, index, strides) == allocation_for_index(
+                levels, index
+            )

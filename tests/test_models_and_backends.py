@@ -224,6 +224,25 @@ class TestReservoirSampling:
         with pytest.raises(ValueError):
             merge_chunk_minima([])
 
+    def test_merge_chunk_minima_skips_empty_chunk_sentinels(self):
+        """A (-1, inf) sentinel from an empty/all-NaN chunk must not win a
+        float == tie against a real +inf minimum."""
+        merged = merge_chunk_minima([(4, float("inf"), 2), (-1, float("inf"), 0)])
+        assert merged[0] == 4
+        merged = merge_chunk_minima([(-1, float("inf"), 0), (4, float("inf"), 2)])
+        assert merged[0] == 4
+
+    def test_merge_chunk_minima_rejects_all_nan(self):
+        nan = float("nan")
+        with pytest.raises(ValueError, match="NaN"):
+            merge_chunk_minima([(0, nan, 1), (-1, float("inf"), 0)])
+
+    def test_reservoir_argmin_skips_nan_and_rejects_all_nan(self):
+        index, cost = reservoir_argmin([float("nan"), 2.0, float("nan")])
+        assert (index, cost) == (1, 2.0)
+        with pytest.raises(ValueError, match="NaN"):
+            reservoir_argmin([float("nan"), float("nan")])
+
 
 class TestGpuSimulator:
     def test_vectorized_executor_requires_straight_line(self):
