@@ -48,7 +48,13 @@ from .driver.engines import (
     register_engine,
 )
 from .driver.pipeline import PipelineParseError, parse_pipeline
-from .driver.registry import list_passes, register_pass, register_pipeline_alias
+from .driver.registry import (
+    list_passes,
+    pass_metadata,
+    pass_preserves,
+    register_pass,
+    register_pipeline_alias,
+)
 from .driver.session import Session, compile, default_session, structural_fingerprint
 
 __version__ = "1.1.0"
@@ -62,6 +68,8 @@ __all__ = [
     "parse_pipeline",
     "PipelineParseError",
     "list_passes",
+    "pass_preserves",
+    "pass_metadata",
     "register_pass",
     "register_pipeline_alias",
     "list_engines",

@@ -15,6 +15,9 @@ of the ordinary pass/analysis infrastructure:
   detection for nodes and whole models (§4.4, Figure 3).
 * :mod:`repro.analysis.cdfg` — control/data-flow graph extraction and
   model-shape matching (the observation underpinning §4).
+* :mod:`repro.analysis.manager` — the caching :class:`AnalysisManager` with
+  preserved-analyses invalidation that makes all of the above first-class
+  cached pipeline citizens (see DESIGN.md, "The analysis manager").
 """
 
 from .cdfg import build_cdfg, cdfg_statistics, matches_model_structure, model_flow_graph
@@ -27,6 +30,13 @@ from .clone_detect import (
 )
 from .fastmath import FastMathReport, analyze_fastmath
 from .intervals import Interval, join_all
+from .manager import (
+    CFG_ANALYSES,
+    AnalysisManager,
+    PreservedAnalyses,
+    register_function_analysis,
+    register_module_analysis,
+)
 from .mesh_refine import MeshRefiner, RefinementResult, RefinementStep, refine_parameter
 from .scev import (
     AddRecurrence,
@@ -38,6 +48,11 @@ from .scev import (
 from .vrp import ValueRangePropagation, VRPResult, analyze_ranges
 
 __all__ = [
+    "AnalysisManager",
+    "PreservedAnalyses",
+    "CFG_ANALYSES",
+    "register_function_analysis",
+    "register_module_analysis",
     "Interval",
     "join_all",
     "ValueRangePropagation",

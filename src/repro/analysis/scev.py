@@ -85,12 +85,18 @@ class ScalarEvolution:
         function: Function,
         arg_ranges: Optional[Dict[object, Interval]] = None,
         assume_normal_range: Optional[float] = 6.0,
+        loopinfo: Optional[LoopInfo] = None,
+        vrp: Optional[VRPResult] = None,
     ):
+        """``loopinfo``/``vrp`` accept precomputed results (the analysis
+        manager passes its cached ones, so SCEV stops rebuilding its own
+        dominator tree); when omitted they are computed here with
+        ``arg_ranges``/``assume_normal_range``."""
         self.function = function
-        self.vrp: VRPResult = ValueRangePropagation(
+        self.vrp: VRPResult = vrp if vrp is not None else ValueRangePropagation(
             function, arg_ranges, assume_normal_range
         ).run()
-        self.loopinfo = LoopInfo(function)
+        self.loopinfo = loopinfo if loopinfo is not None else LoopInfo(function)
 
     # -- public API -----------------------------------------------------------------
     def analyze(self) -> List[LoopEvolution]:

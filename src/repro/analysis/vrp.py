@@ -63,6 +63,14 @@ class VRPResult:
                 return Interval.point(float(value.value))
         return self._ranges.get(id(value), Interval.top())
 
+    def all_ranges(self) -> Dict[int, Interval]:
+        """The full interval environment: ``id(value) -> Interval``.
+
+        This is what the analysis manager serves under the ``intervals``
+        name; the returned dict is a snapshot, safe to mutate.
+        """
+        return dict(self._ranges)
+
     def range_of_name(self, name: str) -> Interval:
         """Range of the first value whose name matches ``name``."""
         for block in self.function.blocks:

@@ -58,6 +58,13 @@ class CompileStats:
     lower_seconds: float = 0.0
     instructions_before: int = 0
     instructions_after: int = 0
+    #: Analysis-manager cache counters for the optimisation pipeline (hits
+    #: are analyses served from cache, misses were computed; skipped_passes
+    #: counts per-function pass visits elided by clean-run records).
+    analysis_hits: int = 0
+    analysis_misses: int = 0
+    analysis_invalidations: int = 0
+    analysis_skipped_passes: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -95,6 +102,9 @@ class CompiledModel:
         self.opt_level = opt_level
         self.flags = dict(flags or {})
         self.stats = stats
+        #: ``AnalysisManager.cache_info()`` of the compile that produced this
+        #: model (filled in by :func:`compile_composition`).
+        self.analysis_stats: Dict[str, object] = {}
         self._compiled = compiled_functions
         self._engine_instances: Dict[str, object] = {}
         self._engine_lock = threading.Lock()
@@ -377,8 +387,21 @@ def compile_composition(
     recorded on the returned model and participates in
     :class:`repro.Session` cache keys.  ``opt_level`` is informational (set
     by the deprecated :func:`compile_model` shim).
+
+    Each compile owns one :class:`repro.analysis.manager.AnalysisManager`:
+    analyses (dominator trees, loop info, ...) computed by one pass are
+    reused by later passes until invalidated, and its hit/miss counters are
+    recorded in :class:`CompileStats` and on ``CompiledModel.analysis_stats``
+    (reported by the Figure 7 harness).  Pass ``flags={"analysis_cache":
+    False}`` for the cold reference configuration that recomputes every
+    analysis per pass — used by the differential tests and benchmarks.
     """
+    from ..analysis.manager import AnalysisManager
+
     pipeline = resolve_pipeline(pipeline, verify=verify)
+    analysis_manager = AnalysisManager(
+        enabled=bool((flags or {}).get("analysis_cache", True))
+    )
 
     stats = CompileStats()
 
@@ -399,15 +422,25 @@ def compile_composition(
     # generated module is checked before the first pass runs, and the
     # optimised module after the last one.
     start = time.perf_counter()
-    pipeline.run(artifacts.module)
+    pipeline.run(artifacts.module, analysis_manager)
     stats.optimize_seconds = time.perf_counter() - start
     stats.instructions_after = artifacts.module.instruction_count()
+    stats.analysis_hits = analysis_manager.hits
+    stats.analysis_misses = analysis_manager.misses
+    stats.analysis_invalidations = analysis_manager.invalidations
+    stats.analysis_skipped_passes = analysis_manager.skipped_passes
+    analysis_stats = analysis_manager.cache_info()
+    # The manager's lifetime is this compile: release the cached analyses
+    # (and the pipeline's back-reference) so session-memoized models do not
+    # pin dominator trees and range maps that can never be read again.
+    analysis_manager.clear()
+    pipeline.analysis_manager = None
 
     start = time.perf_counter()
     compiled_functions = PythonCodeGenerator(artifacts.module).compile()
     stats.lower_seconds = time.perf_counter() - start
 
-    return CompiledModel(
+    model = CompiledModel(
         composition,
         info,
         layout,
@@ -418,6 +451,8 @@ def compile_composition(
         opt_level=opt_level,
         flags=flags,
     )
+    model.analysis_stats = analysis_stats
+    return model
 
 
 def compile_model(

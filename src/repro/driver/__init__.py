@@ -30,6 +30,8 @@ _LAZY_EXPORTS = {
     "create_pass": "registry",
     "list_passes": "registry",
     "list_pipeline_aliases": "registry",
+    "pass_preserves": "registry",
+    "pass_metadata": "registry",
     "parse_pipeline": "pipeline",
     "PipelineParseError": "pipeline",
     "ExecutionEngine": "engines",
@@ -62,6 +64,8 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         create_pass,
         list_passes,
         list_pipeline_aliases,
+        pass_metadata,
+        pass_preserves,
         register_pass,
         register_pipeline_alias,
     )

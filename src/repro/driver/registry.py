@@ -140,6 +140,41 @@ def list_passes() -> Tuple[str, ...]:
     return tuple(sorted(_PASS_REGISTRY))
 
 
+def pass_preserves(name: str):
+    """The ``preserves`` declaration of the registered pass ``name``.
+
+    Returns the raw declaration (``"all"``, ``"cfg"``, ``"none"`` or an
+    iterable of analysis names) read from the pass class; coerce with
+    :func:`repro.analysis.manager.coerce_preserved` when a
+    :class:`~repro.analysis.manager.PreservedAnalyses` is needed.  Passes
+    without a declaration report ``"none"`` — the conservative default.
+    """
+    _ensure_builtins()
+    factory = _PASS_REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(sorted(_PASS_REGISTRY))
+        raise PipelineParseError(f"unknown pass {name!r}; known passes: {known}")
+    return getattr(factory, "preserves", "none")
+
+
+def pass_metadata(name: str) -> Dict[str, object]:
+    """Registry metadata for one pass: its name, ``preserves`` declaration
+    and docstring summary (used by tooling and the DESIGN.md tables)."""
+    factory = _PASS_REGISTRY.get(name)
+    if factory is None:
+        _ensure_builtins()
+        factory = _PASS_REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(sorted(_PASS_REGISTRY))
+        raise PipelineParseError(f"unknown pass {name!r}; known passes: {known}")
+    doc = (factory.__doc__ or "").strip().splitlines()
+    return {
+        "name": name,
+        "preserves": getattr(factory, "preserves", "none"),
+        "summary": doc[0] if doc else "",
+    }
+
+
 def list_pipeline_aliases() -> Tuple[str, ...]:
     """Names of every registered pipeline alias, sorted."""
     _ensure_builtins()

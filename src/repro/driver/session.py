@@ -220,6 +220,12 @@ class Session:
         With ``verify=None`` a textual pipeline gets the session's default
         policy and a prebuilt :class:`PassManager` keeps its own; an
         explicit policy always wins (the manager is rewrapped, not mutated).
+
+        Every (non-memoized) compile owns a fresh
+        :class:`repro.analysis.manager.AnalysisManager`, so analyses are
+        cached across the pipeline's passes; pass
+        ``flags={"analysis_cache": False}`` to compile cold (and get a
+        distinct cache key, since flags participate in it).
         """
         from ..core.distill import compile_composition
 

@@ -33,3 +33,12 @@ class UnsupportedConstructError(CompilationError):
 
 class EngineError(ReproError):
     """An execution engine failed or was misconfigured."""
+
+
+class StaleAnalysisError(CompilationError):
+    """A pass declared an analysis preserved that its mutations invalidated.
+
+    Raised by :class:`repro.analysis.manager.AnalysisManager` in ``audit``
+    mode when a pass reports a change, claims an analysis is preserved, and a
+    recomputation of that analysis disagrees with the cached result.
+    """

@@ -109,18 +109,29 @@ class Instruction(Value):
         old.remove_use(self)
         self.operands[index] = value
         value.add_use(self)
+        self.notify_mutation()
 
     def replace_operand(self, old: Value, new: Value) -> None:
+        replaced = False
         for i, op in enumerate(self.operands):
             if op is old:
                 self.operands[i] = new
                 old.remove_use(self)
                 new.add_use(self)
+                replaced = True
+        if replaced:
+            self.notify_mutation()
 
     def drop_operands(self) -> None:
         for op in self.operands:
             op.remove_use(self)
         self.operands = []
+
+    def notify_mutation(self) -> None:
+        """Bump the owning function's mutation counter (no-op when detached)."""
+        block = self.parent
+        if block is not None and block.parent is not None:
+            block.parent.notify_mutation()
 
     # -- classification ------------------------------------------------------
     def has_side_effects(self) -> bool:
@@ -134,8 +145,11 @@ class Instruction(Value):
     def erase(self) -> None:
         """Remove this instruction from its parent block and drop operands."""
         if self.parent is not None:
-            self.parent.instructions.remove(self)
+            block = self.parent
+            block.instructions.remove(self)
             self.parent = None
+            if block.parent is not None:
+                block.parent.notify_mutation()
         self.drop_operands()
 
     def __str__(self) -> str:
@@ -414,6 +428,7 @@ class Phi(Instruction):
     def add_incoming(self, value: Value, block: "BasicBlock") -> None:
         self.add_operand(value)
         self.incoming_blocks.append(block)
+        self.notify_mutation()
 
     def incoming(self) -> list[tuple[Value, "BasicBlock"]]:
         return list(zip(self.operands, self.incoming_blocks))
@@ -427,14 +442,18 @@ class Phi(Instruction):
     def remove_incoming_block(self, block: "BasicBlock") -> None:
         """Drop the incoming edge from ``block`` (used by CFG simplification)."""
         keep_values, keep_blocks = [], []
+        removed = False
         for value, pred in self.incoming():
             if pred is block:
                 value.remove_use(self)
+                removed = True
             else:
                 keep_values.append(value)
                 keep_blocks.append(pred)
         self.operands = keep_values
         self.incoming_blocks = keep_blocks
+        if removed:
+            self.notify_mutation()
 
     def __str__(self) -> str:
         pairs = ", ".join(

@@ -21,11 +21,28 @@ class BasicBlock:
     def append(self, instr: Instruction) -> Instruction:
         instr.parent = self
         self.instructions.append(instr)
+        if self.parent is not None:
+            self.parent.notify_mutation()
         return instr
 
     def insert(self, index: int, instr: Instruction) -> Instruction:
         instr.parent = self
         self.instructions.insert(index, instr)
+        if self.parent is not None:
+            self.parent.notify_mutation()
+        return instr
+
+    def remove(self, instr: Instruction) -> Instruction:
+        """Detach ``instr`` from this block without dropping its operands.
+
+        Used by passes that *move* an instruction (LICM); pair with
+        :meth:`append`/:meth:`insert` on the destination block so the owning
+        function's mutation counter observes both halves of the move.
+        """
+        self.instructions.remove(instr)
+        instr.parent = None
+        if self.parent is not None:
+            self.parent.notify_mutation()
         return instr
 
     # -- queries ----------------------------------------------------------
@@ -103,6 +120,27 @@ class Function:
             arg_name = names[i] if i < len(names) else f"arg{i}"
             self.args.append(Argument(ptype, arg_name, i))
         self._name_counter = 0
+        self._mutation_count = 0
+
+    # -- mutation tracking -------------------------------------------------
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic counter bumped by every IR mutation of this function.
+
+        The :class:`repro.analysis.manager.AnalysisManager` keys its cached
+        analyses on this counter: a cached result is valid while the counter
+        has not moved since it was computed (or while intervening passes
+        declared the analysis preserved).  Every mutation API in
+        :mod:`repro.ir` — block/instruction insertion and removal, operand
+        rewriting, phi edge edits — bumps it; code that mutates the IR
+        through raw list surgery must call :meth:`notify_mutation` itself.
+        """
+        return self._mutation_count
+
+    def notify_mutation(self) -> None:
+        self._mutation_count += 1
+        if self.module is not None:
+            self.module._mutation_count += 1
 
     # -- block / naming management ----------------------------------------
     def append_block(self, name: str = "") -> BasicBlock:
@@ -147,6 +185,17 @@ class Module:
         self.name = name
         self.functions: dict[str, Function] = {}
         self.structs: dict[str, StructType] = {}
+        self._mutation_count = 0
+
+    # -- mutation tracking ---------------------------------------------------
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic counter: bumped by function-set changes and by every
+        mutation of any contained function (see :meth:`Function.notify_mutation`)."""
+        return self._mutation_count
+
+    def notify_mutation(self) -> None:
+        self._mutation_count += 1
 
     # -- functions -----------------------------------------------------------
     def add_function(
@@ -159,6 +208,7 @@ class Module:
             raise ValueError(f"function {name!r} already defined in module {self.name}")
         fn = Function(name, ftype, self, arg_names)
         self.functions[name] = fn
+        self._mutation_count += 1
         return fn
 
     def get_function(self, name: str) -> Function:
@@ -180,6 +230,7 @@ class Module:
         fn = Function(name, ftype, self)
         fn.intrinsic_name = intrinsic
         self.functions[name] = fn
+        self._mutation_count += 1
         return fn
 
     # -- structs ---------------------------------------------------------------

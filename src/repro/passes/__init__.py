@@ -16,7 +16,7 @@ from .instcombine import InstCombine
 from .licm import LoopInvariantCodeMotion
 from .loopinfo import Loop, LoopInfo
 from .mem2reg import Mem2Reg
-from .pass_base import FunctionPass, ModulePass, Pass, PassTiming
+from .pass_base import FunctionPass, ModulePass, Pass, PassTiming, call_pass
 from .pass_manager import (
     VERIFY_POLICIES,
     FixpointPass,
@@ -34,6 +34,7 @@ __all__ = [
     "FunctionPass",
     "ModulePass",
     "PassTiming",
+    "call_pass",
     "PassManager",
     "RepeatPass",
     "FixpointPass",

@@ -97,8 +97,11 @@ class ConstantPropagation(FunctionPass):
     """Iteratively fold constant expressions and simplify trivial phis/selects."""
 
     name = "constprop"
+    #: Folds non-terminator instructions in place; branch folding on constant
+    #: conditions is SimplifyCFG's job, so the CFG shape never changes here.
+    preserves = "cfg"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function, am=None) -> bool:
         changed = False
         again = True
         while again:

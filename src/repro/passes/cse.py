@@ -85,11 +85,13 @@ class CommonSubexpressionElimination(FunctionPass):
     """Dominator-tree scoped CSE for pure expressions."""
 
     name = "cse"
+    #: Replaces/erases non-terminators only; the CFG shape is untouched.
+    preserves = "cfg"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function, am=None) -> bool:
         if not function.blocks:
             return False
-        domtree = DominatorTree(function)
+        domtree = am.get(DominatorTree, function) if am is not None else DominatorTree(function)
         changed = False
 
         def walk(block, available: Dict[Tuple, Value]) -> None:

@@ -18,8 +18,11 @@ class DeadCodeElimination(FunctionPass):
     """Iteratively remove unused pure instructions and dead allocas."""
 
     name = "dce"
+    #: Only non-terminator instructions are removed: block structure and
+    #: edges are untouched, so the CFG analyses stay valid.
+    preserves = "cfg"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function, am=None) -> bool:
         changed = False
         again = True
         while again:

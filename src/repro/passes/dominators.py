@@ -16,7 +16,16 @@ from ..ir.module import BasicBlock, Function
 class DominatorTree:
     """Immediate-dominator tree of a function's CFG."""
 
+    #: Tests set this to a dict to record per-function construction counts
+    #: (``{function name: count}``); the acceptance tests pin the number of
+    #: dominator-tree builds an O2 compile may perform per function.  ``None``
+    #: (the default) disables recording entirely.
+    construction_counts: Optional[Dict[str, int]] = None
+
     def __init__(self, function: Function):
+        counts = DominatorTree.construction_counts
+        if counts is not None:
+            counts[function.name] = counts.get(function.name, 0) + 1
         self.function = function
         self.rpo = reverse_post_order(function)
         self._rpo_index = {id(b): i for i, b in enumerate(self.rpo)}

@@ -20,6 +20,21 @@ from ..driver.registry import register_pass
 from .pass_base import ModulePass
 
 
+def count_call_sites(module: Module) -> Dict[str, int]:
+    """Call-site counts per callee name across the module's defined functions.
+
+    Shared by the inliner's one-call-site heuristic and the analysis
+    manager's ``callgraph`` analysis — the two must agree, or inlining
+    decisions would diverge between cached and cold compiles.
+    """
+    counts: Dict[str, int] = {}
+    for function in module.defined_functions():
+        for instr in function.instructions():
+            if isinstance(instr, Call):
+                counts[instr.callee.name] = counts.get(instr.callee.name, 0) + 1
+    return counts
+
+
 @register_pass("inline")
 class Inliner(ModulePass):
     """Inline calls to defined functions into their callers.
@@ -35,14 +50,19 @@ class Inliner(ModulePass):
     """
 
     name = "inline"
+    #: Splices callee bodies into callers: caller CFGs change wholesale, and
+    #: the call graph with them — nothing survives.
+    preserves = "none"
 
     def __init__(self, threshold: int = 80, aggressive: bool = False):
         self.threshold = threshold
         self.aggressive = aggressive
 
-    def run(self, module: Module) -> bool:
+    def run(self, module: Module, am=None) -> bool:
         changed = False
-        call_counts = self._count_call_sites(module)
+        call_counts = (
+            dict(am.get("callgraph", module)) if am is not None else self._count_call_sites(module)
+        )
         # Iterate because inlining can expose further inlinable call sites
         # (node functions calling library functions, etc.).
         for _ in range(8):
@@ -56,13 +76,7 @@ class Inliner(ModulePass):
         return changed
 
     # -- heuristics -------------------------------------------------------------
-    def _count_call_sites(self, module: Module) -> Dict[str, int]:
-        counts: Dict[str, int] = {}
-        for function in module.defined_functions():
-            for instr in function.instructions():
-                if isinstance(instr, Call):
-                    counts[instr.callee.name] = counts.get(instr.callee.name, 0) + 1
-        return counts
+    _count_call_sites = staticmethod(count_call_sites)
 
     def _should_inline(self, caller: Function, callee: Function, call_counts: Dict[str, int]) -> bool:
         if callee.is_declaration:

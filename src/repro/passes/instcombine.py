@@ -27,6 +27,8 @@ class InstCombine(FunctionPass):
     """Apply simple algebraic identities."""
 
     name = "instcombine"
+    #: Peephole rewrites of non-terminators; the CFG shape never changes.
+    preserves = "cfg"
 
     def __init__(self, allow_fast_math: bool = False, fast_math_values: set | None = None):
         #: When true, identities that assume "no NaN / no signed zero" are
@@ -38,7 +40,7 @@ class InstCombine(FunctionPass):
     def _fast_ok(self, value: Value) -> bool:
         return self.allow_fast_math or id(value) in self.fast_math_values
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function, am=None) -> bool:
         changed = False
         for block in function.blocks:
             for instr in list(block.instructions):

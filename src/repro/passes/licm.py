@@ -23,11 +23,13 @@ class LoopInvariantCodeMotion(FunctionPass):
     """Hoist loop-invariant pure computations to loop preheaders."""
 
     name = "licm"
+    #: Moves instructions between existing blocks; the CFG is untouched.
+    preserves = "cfg"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function, am=None) -> bool:
         if not function.blocks:
             return False
-        loopinfo = LoopInfo(function)
+        loopinfo = am.get(LoopInfo, function) if am is not None else LoopInfo(function)
         if not loopinfo.loops:
             return False
         changed = False
@@ -70,10 +72,9 @@ class LoopInvariantCodeMotion(FunctionPass):
                         continue
                     if not is_invariant(instr):
                         continue
-                    block.instructions.remove(instr)
+                    block.remove(instr)
                     insert_at = len(preheader.instructions) - 1  # before terminator
-                    preheader.instructions.insert(insert_at, instr)
-                    instr.parent = preheader
+                    preheader.insert(insert_at, instr)
                     hoisted_ids.add(id(instr))
                     changed = again = True
         return changed

@@ -44,8 +44,11 @@ class Mem2Reg(FunctionPass):
     """Rewrite promotable allocas into SSA values with phi nodes."""
 
     name = "mem2reg"
+    #: Inserts phis and erases loads/stores/allocas; blocks and edges are
+    #: untouched, so the dominator tree it consumed stays valid.
+    preserves = "cfg"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function, am=None) -> bool:
         if not function.blocks:
             return False
         allocas = [
@@ -57,7 +60,7 @@ class Mem2Reg(FunctionPass):
         if not allocas:
             return False
 
-        domtree = DominatorTree(function)
+        domtree = am.get(DominatorTree, function) if am is not None else DominatorTree(function)
         frontiers = domtree.dominance_frontiers()
 
         # 1. Place phi nodes at iterated dominance frontiers of defining blocks.

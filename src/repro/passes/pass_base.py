@@ -1,11 +1,74 @@
-"""Base classes for IR transformation and analysis passes."""
+"""Base classes for IR transformation and analysis passes.
+
+Passes run as ``pass.run(module, am)`` where ``am`` is the compile's
+:class:`repro.analysis.manager.AnalysisManager` (or ``None`` for a bare run).
+Every pass declares, via its ``preserves`` class attribute, which cached
+analyses a *changed* run leaves valid:
+
+* ``"all"`` — the pass never invalidates anything;
+* ``"cfg"`` — block structure and edges are untouched (DCE, CSE, constant
+  propagation, instcombine, LICM, mem2reg), so ``domtree``/``loopinfo``/
+  ``cfg-preds`` survive;
+* ``"none"`` (the default) — everything is invalidated (SimplifyCFG, the
+  inliner, and any external pass that does not declare otherwise).
+
+A run that reports *no change* implicitly preserves everything, and is
+recorded by the manager so the same pass can be skipped on the same
+still-unmutated function later (see ``AnalysisManager.should_skip``).
+
+Backwards compatibility: external passes written against the old
+single-argument interface (``run(self, module)`` /
+``run_on_function(self, function)``) keep working — :func:`call_pass`
+inspects the override's signature and only threads the manager through when
+it is accepted.  Such passes simply do not benefit from cached analyses or
+pass skipping.
+"""
 
 from __future__ import annotations
 
-import time
-from typing import List, Optional
+import inspect
+from typing import List, Optional, Sequence
 
 from ..ir.module import Function, Module
+
+
+def _accepts_am(callable_) -> bool:
+    """True if ``callable_`` (a bound run/run_on_function) takes the analysis
+    manager.
+
+    The manager parameter must be *named* ``am`` (the convention every
+    builtin pass follows), or the signature must take ``**kwargs``; the
+    manager is always passed as the keyword ``am=...``.  A legacy override
+    with some other second parameter (``run(self, module, verbose=False)``)
+    is deliberately NOT matched — binding the manager to an unrelated
+    defaulted argument is exactly the kind of silent breakage this shim
+    exists to prevent.
+    """
+    try:
+        sig = inspect.signature(callable_)
+    except (TypeError, ValueError):  # builtins/partials: assume modern
+        return True
+    for param in sig.parameters.values():
+        if param.kind is param.VAR_KEYWORD:
+            return True
+        if param.name == "am" and param.kind is not param.POSITIONAL_ONLY:
+            return True
+    return False
+
+
+def call_pass(pass_, module: Module, am=None) -> bool:
+    """Invoke ``pass_.run`` with the analysis manager when it is accepted.
+
+    Returns the pass's changed flag.  The decision is memoized per instance
+    (``_run_accepts_am``) so the signature is inspected once.
+    """
+    accepts = getattr(pass_, "_run_accepts_am", None)
+    if accepts is None:
+        accepts = _accepts_am(pass_.run)
+        pass_._run_accepts_am = accepts
+    if accepts:
+        return pass_.run(module, am=am)
+    return pass_.run(module)
 
 
 class Pass:
@@ -14,37 +77,103 @@ class Pass:
     #: Short identifier used in pipeline descriptions and timing reports.
     name = "pass"
 
-    def run(self, module: Module) -> bool:
+    #: Analyses a *changed* run leaves valid: ``"all"``, ``"cfg"``, ``"none"``,
+    #: an iterable of analysis names, or a
+    #: :class:`repro.analysis.manager.PreservedAnalyses`.  Unknown/legacy
+    #: passes default to ``"none"`` — maximally conservative.
+    preserves = "none"
+
+    def run(self, module: Module, am=None) -> bool:
         raise NotImplementedError
 
 
 class FunctionPass(Pass):
-    """A pass that processes one function at a time."""
+    """A pass that processes one function at a time.
 
-    def run(self, module: Module) -> bool:
+    When an analysis manager is threaded through, the per-function loop
+
+    * skips functions this pass already ran clean on and that have not been
+      mutated since (``am.should_skip``), and
+    * reports each visit back (``am.after_function_pass``) so preserved
+      analyses are re-stamped and the rest invalidated at function
+      granularity.
+    """
+
+    #: Marks that this pass does its own per-function invalidation
+    #: bookkeeping when it receives a manager, so the enclosing
+    #: :class:`PassManager` must not apply module-wide invalidation again.
+    handles_invalidation = True
+
+    def run(self, module: Module, am=None) -> bool:
+        accepts = getattr(self, "_rof_accepts_am", None)
+        if accepts is None:
+            accepts = _accepts_am(self.run_on_function)
+            self._rof_accepts_am = accepts
         changed = False
         for function in module.defined_functions():
-            changed |= self.run_on_function(function)
+            if am is not None and am.should_skip(self, function):
+                continue
+            if accepts:
+                fn_changed = self.run_on_function(function, am=am)
+            else:
+                fn_changed = self.run_on_function(function)
+            if am is not None:
+                am.after_function_pass(self, function, fn_changed)
+            changed |= fn_changed
         return changed
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function, am=None) -> bool:
         raise NotImplementedError
 
 
 class ModulePass(Pass):
     """A pass that needs to see the whole module (e.g. the inliner)."""
 
-    def run(self, module: Module) -> bool:
+    def run(self, module: Module, am=None) -> bool:
         raise NotImplementedError
 
 
 class PassTiming:
-    """Wall-clock timing record for a single pass execution."""
+    """Wall-clock timing record for a single pass execution.
 
-    def __init__(self, name: str, seconds: float, changed: bool):
+    ``children`` holds the per-iteration / per-pass records of a nested
+    pipeline (``repeat<N>(...)``, ``fixpoint(...)``, or a nested manager):
+    ``seconds`` of this record already covers them, so summing one level of a
+    timing tree never double-counts.  ``converged`` is set on ``fixpoint``
+    records: ``False`` means the loop hit its iteration bound while still
+    changing the module.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        seconds: float,
+        changed: bool,
+        children: Sequence["PassTiming"] = (),
+        converged: Optional[bool] = None,
+    ):
         self.name = name
         self.seconds = seconds
         self.changed = changed
+        self.children: List[PassTiming] = list(children)
+        self.converged = converged
+
+    def leaves(self) -> List["PassTiming"]:
+        """The leaf records of this timing subtree (self if childless)."""
+        if not self.children:
+            return [self]
+        result: List[PassTiming] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"<PassTiming {self.name}: {self.seconds * 1e3:.2f} ms changed={self.changed}>"
+        extra = ""
+        if self.children:
+            extra += f" children={len(self.children)}"
+        if self.converged is not None:
+            extra += f" converged={self.converged}"
+        return (
+            f"<PassTiming {self.name}: {self.seconds * 1e3:.2f} ms "
+            f"changed={self.changed}{extra}>"
+        )

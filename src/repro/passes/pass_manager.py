@@ -33,10 +33,25 @@ from typing import List, Optional, Sequence, Union
 from ..driver.registry import create_pass, register_pipeline_alias
 from ..ir.module import Module
 from ..ir.verifier import verify_module
-from .pass_base import Pass, PassTiming
+from .pass_base import Pass, PassTiming, call_pass
 
 #: Accepted verification policies, in decreasing order of paranoia.
 VERIFY_POLICIES = ("each", "boundary", "off")
+
+
+def _new_analysis_manager():
+    # Imported lazily: repro.analysis.clone_detect imports this module at
+    # package-init time, so a top-level import here would be circular.
+    from ..analysis.manager import AnalysisManager
+
+    return AnalysisManager()
+
+
+def _nested_timings(pass_: Pass) -> List[PassTiming]:
+    """The per-entry timing records of a nested pipeline pass, if any."""
+    if isinstance(pass_, (PassManager, RepeatPass, FixpointPass)):
+        return list(pass_.timings)
+    return []
 
 
 def coerce_verify_policy(verify: Union[str, bool, None]) -> str:
@@ -73,7 +88,16 @@ class PassManager(Pass):
     and ``fixpoint(...)`` constructs build on this).  Nested managers default
     to ``verify="off"`` when built by the parser — the outermost pipeline
     owns the verification policy.
+
+    ``run`` threads one :class:`repro.analysis.manager.AnalysisManager`
+    through every pass (creating a fresh one when the caller supplies none),
+    so analyses computed by one pass are reused by the next until a pass that
+    does not preserve them reports a change.  The manager used by the last
+    run is kept on ``analysis_manager`` for inspection.
     """
+
+    #: Nested pipelines do their own invalidation bookkeeping pass-by-pass.
+    handles_invalidation = True
 
     def __init__(
         self,
@@ -85,23 +109,50 @@ class PassManager(Pass):
         self.verify = coerce_verify_policy(verify)
         self.name = name
         self.timings: List[PassTiming] = []
+        self.analysis_manager = None
 
     def add(self, pass_: Pass) -> "PassManager":
         self.passes.append(pass_)
         return self
 
-    def run(self, module: Module) -> bool:
+    def run(self, module: Module, am=None) -> bool:
         """Run every pass once, in order.  Returns True if anything changed."""
+        if am is None:
+            am = _new_analysis_manager()
+        self.analysis_manager = am
         self.timings = []
         changed = False
         if self.verify != "off":
             verify_module(module)
         for pass_ in self.passes:
+            if am.should_skip(pass_, module):
+                # The pass last ran clean on this module and nothing has
+                # mutated it since — a deterministic pass finds no new work.
+                self.timings.append(PassTiming(pass_.name, 0.0, False))
+                continue
             start = time.perf_counter()
-            pass_changed = pass_.run(module)
+            pass_changed = call_pass(pass_, module, am)
             elapsed = time.perf_counter() - start
-            self.timings.append(PassTiming(pass_.name, elapsed, pass_changed))
+            self.timings.append(
+                PassTiming(
+                    pass_.name,
+                    elapsed,
+                    pass_changed,
+                    children=_nested_timings(pass_),
+                    converged=getattr(pass_, "converged", None)
+                    if isinstance(pass_, FixpointPass)
+                    else None,
+                )
+            )
             changed |= pass_changed
+            # Function passes (and nested pipelines) report per-function
+            # visits to the manager themselves; for module-level and legacy
+            # passes apply the preserved-analyses sweep module-wide here.
+            if not (
+                getattr(pass_, "handles_invalidation", False)
+                and getattr(pass_, "_run_accepts_am", False)
+            ):
+                am.after_module_pass(pass_, module, pass_changed)
             if self.verify == "each":
                 verify_module(module)
         if self.verify == "boundary" and self.passes:
@@ -110,6 +161,31 @@ class PassManager(Pass):
 
     def total_seconds(self) -> float:
         return sum(t.seconds for t in self.timings)
+
+    def flat_timings(self) -> List[PassTiming]:
+        """Leaf timing records with nested pipelines expanded.
+
+        ``timings`` has one entry per pipeline *entry*; a ``repeat``/
+        ``fixpoint`` entry hides its inner per-iteration records in
+        ``children``.  This flattens to the individual pass executions, so
+        per-pass aggregation (the Figure 7 report) attributes nested work to
+        the passes that did it instead of lumping it under ``repeat<N>``.
+        """
+        leaves: List[PassTiming] = []
+        for timing in self.timings:
+            leaves.extend(timing.leaves())
+        return leaves
+
+    def aggregate_timings(self) -> dict:
+        """Total seconds and execution counts per pass name, nested included:
+        ``{name: {"seconds": float, "runs": int, "changed": int}}``."""
+        summary: dict = {}
+        for timing in self.flat_timings():
+            row = summary.setdefault(timing.name, {"seconds": 0.0, "runs": 0, "changed": 0})
+            row["seconds"] += timing.seconds
+            row["runs"] += 1
+            row["changed"] += 1 if timing.changed else 0
+        return summary
 
     def describe(self) -> str:
         """Canonical textual pipeline; ``parse_pipeline`` round-trips it."""
@@ -120,8 +196,13 @@ class RepeatPass(Pass):
     """Run an inner pass (or sub-pipeline) a fixed number of times.
 
     Textual forms: ``repeat<2>(cse,dce)`` or the per-pass shorthand
-    ``cse(iterations=2)``.
+    ``cse(iterations=2)``.  Per-iteration timings are collected in
+    ``timings`` and surface as ``children`` of this entry's record in the
+    enclosing :class:`PassManager` — nested pipeline work is attributed, not
+    swallowed.
     """
+
+    handles_invalidation = True
 
     def __init__(self, inner: Pass, iterations: int):
         if iterations < 1:
@@ -129,11 +210,32 @@ class RepeatPass(Pass):
         self.inner = inner
         self.iterations = int(iterations)
         self.name = f"repeat<{self.iterations}>"
+        self.timings: List[PassTiming] = []
 
-    def run(self, module: Module) -> bool:
+    def run(self, module: Module, am=None) -> bool:
+        self.timings = []
         changed = False
         for _ in range(self.iterations):
-            changed |= self.inner.run(module)
+            if am is not None and am.should_skip(self.inner, module):
+                self.timings.append(PassTiming(self.inner.name, 0.0, False))
+                continue
+            start = time.perf_counter()
+            iteration_changed = call_pass(self.inner, module, am)
+            elapsed = time.perf_counter() - start
+            self.timings.append(
+                PassTiming(
+                    self.inner.name,
+                    elapsed,
+                    iteration_changed,
+                    children=_nested_timings(self.inner),
+                )
+            )
+            if am is not None and not (
+                getattr(self.inner, "handles_invalidation", False)
+                and getattr(self.inner, "_run_accepts_am", False)
+            ):
+                am.after_module_pass(self.inner, module, iteration_changed)
+            changed |= iteration_changed
         return changed
 
     def describe(self) -> str:
@@ -147,9 +249,18 @@ class FixpointPass(Pass):
     *while* the previous round reported a change, bounded by
     ``max_iterations``.  Textual forms: ``fixpoint(instcombine,dce)`` or
     ``fixpoint<5>(...)``.
+
+    After a run, ``converged`` records whether the loop actually reached a
+    fixed point (``False`` = it hit ``max_iterations`` while the last round
+    still changed the module — previously indistinguishable from
+    convergence) and ``iterations_run`` how many rounds executed.  Both
+    surface in the enclosing manager's timing records and in
+    ``describe(with_state=True)``.
     """
 
     DEFAULT_MAX_ITERATIONS = 10
+
+    handles_invalidation = True
 
     def __init__(self, inner: Pass, max_iterations: int = DEFAULT_MAX_ITERATIONS):
         if max_iterations < 1:
@@ -157,17 +268,52 @@ class FixpointPass(Pass):
         self.inner = inner
         self.max_iterations = int(max_iterations)
         self.name = f"fixpoint<{self.max_iterations}>"
+        self.timings: List[PassTiming] = []
+        self.converged: Optional[bool] = None
+        self.iterations_run = 0
 
-    def run(self, module: Module) -> bool:
+    def run(self, module: Module, am=None) -> bool:
+        self.timings = []
+        self.converged = False
+        self.iterations_run = 0
         changed = False
         for _ in range(self.max_iterations):
-            if not self.inner.run(module):
+            if am is not None and am.should_skip(self.inner, module):
+                # Nothing mutated since the inner pipeline's last clean run:
+                # the fixed point is already reached.
+                self.converged = True
+                break
+            start = time.perf_counter()
+            iteration_changed = call_pass(self.inner, module, am)
+            elapsed = time.perf_counter() - start
+            self.iterations_run += 1
+            self.timings.append(
+                PassTiming(
+                    self.inner.name,
+                    elapsed,
+                    iteration_changed,
+                    children=_nested_timings(self.inner),
+                )
+            )
+            if am is not None and not (
+                getattr(self.inner, "handles_invalidation", False)
+                and getattr(self.inner, "_run_accepts_am", False)
+            ):
+                am.after_module_pass(self.inner, module, iteration_changed)
+            if not iteration_changed:
+                self.converged = True
                 break
             changed = True
         return changed
 
-    def describe(self) -> str:
-        return f"fixpoint<{self.max_iterations}>({describe_pass(self.inner)})"
+    def describe(self, with_state: bool = False) -> str:
+        text = f"fixpoint<{self.max_iterations}>({describe_pass(self.inner)})"
+        if with_state and self.converged is not None:
+            text += (
+                f"  # converged={self.converged}"
+                f" after {self.iterations_run} iteration(s)"
+            )
+        return text
 
 
 def _standard_passes(opt_level: int) -> List[Pass]:

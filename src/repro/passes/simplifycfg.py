@@ -25,8 +25,11 @@ class SimplifyCFG(FunctionPass):
     """Remove unreachable blocks and fold/merge trivial control flow."""
 
     name = "simplifycfg"
+    #: Deletes/merges blocks and rewrites edges: every cached analysis of a
+    #: changed function is invalid afterwards.
+    preserves = "none"
 
-    def run_on_function(self, function: Function) -> bool:
+    def run_on_function(self, function: Function, am=None) -> bool:
         changed = False
         # Iterate to a local fixed point: each clean-up can expose the others.
         while True:
@@ -92,6 +95,8 @@ class SimplifyCFG(FunctionPass):
                 instr.drop_operands()
             block.instructions = []
         function.blocks = [b for b in function.blocks if id(b) not in dead_ids]
+        # Raw list surgery bypasses the per-instruction mutation hooks.
+        function.notify_mutation()
         return True
 
     def _merge_linear_chains(self, function: Function) -> bool:

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.cogframe import ReferenceRunner
-from repro.core.distill import ENGINES, compile_model
+from repro.core.distill import ENGINES, compile_composition
 from repro.errors import EngineError
 from repro.models import multitasking, necker, predator_prey, stroop
 
@@ -84,7 +84,7 @@ class TestCompiledMatchesReference:
     @pytest.mark.parametrize("build, make_inputs, trials", MODEL_CASES)
     def test_compiled_engine(self, build, make_inputs, trials):
         reference = ReferenceRunner(build(), seed=0).run(make_inputs(), num_trials=trials)
-        compiled = compile_model(build(), opt_level=2)
+        compiled = compile_composition(build(), pipeline="default<O2>")
         result = compiled.run(make_inputs(), num_trials=trials, seed=0, engine="compiled")
         assert_results_match(reference, result)
 
@@ -94,7 +94,7 @@ class TestCompiledMatchesReference:
     )
     def test_per_node_engine(self, build, make_inputs, trials):
         reference = ReferenceRunner(build(), seed=0).run(make_inputs(), num_trials=trials)
-        compiled = compile_model(build(), opt_level=2)
+        compiled = compile_composition(build(), pipeline="default<O2>")
         result = compiled.run(make_inputs(), num_trials=trials, seed=0, engine="per-node")
         assert_results_match(reference, result)
 
@@ -103,7 +103,7 @@ class TestCompiledMatchesReference:
     )
     def test_ir_interpreter_engine(self, build, make_inputs, trials):
         reference = ReferenceRunner(build(), seed=0).run(make_inputs(), num_trials=trials)
-        compiled = compile_model(build(), opt_level=2)
+        compiled = compile_composition(build(), pipeline="default<O2>")
         result = compiled.run(make_inputs(), num_trials=trials, seed=0, engine="ir-interp")
         assert_results_match(reference, result)
 
@@ -112,7 +112,7 @@ class TestCompiledMatchesReference:
         build = lambda: stroop.build_botvinick_stroop(cycles=15)  # noqa: E731
         inputs = stroop.default_inputs("incongruent")
         reference = ReferenceRunner(build(), seed=0).run(inputs, num_trials=2)
-        compiled = compile_model(build(), opt_level=opt_level)
+        compiled = compile_composition(build(), pipeline=f"default<O{opt_level}>")
         result = compiled.run(inputs, num_trials=2, seed=0)
         assert_results_match(reference, result)
 
@@ -120,7 +120,7 @@ class TestCompiledMatchesReference:
         build = lambda: stroop.build_botvinick_stroop(cycles=20)  # noqa: E731
         inputs = stroop.default_inputs("incongruent")
         reference = ReferenceRunner(build(), seed=0).run(inputs, num_trials=1)
-        compiled = compile_model(build(), opt_level=2)
+        compiled = compile_composition(build(), pipeline="default<O2>")
         result = compiled.run(inputs, num_trials=1, seed=0)
         np.testing.assert_allclose(
             reference.monitored_series("energy"),
@@ -132,13 +132,13 @@ class TestCompiledMatchesReference:
     def test_seed_changes_stochastic_results(self):
         build = lambda: predator_prey.build_predator_prey("s")  # noqa: E731
         inputs = predator_prey.default_inputs(1)
-        compiled = compile_model(build(), opt_level=2)
+        compiled = compile_composition(build(), pipeline="default<O2>")
         a = compiled.run(inputs, num_trials=1, seed=0)
         b = compiled.run(inputs, num_trials=1, seed=1)
         assert not np.allclose(a.trials[0].outputs["action"], b.trials[0].outputs["action"])
 
     def test_unknown_engine_rejected(self):
-        compiled = compile_model(stroop.build_botvinick_stroop(cycles=5))
+        compiled = compile_composition(stroop.build_botvinick_stroop(cycles=5))
         with pytest.raises(EngineError):
             compiled.run(stroop.default_inputs(), num_trials=1, engine="cuda")
 
@@ -147,13 +147,13 @@ class TestParallelEngines:
     def test_gpu_sim_matches_serial(self):
         build = lambda: predator_prey.build_predator_prey("m")  # noqa: E731
         inputs = predator_prey.default_inputs(1)
-        compiled = compile_model(build(), opt_level=2)
+        compiled = compile_composition(build(), pipeline="default<O2>")
         serial = compiled.run(inputs, num_trials=1, seed=0, engine="compiled")
         gpu = compiled.run(inputs, num_trials=1, seed=0, engine="gpu-sim")
         assert_results_match(serial, gpu)
 
     def test_gpu_sim_on_model_without_grid_falls_back(self):
-        compiled = compile_model(stroop.build_botvinick_stroop(cycles=10))
+        compiled = compile_composition(stroop.build_botvinick_stroop(cycles=10))
         inputs = stroop.default_inputs("incongruent")
         serial = compiled.run(inputs, num_trials=1, seed=0, engine="compiled")
         gpu = compiled.run(inputs, num_trials=1, seed=0, engine="gpu-sim")
@@ -163,7 +163,7 @@ class TestParallelEngines:
     def test_multicore_matches_serial(self):
         build = lambda: predator_prey.build_predator_prey("s")  # noqa: E731
         inputs = predator_prey.default_inputs(1)
-        compiled = compile_model(build(), opt_level=2)
+        compiled = compile_composition(build(), pipeline="default<O2>")
         serial = compiled.run(inputs, num_trials=1, seed=0, engine="compiled")
         mcpu = compiled.run(inputs, num_trials=1, seed=0, engine="mcpu", workers=2)
         assert_results_match(serial, mcpu)
@@ -171,7 +171,7 @@ class TestParallelEngines:
 
 class TestCompiledArtifacts:
     def test_grid_search_metadata(self):
-        compiled = compile_model(predator_prey.build_predator_prey("m"))
+        compiled = compile_composition(predator_prey.build_predator_prey("m"))
         assert len(compiled.grid_searches) == 1
         info = compiled.grid_searches[0]
         assert info.grid_size == 64
@@ -181,14 +181,14 @@ class TestCompiledArtifacts:
         assert info.input_size == 6
 
     def test_compile_stats_populated(self):
-        compiled = compile_model(stroop.build_botvinick_stroop(cycles=10), opt_level=2)
+        compiled = compile_composition(stroop.build_botvinick_stroop(cycles=10), pipeline="default<O2>")
         stats = compiled.stats
         assert stats.total_seconds > 0
         assert stats.instructions_before > 0
         assert stats.instructions_after > 0
 
     def test_ir_dump_mentions_model_structures(self):
-        compiled = compile_model(stroop.build_botvinick_stroop(cycles=10))
+        compiled = compile_composition(stroop.build_botvinick_stroop(cycles=10))
         text = compiled.print_ir()
         assert "define void @run_model" in text
         assert "botvinick_stroop_params" in text
@@ -197,7 +197,7 @@ class TestCompiledArtifacts:
     def test_node_functions_tagged_with_source_nodes(self):
         from repro.analysis import model_flow_graph
 
-        compiled = compile_model(stroop.build_botvinick_stroop(cycles=10), opt_level=0)
+        compiled = compile_composition(stroop.build_botvinick_stroop(cycles=10), pipeline="default<O0>")
         flow = model_flow_graph(compiled.module.get_function("node_energy"))
         assert "energy" in flow.nodes
 
@@ -206,7 +206,7 @@ class TestCompiledArtifacts:
         from repro.analysis import matches_model_structure, model_flow_graph
 
         composition = stroop.build_botvinick_stroop(cycles=10)
-        compiled = compile_model(composition, opt_level=0)
+        compiled = compile_composition(composition, pipeline="default<O0>")
         run_pass = compiled.module.get_function("run_pass")
         from repro.passes import Inliner
 
@@ -220,7 +220,7 @@ class TestCompiledArtifacts:
         assert ok, f"missing model edges in the IR flow graph: {missing}"
 
     def test_breakdown_reported(self):
-        compiled = compile_model(stroop.build_botvinick_stroop(cycles=10))
+        compiled = compile_composition(stroop.build_botvinick_stroop(cycles=10))
         result = compiled.run(stroop.default_inputs(), num_trials=1)
         assert set(result.breakdown) >= {
             "input_construction",
@@ -245,7 +245,7 @@ class TestPerformanceOrdering:
         ReferenceRunner(build(), seed=0).run(inputs, num_trials=trials)
         reference_time = time.perf_counter() - start
 
-        compiled = compile_model(build(), opt_level=2)
+        compiled = compile_composition(build(), pipeline="default<O2>")
         start = time.perf_counter()
         compiled.run(inputs, num_trials=trials, seed=0, engine="compiled")
         compiled_time = time.perf_counter() - start
@@ -262,7 +262,7 @@ class TestPerformanceOrdering:
         build = lambda: stroop.build_botvinick_stroop(cycles=100)  # noqa: E731
         inputs = stroop.default_inputs("incongruent")
         trials = 10
-        compiled = compile_model(build(), opt_level=2)
+        compiled = compile_composition(build(), pipeline="default<O2>")
 
         start = time.perf_counter()
         compiled.run(inputs, num_trials=trials, seed=0, engine="compiled")

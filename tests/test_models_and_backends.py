@@ -12,7 +12,7 @@ from repro.backends.gpu_sim import GpuOccupancyModel, VectorizedKernelExecutor
 from repro.backends.interp import Interpreter
 from repro.backends.pycodegen import PythonCodeGenerator, compile_module_to_python
 from repro.cogframe import CounterRNG, ReferenceRunner, sanitize
-from repro.core.distill import compile_model
+from repro.core.distill import compile_composition
 from repro.core.reservoir import merge_chunk_minima, reservoir_argmin
 from repro.core.specialize import emit_library_function, specialize_on_buffer
 from repro.cogframe.functions import DriftDiffusionIntegrator, Logistic
@@ -68,7 +68,7 @@ class TestModelBuilders:
         np.testing.assert_allclose(stacked, ref_b.trials[0].outputs["vertices"], rtol=1e-9)
 
     def test_stroop_conditions_distinct(self):
-        compiled = compile_model(stroop.build_botvinick_stroop(cycles=40), opt_level=2)
+        compiled = compile_composition(stroop.build_botvinick_stroop(cycles=40), pipeline="default<O2>")
         peaks = {}
         for condition in ("congruent", "incongruent"):
             result = compiled.run(stroop.default_inputs(condition), num_trials=1, seed=0)
@@ -184,7 +184,7 @@ class TestSpecialization:
         assert value == pytest.approx(0.5 + 3.0 * 2.0 * 0.1)
 
     def test_specialize_on_buffer_folds_loads(self):
-        compiled = compile_model(predator_prey.build_predator_prey("s"), opt_level=2)
+        compiled = compile_composition(predator_prey.build_predator_prey("s"), pipeline="default<O2>")
         info = compiled.grid_searches[0]
         kernel = compiled.module.get_function(info.kernel_name)
         specialised = specialize_on_buffer(kernel, 0, compiled.layout.param_values)

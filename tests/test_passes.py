@@ -26,8 +26,8 @@ from repro.passes import (
     Mem2Reg,
     PassManager,
     SimplifyCFG,
+    build_standard_pipeline,
     clone_function,
-    standard_pipeline,
 )
 
 from helpers import (
@@ -373,7 +373,7 @@ class TestStandardPipelines:
             build_loop_sum_function(m)
             return m
 
-        pm = standard_pipeline(opt_level)
+        pm = build_standard_pipeline(opt_level)
         for fn_name in ("affine", "branchy", "with_allocas", "loop_sum"):
             before, after = run_both(factory, fn_name, SAMPLE_ARGS, pm)
             assert before == pytest.approx(after), fn_name
@@ -382,13 +382,13 @@ class TestStandardPipelines:
         m = Module("t")
         build_alloca_function(m)
         before = m.instruction_count()
-        standard_pipeline(2).run(m)
+        build_standard_pipeline(2).run(m)
         assert m.instruction_count() < before
 
     def test_pipeline_timings_recorded(self):
         m = Module("t")
         build_loop_sum_function(m)
-        pm = standard_pipeline(2)
+        pm = build_standard_pipeline(2)
         pm.run(m)
         assert pm.timings
         assert pm.total_seconds() >= 0.0
