@@ -57,10 +57,24 @@ from .driver.registry import (
 )
 from .driver.session import Session, compile, default_session, structural_fingerprint
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+
+def __getattr__(name: str):
+    # repro.fuzz pulls in the whole driver/backends stack; load it lazily so
+    # `import repro` stays light while `repro.fuzz.run_campaign(...)` works
+    # without an explicit submodule import.
+    if name == "fuzz":
+        import importlib
+
+        module = importlib.import_module(".fuzz", __name__)
+        globals()["fuzz"] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "__version__",
+    "fuzz",
     "compile",
     "Session",
     "default_session",

@@ -218,3 +218,58 @@ class ThresholdCrossed(Condition):
             f"ThresholdCrossed({self.node!r}, {self.statistic} {self.comparator} "
             f"{self.threshold})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Registry / introspection
+# ---------------------------------------------------------------------------
+
+#: Every condition type under its class name.  Like the function registry in
+#: :mod:`repro.cogframe.functions`, this is the shared vocabulary of the
+#: curated models, the compiler's condition lowering
+#: (:func:`repro.core.codegen.emit_condition` supports exactly these types)
+#: and the generative conformance fuzzer.
+CONDITION_REGISTRY: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        Always,
+        Never,
+        AtPass,
+        AfterPass,
+        EveryNPasses,
+        EveryNCalls,
+        All,
+        Any,
+        Not,
+        AfterNPasses,
+        ThresholdCrossed,
+    )
+}
+
+#: The subset usable as per-node activation conditions by generated models
+#: (termination-only types excluded).
+ACTIVATION_CONDITIONS = (
+    "Always",
+    "Never",
+    "AtPass",
+    "AfterPass",
+    "EveryNPasses",
+    "EveryNCalls",
+    "All",
+    "Any",
+    "Not",
+)
+
+
+def list_conditions():
+    """Names of every registered condition type, sorted."""
+    return tuple(sorted(CONDITION_REGISTRY))
+
+
+def get_condition(name: str) -> type:
+    """The :class:`Condition` subclass registered under ``name``."""
+    if name not in CONDITION_REGISTRY:
+        raise KeyError(
+            f"unknown condition {name!r}; known: {', '.join(list_conditions())}"
+        )
+    return CONDITION_REGISTRY[name]

@@ -23,6 +23,51 @@ from .objective import (
 )
 from .transfer import Linear, LinearMatrix, Logistic, ReLU, Softmax, Tanh
 
+#: Registry of every library function under its IR/template name.  This is
+#: the introspectable vocabulary shared by the curated models, the test-suite
+#: strategies and the generative conformance fuzzer (``repro.fuzz``): anything
+#: registered here is considered part of the compilable function library and
+#: is fair game for randomly generated models.
+FUNCTION_REGISTRY = {
+    cls.name: cls
+    for cls in (
+        Linear,
+        Logistic,
+        ReLU,
+        Tanh,
+        Softmax,
+        LinearMatrix,
+        AccumulatorIntegrator,
+        LeakyIntegrator,
+        LeakyCompetingIntegrator,
+        DriftDiffusionIntegrator,
+        DriftDiffusionAnalytical,
+        GaussianNoise,
+        AttentionModulatedObservation,
+        UniformToRange,
+        LinearCombination,
+        EnergyFunction,
+        PursuitAvoidanceAction,
+        PredatorPreyObjective,
+        DistanceFunction,
+    )
+}
+
+
+def list_functions():
+    """Names of every registered library function, sorted."""
+    return tuple(sorted(FUNCTION_REGISTRY))
+
+
+def get_function(name: str):
+    """The :class:`BaseFunction` subclass registered under ``name``."""
+    if name not in FUNCTION_REGISTRY:
+        raise KeyError(
+            f"unknown function {name!r}; known: {', '.join(list_functions())}"
+        )
+    return FUNCTION_REGISTRY[name]
+
+
 __all__ = [
     "BaseFunction",
     "EmitContext",
@@ -45,4 +90,7 @@ __all__ = [
     "PursuitAvoidanceAction",
     "PredatorPreyObjective",
     "DistanceFunction",
+    "FUNCTION_REGISTRY",
+    "list_functions",
+    "get_function",
 ]

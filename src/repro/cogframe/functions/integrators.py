@@ -281,4 +281,11 @@ class DriftDiffusionAnalytical(BaseFunction):
         two_k = b.fmul(b.f64(2.0), k)
         er = b.fdiv(b.f64(1.0), b.fadd(b.f64(1.0), b.exp(two_k)))
         rt = b.fadd(t0, b.fmul(b.fdiv(a, drift), b.tanh(k)))
+        # Mirror compute()'s zero-drift special case: without the select,
+        # drift == 0 yields (a/0) * tanh(0) = inf * 0 = NaN while the
+        # reference returns the closed-form limit (found by repro.fuzz).
+        near_zero = b.fcmp("olt", b.fabs(drift), b.f64(1e-12))
+        rt_limit = b.fadd(t0, b.fdiv(b.fmul(a, a), noise_sq))
+        rt = b.select(near_zero, rt_limit, rt)
+        er = b.select(near_zero, b.f64(0.5), er)
         return [rt, er]

@@ -439,17 +439,32 @@ class ModelCodeGenerator:
         params_ptr, state_ptr, prev_ptr, cur_ptr, ext_ptr, pass_idx, trial_idx = fn.args
         current = fn.append_block("entry")
 
+        # The interpretive runner evaluates every node's activation condition
+        # against a *start-of-pass* snapshot of the scheduler state (execution
+        # counts in particular).  Emit all condition values in the entry block,
+        # before any node call increments a counter, so that an EveryNCalls
+        # condition whose dependency runs earlier in the same pass sees the
+        # pre-pass count exactly as the reference and per-node schedulers do.
+        # (prev/cur double buffering already makes ThresholdCrossed stable.)
+        scheduled = []
+        cond_values: Dict[str, Value] = {}
+        entry_builder = IRBuilder(current)
         for node_name in layout.execution_order:
             mech = self.composition.mechanisms[node_name]
             is_control = isinstance(mech, GridSearchControlMechanism)
             if is_control and not include_control:
                 continue
-            b = IRBuilder(current)
+            scheduled.append((node_name, is_control))
             condition = self.composition.conditions[node_name]
-            cond_value = emit_condition(b, condition, layout, pass_idx, state_ptr, prev_ptr)
+            cond_values[node_name] = emit_condition(
+                entry_builder, condition, layout, pass_idx, state_ptr, prev_ptr
+            )
+
+        for node_name, is_control in scheduled:
+            b = IRBuilder(current)
             run_block = fn.append_block(f"run_{node_name}")
             next_block = fn.append_block(f"after_{node_name}")
-            b.cond_br(cond_value, run_block, next_block)
+            b.cond_br(cond_values[node_name], run_block, next_block)
 
             b = IRBuilder(run_block)
             b.current_source_node = node_name

@@ -219,7 +219,12 @@ def _parse_entry(entry: str) -> List:
             raise PipelineParseError(
                 f"{name} needs a parenthesised sub-pipeline, e.g. {name}(cse,dce): {entry!r}"
             )
-        sub = PassManager(_parse_entries(args), verify="off", name=name)
+        # An empty sub-pipeline is legal (e.g. ``fixpoint(default<O0>)``
+        # expands the alias to no passes and describes as ``fixpoint()``);
+        # the wrapper is then a no-op but must round-trip through describe().
+        sub = PassManager(
+            _parse_entries(args) if args.strip() else [], verify="off", name=name
+        )
         if name == "repeat":
             return [RepeatPass(sub, _parse_count(variant, "repeat", entry, default=None))]
         return [

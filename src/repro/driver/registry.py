@@ -61,6 +61,16 @@ def register_pass(name: str) -> Callable:
     return decorator
 
 
+def unregister_pass(name: str) -> bool:
+    """Remove a registered pass; returns whether it was present.
+
+    Intended for test harnesses that install throwaway passes (e.g. the
+    conformance fuzzer's deliberately-miscompiling pass) and must not leak
+    them into the process-wide registry other tests and campaigns see.
+    """
+    return _PASS_REGISTRY.pop(name, None) is not None
+
+
 def register_pipeline_alias(name: str) -> Callable:
     """Decorator registering an alias expander under ``name``.
 

@@ -1,0 +1,396 @@
+"""The cross-engine differential oracle.
+
+For one model the oracle runs a matrix of *legs* and demands agreement:
+
+* **cold vs cached compile** — each pipeline is compiled twice, once with the
+  analysis cache disabled (``flags={"analysis_cache": False}``) and once with
+  it enabled; the printed IR of both compiles must be byte-identical.  Every
+  campaign therefore doubles as a standing stale-analysis audit of the
+  preserved-analyses contracts from PR 3.
+* **engine conformance** — the cached artifact runs on every registered
+  execution engine; the raw result, monitor and state buffers (the state
+  buffer includes every mechanism's final PRNG ``(key, counter)``) must be
+  bitwise identical to the ``compiled`` engine's buffers.  An engine raising
+  where the baseline succeeded (or vice versa) is a divergence too.
+* **pipeline conformance** — the ``compiled``-engine buffers must be bitwise
+  identical across every pipeline in the matrix (O0 through O3 by default):
+  optimisation must not change observable behaviour.
+* **reference conformance** — the interpretive :class:`ReferenceRunner` is
+  the semantic baseline; compiled outputs and pass counts must match it to
+  the suite-wide tolerance (``rtol=1e-9``, ``atol=1e-12``; engines share one
+  IR module so only this leg is toleranced, everything else is bitwise).
+
+Buffers are compared NaN-aware (two NaNs at the same slot agree): engines
+must diverge from each other, not merely from IEEE comfort.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.distill import compile_composition
+from ..driver.engines import engine_capabilities, list_engines
+from .gen import ModelSpec
+
+__all__ = [
+    "DEFAULT_PIPELINES",
+    "Divergence",
+    "ModelVerdict",
+    "OracleConfig",
+    "check_spec",
+    "check_composition",
+    "raw_buffers",
+    "buffers_equal",
+]
+
+#: One pipeline per paper optimisation level — the default oracle matrix.
+DEFAULT_PIPELINES: Tuple[str, ...] = tuple(f"default<O{level}>" for level in range(4))
+
+BASELINE_ENGINE = "compiled"
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement between oracle legs."""
+
+    kind: str  # "analysis-cache" | "engine" | "engine-error" | "pipeline" | "reference" | "compile-error"
+    pipeline: str
+    engine: Optional[str] = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        engine = f" engine={self.engine}" if self.engine else ""
+        return f"[{self.kind}] pipeline={self.pipeline!r}{engine}: {self.detail}"
+
+
+@dataclass
+class ModelVerdict:
+    """The oracle's verdict on one model."""
+
+    model_name: str
+    divergences: List[Divergence] = field(default_factory=list)
+    legs: int = 0
+    seconds: float = 0.0
+    #: Final PRNG counters of the baseline leg, per mechanism (first pipeline).
+    rng_counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+@dataclass
+class OracleConfig:
+    """What the oracle checks; the default covers the full acceptance matrix."""
+
+    pipelines: Sequence[str] = DEFAULT_PIPELINES
+    #: ``None`` = every engine in the driver registry.
+    engines: Optional[Sequence[str]] = None
+    workers: int = 2
+    check_reference: bool = True
+    check_analysis_cache: bool = True
+
+    def resolved_engines(self) -> List[str]:
+        return list(self.engines) if self.engines is not None else list(list_engines())
+
+
+# ---------------------------------------------------------------------------
+# Raw execution and comparison helpers
+# ---------------------------------------------------------------------------
+
+
+def raw_buffers(
+    compiled, inputs, num_trials: int, seed: int, engine: str, **options
+) -> Tuple[List[float], List[float], List[float]]:
+    """Execute ``engine`` and return the raw (results, monitor, state) buffers."""
+    buffers = compiled.allocate_buffers(inputs, num_trials, seed)
+    compiled.engine_instance(engine).execute(buffers, num_trials, **options)
+    return (
+        list(buffers["results"]),
+        list(buffers["monitor"]),
+        list(buffers["state"]),
+    )
+
+
+def _arrays_equal(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Exact elementwise equality with NaN == NaN (bitwise-for-floats)."""
+    return np.array_equal(
+        np.asarray(a, dtype=float), np.asarray(b, dtype=float), equal_nan=True
+    )
+
+
+def buffers_equal(a, b) -> Optional[str]:
+    """``None`` when two raw buffer triples agree, else a short description."""
+    for name, left, right in zip(("results", "monitor", "state"), a, b):
+        if not _arrays_equal(left, right):
+            index = next(
+                (
+                    i
+                    for i, (x, y) in enumerate(zip(left, right))
+                    if x != y and not (math.isnan(x) and math.isnan(y))
+                ),
+                -1,
+            )
+            return (
+                f"{name} buffers differ at slot {index}: "
+                f"{left[index] if index >= 0 else '?'} vs "
+                f"{right[index] if index >= 0 else '?'}"
+            )
+    return None
+
+
+def _engine_options(engine: str, workers: int) -> Dict[str, object]:
+    capabilities = engine_capabilities().get(engine)
+    if capabilities is not None and capabilities.supports_workers and workers:
+        return {"workers": workers}
+    return {}
+
+
+def _final_rng_counters(compiled, state: Sequence[float]) -> Dict[str, int]:
+    return {
+        name: int(state[offset + 1])
+        for name, offset in compiled.layout.rng_offsets.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# The oracle
+# ---------------------------------------------------------------------------
+
+
+def check_composition(
+    build: Callable[[], object],
+    inputs,
+    num_trials: int,
+    run_seed: int,
+    config: Optional[OracleConfig] = None,
+    model_name: str = "<model>",
+) -> ModelVerdict:
+    """Run the full differential matrix over one model.
+
+    ``build`` must return a *fresh* composition per call (compiles mutate
+    nothing, but the reference runner and sanitization both execute the
+    model's stateful objects).
+    """
+    config = config or OracleConfig()
+    verdict = ModelVerdict(model_name=model_name)
+    started = time.perf_counter()
+    engines = config.resolved_engines()
+
+    first_pipeline: Optional[str] = None
+    first_baseline: Optional[Tuple[List[float], List[float], List[float]]] = None
+    first_error: Optional[str] = None
+    reference_model = None
+
+    for pipeline_text in config.pipelines:
+        # -- compile legs: cached is the artifact under test, cold the audit --
+        try:
+            cached = compile_composition(build(), pipeline=pipeline_text)
+        except Exception as exc:  # noqa: BLE001 - the oracle reports, never raises
+            verdict.divergences.append(
+                Divergence("compile-error", pipeline_text, None, f"{type(exc).__name__}: {exc}")
+            )
+            continue
+        verdict.legs += 1
+        if config.check_analysis_cache:
+            try:
+                cold = compile_composition(
+                    build(), pipeline=pipeline_text, flags={"analysis_cache": False}
+                )
+                verdict.legs += 1
+                if cold.print_ir() != cached.print_ir():
+                    verdict.divergences.append(
+                        Divergence(
+                            "analysis-cache",
+                            pipeline_text,
+                            None,
+                            "printed IR differs between cold and cached "
+                            "analysis-manager compiles (stale analysis?)",
+                        )
+                    )
+            except Exception as exc:  # noqa: BLE001
+                verdict.divergences.append(
+                    Divergence(
+                        "analysis-cache", pipeline_text, None,
+                        f"cold compile failed: {type(exc).__name__}: {exc}",
+                    )
+                )
+
+        # -- engine legs ------------------------------------------------------
+        try:
+            baseline = raw_buffers(
+                cached, inputs, num_trials, run_seed, BASELINE_ENGINE
+            )
+            baseline_error = None
+        except Exception as exc:  # noqa: BLE001
+            baseline = None
+            baseline_error = f"{type(exc).__name__}: {exc}"
+        verdict.legs += 1
+
+        try:
+            for engine in engines:
+                if engine == BASELINE_ENGINE:
+                    continue
+                options = _engine_options(engine, config.workers)
+                try:
+                    candidate = raw_buffers(
+                        cached, inputs, num_trials, run_seed, engine, **options
+                    )
+                    candidate_error = None
+                except Exception as exc:  # noqa: BLE001
+                    candidate = None
+                    candidate_error = f"{type(exc).__name__}: {exc}"
+                verdict.legs += 1
+
+                if (candidate is None) != (baseline is None):
+                    verdict.divergences.append(
+                        Divergence(
+                            "engine-error",
+                            pipeline_text,
+                            engine,
+                            f"baseline={baseline_error or 'ok'} vs "
+                            f"{engine}={candidate_error or 'ok'}",
+                        )
+                    )
+                    continue
+                if baseline is None:
+                    continue  # both raised: agreement (e.g. all-NaN grids)
+                mismatch = buffers_equal(baseline, candidate)
+                if mismatch is not None:
+                    counters = (
+                        f"; final PRNG counters {BASELINE_ENGINE}="
+                        f"{_final_rng_counters(cached, baseline[2])} vs "
+                        f"{engine}={_final_rng_counters(cached, candidate[2])}"
+                        if mismatch.startswith("state")
+                        else ""
+                    )
+                    verdict.divergences.append(
+                        Divergence("engine", pipeline_text, engine, mismatch + counters)
+                    )
+
+            # -- cross-pipeline leg -------------------------------------------
+            # The first pipeline anchors the comparison whether its baseline
+            # ran or raised: a pipeline whose compiled run raises while
+            # another pipeline's succeeds is a divergence (optimisation must
+            # not change observable behaviour, crashes included).
+            if first_pipeline is None:
+                first_pipeline = pipeline_text
+                first_baseline = baseline
+                first_error = baseline_error
+                if baseline is not None:
+                    verdict.rng_counters = _final_rng_counters(cached, baseline[2])
+                    reference_model = cached
+            else:
+                verdict.legs += 1
+                if (baseline is None) != (first_baseline is None):
+                    verdict.divergences.append(
+                        Divergence(
+                            "pipeline",
+                            pipeline_text,
+                            None,
+                            f"vs {first_pipeline!r}: "
+                            f"{first_pipeline}={first_error or 'ok'} vs "
+                            f"{pipeline_text}={baseline_error or 'ok'}",
+                        )
+                    )
+                elif baseline is not None:
+                    mismatch = buffers_equal(first_baseline, baseline)
+                    if mismatch is not None:
+                        verdict.divergences.append(
+                            Divergence(
+                                "pipeline",
+                                pipeline_text,
+                                None,
+                                f"vs {first_pipeline!r}: {mismatch}",
+                            )
+                        )
+        finally:
+            cached.close_engines()
+
+    # -- reference leg ---------------------------------------------------------
+    if config.check_reference and first_pipeline is not None:
+        from ..cogframe.runner import ReferenceRunner
+
+        verdict.legs += 1
+        try:
+            reference = ReferenceRunner(build(), seed=run_seed).run(
+                inputs, num_trials=num_trials
+            )
+            reference_error: Optional[str] = None
+        except Exception as exc:  # noqa: BLE001
+            reference = None
+            reference_error = f"{type(exc).__name__}: {exc}"
+
+        if first_baseline is None:
+            # Every compiled baseline raised; that only counts as agreement
+            # if the semantic baseline fails this model as well.
+            if reference_error is None:
+                verdict.divergences.append(
+                    Divergence(
+                        "reference", first_pipeline, None,
+                        f"compiled baseline raised ({first_error}) but the "
+                        f"reference runner succeeded",
+                    )
+                )
+        elif reference_error is not None:
+            verdict.divergences.append(
+                Divergence(
+                    "reference", first_pipeline, None,
+                    f"reference run failed: {reference_error}",
+                )
+            )
+        else:
+            compiled_results = reference_model._collect_results(
+                {
+                    "results": first_baseline[0],
+                    "monitor": first_baseline[1],
+                },
+                num_trials,
+                BASELINE_ENGINE,
+            )
+            detail = _compare_reference(reference, compiled_results)
+            if detail is not None:
+                verdict.divergences.append(
+                    Divergence("reference", first_pipeline, None, detail)
+                )
+
+    verdict.seconds = time.perf_counter() - started
+    return verdict
+
+
+def _compare_reference(reference, compiled_results, rtol=1e-9, atol=1e-12) -> Optional[str]:
+    """Compare reference-runner results to compiled results (toleranced)."""
+    if len(reference.trials) != len(compiled_results.trials):
+        return (
+            f"trial counts differ: reference {len(reference.trials)} vs "
+            f"compiled {len(compiled_results.trials)}"
+        )
+    for index, (ref, cand) in enumerate(zip(reference.trials, compiled_results.trials)):
+        if ref.passes != cand.passes:
+            return f"trial {index}: pass counts differ ({ref.passes} vs {cand.passes})"
+        for node, value in ref.outputs.items():
+            if not np.allclose(
+                value, cand.outputs[node], rtol=rtol, atol=atol, equal_nan=True
+            ):
+                return (
+                    f"trial {index}, node {node!r}: reference {value!r} vs "
+                    f"compiled {cand.outputs[node]!r}"
+                )
+    return None
+
+
+def check_spec(spec: ModelSpec, config: Optional[OracleConfig] = None) -> ModelVerdict:
+    """Run the oracle over a generated :class:`ModelSpec`."""
+    return check_composition(
+        spec.build,
+        spec.inputs,
+        spec.num_trials,
+        spec.run_seed,
+        config=config,
+        model_name=spec.name,
+    )

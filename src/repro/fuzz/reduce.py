@@ -1,0 +1,365 @@
+"""Delta-debugging reduction of failing fuzz models.
+
+Given a failing :class:`ModelSpec` and a predicate "does this candidate still
+fail the same way", the reducer greedily applies shrink transformations until
+none helps:
+
+* drop mechanisms (re-designating input/output nodes as needed) and the
+  grid-search controller;
+* drop projections;
+* replace per-node conditions with ``Always`` and the termination with a
+  plain ``AfterNPasses``;
+* shrink the controller (drop signals, levels and non-objective steps);
+* shrink the run configuration (passes, trials, input rows);
+* ddmin over the failing pipeline's top-level entries, so a 17-pass O2
+  sequence collapses to the one or two passes that actually matter.
+
+Each candidate is validated by building + sanitizing the composition before
+the (expensive) oracle predicate runs; invalid mutations are simply skipped.
+The result is emitted as a self-contained pytest file whose body re-builds
+the model from source (see :meth:`ModelSpec.to_source`), re-runs the failing
+legs and asserts agreement — runnable with nothing but the repro package on
+``PYTHONPATH``.  Self-containedness assumes the failing pipeline references
+in-tree passes (the default campaign matrix does); a campaign run with an
+injected experimental pass must keep that pass importable/registered when
+replaying its reproducers.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from ..driver.pipeline import _split_top_level
+from .gen import ConditionSpec, ModelSpec
+from .oracle import Divergence
+
+__all__ = ["shrink_spec", "shrink_pipeline", "reproducer_source"]
+
+
+def _valid(spec: ModelSpec) -> bool:
+    """Cheap structural validation: build + sanitize without compiling."""
+    from ..cogframe.sanitize import sanitize
+
+    try:
+        sanitize(spec.build())
+        return True
+    except Exception:  # noqa: BLE001 - any failure just rejects the candidate
+        return False
+
+
+def _candidates(spec: ModelSpec) -> Iterator[ModelSpec]:
+    """One-step shrink candidates, most aggressive first."""
+    # Drop the controller entirely.
+    if spec.control is not None:
+        candidate = copy.deepcopy(spec)
+        name = candidate.control.name
+        candidate.control = None
+        candidate.projections = [
+            p for p in candidate.projections if name not in (p.sender, p.receiver)
+        ]
+        yield candidate
+
+    # Drop one mechanism (plus its projections); keep >= 1 input node and
+    # re-designate an output if the dropped node was the last one.
+    if len(spec.mechanisms) > 1:
+        for index in range(len(spec.mechanisms) - 1, -1, -1):
+            candidate = copy.deepcopy(spec)
+            dropped = candidate.mechanisms.pop(index)
+            candidate.projections = [
+                p
+                for p in candidate.projections
+                if dropped.name not in (p.sender, p.receiver)
+            ]
+            if not any(m.is_input for m in candidate.mechanisms):
+                candidate.mechanisms[0].is_input = True
+                candidate.mechanisms[0].ports = [("input", candidate.mechanisms[0].ports[0][1])]
+            if not any(m.is_output for m in candidate.mechanisms) and (
+                candidate.control is None or not candidate.control.is_output
+            ):
+                candidate.mechanisms[-1].is_output = True
+            yield candidate
+
+    # Drop one projection.
+    for index in range(len(spec.projections) - 1, -1, -1):
+        candidate = copy.deepcopy(spec)
+        del candidate.projections[index]
+        yield candidate
+
+    # Simplify conditions.
+    for index, mech in enumerate(spec.mechanisms):
+        if mech.condition is not None:
+            candidate = copy.deepcopy(spec)
+            candidate.mechanisms[index].condition = None
+            yield candidate
+    if spec.control is not None and spec.control.condition is not None:
+        candidate = copy.deepcopy(spec)
+        candidate.control.condition = None
+        yield candidate
+    if spec.termination.kind != "AfterNPasses":
+        candidate = copy.deepcopy(spec)
+        candidate.termination = ConditionSpec("AfterNPasses", [candidate.max_passes])
+        yield candidate
+
+    # Shrink the controller: signals, levels, optional steps.
+    if spec.control is not None:
+        control = spec.control
+        if control.num_signals > 1:
+            candidate = copy.deepcopy(spec)
+            candidate.control.levels.pop()
+            yield candidate  # may invalidate sources/projections -> _valid() gates
+        for signal, levels in enumerate(control.levels):
+            if len(levels) > 1:
+                candidate = copy.deepcopy(spec)
+                candidate.control.levels[signal] = levels[:-1]
+                yield candidate
+        if len(control.steps) > 1:
+            referenced = {
+                source[1]
+                for step in control.steps
+                for source in step.sources
+                if source[0] == "step"
+            }
+            for index, step in enumerate(control.steps):
+                if step.name != control.objective_step and step.name not in referenced:
+                    candidate = copy.deepcopy(spec)
+                    del candidate.control.steps[index]
+                    yield candidate
+
+    # Shrink run configuration.
+    if spec.max_passes > 1:
+        candidate = copy.deepcopy(spec)
+        candidate.max_passes = spec.max_passes - 1
+        if candidate.termination.kind == "AfterNPasses":
+            candidate.termination = ConditionSpec("AfterNPasses", [candidate.max_passes])
+        yield candidate
+    if spec.num_trials > 1:
+        candidate = copy.deepcopy(spec)
+        candidate.num_trials = 1
+        yield candidate
+    if len(spec.inputs) > 1:
+        candidate = copy.deepcopy(spec)
+        candidate.inputs = candidate.inputs[:1]
+        yield candidate
+
+
+def shrink_spec(
+    spec: ModelSpec,
+    still_fails: Callable[[ModelSpec], bool],
+    max_checks: int = 200,
+) -> ModelSpec:
+    """Greedy fixpoint reduction of ``spec`` under the failure predicate.
+
+    ``still_fails`` should re-run the oracle and report whether the candidate
+    reproduces the *same kind* of divergence (checking the kind, not just
+    "anything failed", avoids slipping onto an unrelated bug mid-shrink).
+    ``max_checks`` bounds the total number of predicate evaluations so a
+    pathological model cannot stall a campaign.
+    """
+    checks = 0
+    current = spec
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for candidate in _candidates(current):
+            if checks >= max_checks:
+                break
+            if not _valid(candidate):
+                continue
+            checks += 1
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def shrink_pipeline(
+    pipeline_text: str, still_fails: Callable[[str], bool], max_checks: int = 60
+) -> str:
+    """ddmin over the top-level entries of a textual pipeline description.
+
+    Tries ever-smaller subsequences (preserving order) of the comma-separated
+    top-level entries; returns the shortest text that still fails.  The empty
+    pipeline (= O0, verification only) is a legal candidate.
+    """
+    entries = [e.strip() for e in _split_top_level(pipeline_text, "pipeline")]
+    entries = [e for e in entries if e]
+    checks = 0
+
+    def attempt(candidate_entries: List[str]) -> Optional[str]:
+        nonlocal checks
+        if checks >= max_checks:
+            return None
+        candidate = ",".join(candidate_entries)
+        checks += 1
+        return candidate if still_fails(candidate) else None
+
+    current = entries
+    chunk = max(1, len(current) // 2)
+    while len(current) > 0 and chunk >= 1:
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate_entries = current[:start] + current[start + chunk :]
+            candidate = attempt(candidate_entries)
+            if candidate is not None:
+                current = candidate_entries
+                reduced = True
+            else:
+                start += chunk
+            if checks >= max_checks:
+                break
+        if checks >= max_checks:
+            break
+        if not reduced:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    return ",".join(current)
+
+
+# ---------------------------------------------------------------------------
+# Reproducer emission
+# ---------------------------------------------------------------------------
+
+_KIND_ASSERTIONS = {
+    "engine": '''\
+def {test_name}():
+    compiled = compile_composition(build_model(), pipeline=PIPELINE)
+    try:
+        baseline = _raw(compiled, "compiled")
+        candidate = _raw(compiled, {engine!r})
+    finally:
+        compiled.close_engines()
+    _assert_buffers_equal(baseline, candidate, "compiled vs {engine}")
+''',
+    "engine-error": '''\
+def {test_name}():
+    compiled = compile_composition(build_model(), pipeline=PIPELINE)
+    try:
+        baseline = _raw(compiled, "compiled")
+        candidate = _raw(compiled, {engine!r})
+    finally:
+        compiled.close_engines()
+    _assert_buffers_equal(baseline, candidate, "compiled vs {engine}")
+''',
+    "pipeline": '''\
+def {test_name}():
+    first = compile_composition(build_model(), pipeline="{first_pipeline}")
+    second = compile_composition(build_model(), pipeline=PIPELINE)
+    try:
+        baseline = _raw(first, "compiled")
+        candidate = _raw(second, "compiled")
+    finally:
+        first.close_engines()
+        second.close_engines()
+    _assert_buffers_equal(
+        baseline, candidate, "pipeline '{first_pipeline}' vs " + PIPELINE
+    )
+''',
+    "analysis-cache": '''\
+def {test_name}():
+    cached = compile_composition(build_model(), pipeline=PIPELINE)
+    cold = compile_composition(
+        build_model(), pipeline=PIPELINE, flags={{"analysis_cache": False}}
+    )
+    assert cold.print_ir() == cached.print_ir(), (
+        "cold vs cached analysis-manager compiles produced different IR"
+    )
+''',
+    "reference": '''\
+def {test_name}():
+    from repro.cogframe.runner import ReferenceRunner
+
+    reference = ReferenceRunner(build_model(), seed=RUN_SEED).run(
+        INPUTS, num_trials=NUM_TRIALS
+    )
+    compiled = compile_composition(build_model(), pipeline=PIPELINE)
+    try:
+        result = compiled.run(INPUTS, num_trials=NUM_TRIALS, seed=RUN_SEED)
+    finally:
+        compiled.close_engines()
+    assert [t.passes for t in reference.trials] == [t.passes for t in result.trials]
+    for index, (ref, cand) in enumerate(zip(reference.trials, result.trials)):
+        for node, value in ref.outputs.items():
+            np.testing.assert_allclose(
+                cand.outputs[node], value, rtol=1e-9, atol=1e-12,
+                err_msg=f"trial {{index}}, node {{node}}",
+            )
+''',
+}
+
+_HELPERS = '''\
+def _raw(compiled, engine):
+    """Execute one engine; returns the raw (results, monitor, state) buffers."""
+    buffers = compiled.allocate_buffers(INPUTS, NUM_TRIALS, RUN_SEED)
+    options = {"workers": 2} if engine == "mcpu" else {}
+    compiled.engine_instance(engine).execute(buffers, NUM_TRIALS, **options)
+    return (
+        list(buffers["results"]),
+        list(buffers["monitor"]),
+        list(buffers["state"]),
+    )
+
+
+def _assert_buffers_equal(a, b, label):
+    for name, left, right in zip(("results", "monitor", "state"), a, b):
+        assert np.array_equal(
+            np.asarray(left), np.asarray(right), equal_nan=True
+        ), f"{label}: {name} buffers differ\\n  baseline:  {left}\\n  candidate: {right}"
+'''
+
+
+def reproducer_source(
+    spec: ModelSpec,
+    divergence: Divergence,
+    xfail_reason: Optional[str] = None,
+    baseline_pipeline: str = "default<O0>",
+) -> str:
+    """A self-contained pytest module reproducing ``divergence`` on ``spec``.
+
+    With ``xfail_reason`` the test is emitted under
+    ``@pytest.mark.xfail(strict=True)`` — the form in which still-open
+    findings are committed to the suite (strictness makes the eventual fix
+    flip the test loudly).
+    """
+    template = _KIND_ASSERTIONS.get(divergence.kind)
+    if template is None:
+        template = _KIND_ASSERTIONS["engine"]
+    test_name = f"test_fuzz_seed_{spec.seed}_{divergence.kind.replace('-', '_')}"
+    body = template.format(
+        test_name=test_name,
+        engine=divergence.engine or "ir-interp",
+        first_pipeline=baseline_pipeline,
+    )
+    decorator = ""
+    if xfail_reason is not None:
+        decorator = (
+            f'@pytest.mark.xfail(strict=True, reason={xfail_reason!r})\n'
+        )
+        body = decorator + body
+    header = (
+        f'"""Fuzz reproducer: seed {spec.seed}, {divergence.describe()}\n\n'
+        f"Auto-generated by repro.fuzz; replay the campaign with\n"
+        f"    python -m repro.fuzz --seed {spec.seed} --n-models 1\n"
+        f'"""\n\n'
+        "import numpy as np\n"
+        "import pytest\n\n"
+        "from repro.core.distill import compile_composition\n\n"
+    )
+    model_source = spec.to_source()
+    # Strip the generated module docstring; the reproducer has its own.
+    if model_source.startswith('"""'):
+        model_source = model_source.split('"""', 2)[2].lstrip("\n")
+    pipeline_line = f"PIPELINE = {divergence.pipeline!r}\n\n"
+    return (
+        header
+        + model_source
+        + "\n\n"
+        + pipeline_line
+        + "\n"
+        + _HELPERS
+        + "\n\n"
+        + body
+    )

@@ -1,12 +1,9 @@
-"""Pytest configuration: make the tests directory importable for helpers."""
+"""Pytest configuration: make the tests directory importable for helpers.
+
+Markers (slow, fuzz) and the tier-1 default selection live in pytest.ini.
+"""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
-
-
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers", "slow: long-running test (worker-pool spawn, large grids)"
-    )

@@ -1,0 +1,107 @@
+"""Shared hypothesis strategies for the test suite.
+
+One vocabulary, two consumers: the curated property tests draw from the
+strategies below, and the generative conformance fuzzer (:mod:`repro.fuzz`)
+draws from the same registries the strategies are built on — the cogframe
+function/condition registries and the driver pass registry.  ``model_specs``
+closes the loop by exposing the fuzzer's own generator as a hypothesis
+strategy, so hypothesis shrinking and fixed-seed campaigns exercise the same
+model space.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.analysis.intervals import Interval
+from repro.driver.registry import list_passes
+from repro.fuzz.gen import generate_model_spec
+
+__all__ = [
+    "finite_floats",
+    "coordinate_floats",
+    "interval_with_point",
+    "model_specs",
+    "pipeline_texts",
+]
+
+# ---------------------------------------------------------------------------
+# Numeric strategies (formerly ad hoc in test_intervals / test_models_and_backends)
+# ---------------------------------------------------------------------------
+
+#: Finite floats in the range the interval-domain soundness tests explore.
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+#: Small coordinates for backend equivalence properties (safe under exp()).
+coordinate_floats = st.floats(-50, 50)
+
+
+@st.composite
+def interval_with_point(draw):
+    """An interval together with a concrete point inside it."""
+    a = draw(finite_floats)
+    b = draw(finite_floats)
+    lo, hi = min(a, b), max(a, b)
+    t = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    x = lo + t * (hi - lo)
+    # Rounding in the affine combination can push x just outside [lo, hi];
+    # clamp so the point really belongs to the interval.
+    x = min(max(x, lo), hi)
+    return Interval(lo, hi), x
+
+
+# ---------------------------------------------------------------------------
+# Model specs (the fuzzer's generator as a strategy)
+# ---------------------------------------------------------------------------
+
+#: Random-but-replayable model specs: hypothesis draws the seed, the fuzz
+#: generator expands it deterministically.
+model_specs = st.builds(generate_model_spec, st.integers(min_value=0, max_value=2**31 - 1))
+
+
+# ---------------------------------------------------------------------------
+# Textual pipeline trees
+# ---------------------------------------------------------------------------
+
+#: Parameterless passes safe to sprinkle anywhere in a generated pipeline.
+_SIMPLE_PASSES = tuple(
+    name
+    for name in ("mem2reg", "constprop", "cse", "dce", "licm", "instcombine", "simplifycfg")
+    if name in list_passes()
+)
+
+
+@st.composite
+def _pipeline_entry(draw, depth: int):
+    choices = ["pass", "pass_iterations", "inline", "alias"]
+    if depth < 2:
+        choices += ["repeat", "fixpoint", "fixpoint_bound"]
+    choice = draw(st.sampled_from(choices))
+    if choice == "pass":
+        return draw(st.sampled_from(_SIMPLE_PASSES))
+    if choice == "pass_iterations":
+        name = draw(st.sampled_from(_SIMPLE_PASSES))
+        return f"{name}(iterations={draw(st.integers(1, 3))})"
+    if choice == "inline":
+        threshold = draw(st.integers(0, 500))
+        aggressive = draw(st.booleans())
+        return f"inline(threshold={threshold}, aggressive={'true' if aggressive else 'false'})"
+    if choice == "alias":
+        return f"default<O{draw(st.integers(0, 3))}>"
+    sub = draw(_pipeline_text(depth + 1))
+    if choice == "repeat":
+        return f"repeat<{draw(st.integers(1, 3))}>({sub})"
+    if choice == "fixpoint_bound":
+        return f"fixpoint<{draw(st.integers(1, 5))}>({sub})"
+    return f"fixpoint({sub})"
+
+
+def _pipeline_text(depth: int):
+    return st.lists(_pipeline_entry(depth), min_size=1, max_size=3).map(",".join)
+
+
+#: Random textual pipeline descriptions covering passes, parameters, the
+#: ``default<Ok>`` aliases and nested ``repeat``/``fixpoint`` combinators.
+pipeline_texts = _pipeline_text(0)

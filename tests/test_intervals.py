@@ -1,32 +1,18 @@
 """Tests for the floating-point interval domain, including hypothesis-based
-soundness checks (concrete results always lie in the abstract result)."""
+soundness checks (concrete results always lie in the abstract result).
+
+The interval strategies live in :mod:`strategies` so the conformance fuzzer
+and other suites share one vocabulary.
+"""
 
 import math
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.analysis.intervals import Interval, join_all
 
-
-finite_floats = st.floats(
-    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
-)
-
-
-@st.composite
-def interval_with_point(draw):
-    """An interval together with a concrete point inside it."""
-    a = draw(finite_floats)
-    b = draw(finite_floats)
-    lo, hi = min(a, b), max(a, b)
-    t = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
-    x = lo + t * (hi - lo)
-    # Rounding in the affine combination can push x just outside [lo, hi];
-    # clamp so the point really belongs to the interval.
-    x = min(max(x, lo), hi)
-    return Interval(lo, hi), x
+from strategies import interval_with_point
 
 
 class TestConstructorsAndPredicates:

@@ -6,7 +6,6 @@ import math
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.backends.gpu_sim import GpuOccupancyModel, VectorizedKernelExecutor
 from repro.backends.interp import Interpreter
@@ -22,6 +21,7 @@ from repro.models import multitasking, necker, predator_prey, stroop
 from repro import minitorch
 
 from helpers import build_branchy_function, build_loop_sum_function
+from strategies import coordinate_floats
 
 
 class TestModelBuilders:
@@ -148,7 +148,7 @@ class TestPythonBackend:
         assert "while True:" in source  # block dispatch loop
         assert "dict(" not in source  # no dynamic structures in the hot path
 
-    @given(st.floats(-50, 50), st.floats(-50, 50))
+    @given(coordinate_floats, coordinate_floats)
     @settings(max_examples=50, deadline=None)
     def test_property_codegen_equals_interpreter(self, x, y):
         module = Module("pyc_prop")

@@ -8,9 +8,11 @@ messages on malformed input.
 """
 
 import pytest
+from hypothesis import given, settings
 
 import repro
 from repro.driver.pipeline import parse_pipeline
+from strategies import pipeline_texts
 from repro.driver.registry import create_pass, list_pipeline_aliases
 from repro.errors import PipelineParseError
 from repro.passes import (
@@ -140,6 +142,10 @@ class TestRoundTrip:
         "fixpoint(instcombine,dce)",
         "fixpoint<5>(default<O1>)",
         "default<O3>,licm,cse(iterations=2)",
+        # Empty sub-pipelines (O0 expands to no passes) must round-trip too —
+        # found by the random-tree property test below.
+        "fixpoint(default<O0>)",
+        "repeat<2>(default<O0>),dce",
     ]
 
     @pytest.mark.parametrize("text", CASES)
@@ -180,6 +186,19 @@ class TestRoundTrip:
         with pytest.raises(PipelineParseError, match="unterminated string"):
             parse_pipeline("inline(threshold='oops)")
 
+    @given(pipeline_texts)
+    @settings(max_examples=60, deadline=None)
+    def test_property_random_trees_round_trip(self, text):
+        """``parse_pipeline(describe(p))`` is the identity (and a fixed point)
+        over randomly generated pipeline trees: passes, parameters, aliases
+        and nested repeat/fixpoint combinators."""
+        pm = parse_pipeline(text)
+        described = pm.describe()
+        reparsed = parse_pipeline(described)
+        assert flatten(reparsed.passes) == flatten(pm.passes)
+        assert reparsed.describe() == described
+        assert reparsed.verify == pm.verify
+
 
 class TestErrors:
     @pytest.mark.parametrize(
@@ -198,6 +217,17 @@ class TestErrors:
             ("repeat<0>(cse)", "positive integer"),
             ("cse(iterations=0)", "iterations must be a positive integer"),
             ("mem2reg dce", "trailing text"),
+            ("inline(threshold=1, threshold=2)", "duplicate parameter"),
+            ("inline(2x=3)", "bad parameter name"),
+            ("inline(threshold=@)", "cannot parse parameter value"),
+            ("inline(threshold=)", "empty parameter value"),
+            ("fixpoint<0>(cse)", "positive integer"),
+            ("fixpoint", "needs a parenthesised sub-pipeline"),
+            ("cse)", "unbalanced"),
+            ("default<O2>>", "unbalanced"),
+            ("cse(iterations=true)", "iterations must be a positive integer"),
+            (",cse", "empty pipeline entry"),
+            ("<O2>", "cannot parse pipeline entry"),
         ],
     )
     def test_malformed_input_message(self, text, fragment):
