@@ -1,0 +1,63 @@
+"""Figure 8 — codegen shape: the legacy block-dispatch ladder vs structured
+``while``/``if``/``else`` emission with the frame planner (repro-only figure;
+the measured trajectory is committed as ``BENCH_fig8.json``)."""
+
+import pytest
+
+from repro.bench.harness import FIG8_LOOP_HEAVY_MODELS, figure8_report
+from repro.core.distill import compile_composition
+from repro.models import MODEL_REGISTRY
+
+LOOP_MODEL = "predator_prey_s"
+
+
+@pytest.fixture(scope="module")
+def compiled_pair():
+    entry = MODEL_REGISTRY[LOOP_MODEL]
+    structured = compile_composition(entry.build(), pipeline="default<O2>")
+    dispatch = compile_composition(
+        entry.build(), pipeline="default<O2>", flags={"structured_codegen": False}
+    )
+    yield entry, structured, dispatch
+    structured.close_engines()
+    dispatch.close_engines()
+
+
+def bench_codegen_structured(benchmark, compiled_pair):
+    entry, structured, _ = compiled_pair
+    inputs = entry.inputs()
+    benchmark(
+        lambda: structured.run(inputs, num_trials=entry.num_trials, seed=0, engine="compiled")
+    )
+
+
+def bench_codegen_dispatch(benchmark, compiled_pair):
+    entry, _, dispatch = compiled_pair
+    inputs = entry.inputs()
+    benchmark(
+        lambda: dispatch.run(inputs, num_trials=entry.num_trials, seed=0, engine="compiled")
+    )
+
+
+def test_figure8_report(print_report):
+    report = figure8_report(repeats=5)
+    print_report(report)
+    rows = {row["model"]: row for row in report.rows}
+    mean = rows["loop-heavy mean"]["speedup"]
+    # Acceptance bar: structured emission >= 1.3x on the loop-heavy models
+    # (asserted on the mean; per-model with slack for a noisy 2-core CI box).
+    assert mean >= 1.3, f"loop-heavy mean speedup {mean:.2f} < 1.3"
+    for name in FIG8_LOOP_HEAVY_MODELS:
+        assert rows[name]["speedup"] >= 1.1, (name, rows[name]["speedup"])
+
+
+def test_structured_emission_is_ladder_free_for_fig8_models():
+    from repro.backends.pycodegen import PythonCodeGenerator
+
+    for name in FIG8_LOOP_HEAVY_MODELS:
+        entry = MODEL_REGISTRY[name]
+        compiled = compile_composition(entry.build(), pipeline="default<O2>")
+        gen = PythonCodeGenerator(compiled.module)
+        source = gen.generate_source()
+        assert gen.dispatch_fallbacks == []
+        assert "_block" not in source

@@ -16,17 +16,39 @@ single Python bytecode operation, which is what produces the order-of-
 magnitude gaps measured in the benchmark harness (absolute factors are
 smaller than the paper's native-code numbers; see DESIGN.md).
 
-Control flow is structured as a ``while`` dispatch loop over basic blocks;
-after the -O2 pipeline most scalar traffic lives in SSA registers (plain
-locals), so the generated code is tight straight-line arithmetic.
+Control flow is emitted **structurally**: natural loops and if/else regions
+are reconstructed from the cached dominator-tree and loop-info analyses and
+rendered as native Python ``while``/``if``/``else``/``continue``/``break``.
+Only genuinely irreducible CFGs (which the model code generator never
+produces, but hand-written or fuzzed IR may) fall back per function to the
+legacy block-dispatch ladder (``_block = N`` + ``while True: if/elif``).
+``flags={"structured_codegen": False}`` selects the legacy emitter for the
+whole module — kept byte-faithful to the pre-relooper backend as the anchor
+of the structured-vs-dispatch differential tests and the Figure 8 report.
+
+The structured emitter also plans memory and scalar traffic at codegen time:
+
+* constant-index ``getelementptr`` chains fold to integer slot offsets (no
+  run-time offset arithmetic, no ``_buf``/``_off`` pair assignments);
+* every ``alloca`` receives a liveness-coalesced slot range inside one flat
+  per-call ``_frame`` buffer instead of allocating its own list;
+* repeated/non-finite float constants, intrinsic bindings
+  (``_intrinsics["exp"]`` dict lookups become one closure cell) and
+  loop-invariant ``(buffer, offset)`` call tuples are pooled into locals of
+  the module factory function, captured by the generated functions' closures;
+* phi copies on an edge collapse into one parallel multiple-assignment, and
+  comparisons produce raw bools instead of ``1 if … else 0`` wrappers.
+
+See DESIGN.md, "Structured emission and the frame planner".
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..cogframe import prng
+from ..ir.cfg import is_reducible
 from ..ir.instructions import (
     GEP,
     Alloca,
@@ -45,7 +67,9 @@ from ..ir.instructions import (
 )
 from ..ir.module import BasicBlock, Function, Module
 from ..ir.types import ArrayType, StructType
-from ..ir.values import Argument, Constant, UndefValue, Value
+from ..ir.values import Constant, UndefValue, Value
+from ..passes.dominators import DominatorTree
+from ..passes.loopinfo import LoopInfo
 from . import runtime
 
 
@@ -67,6 +91,15 @@ _BINOP_FMT = {
     "ashr": "({a} >> {b})",
 }
 
+#: Structured-mode overrides: operands are always simple names or constants,
+#: so ``fdiv`` can test the denominator inline and only call the helper at
+#: the singular point, keeping the common case a single BINARY_OP.
+_BINOP_FMT_STRUCTURED = dict(
+    _BINOP_FMT,
+    fdiv="({a} / {b} if {b} else _fdiv({a}, {b}))",
+    frem="_fmod({a}, {b})",
+)
+
 _FCMP_FMT = {
     "oeq": "({a} == {b})",
     "one": "({a} != {b})",
@@ -85,190 +118,112 @@ _ICMP_FMT = {
     "sge": "({a} >= {b})",
 }
 
+#: Intrinsics needing the guarded runtime semantics (NaN/Inf edge cases).
+_GUARDED_INTRINSICS = ("exp", "log", "sqrt", "pow", "log1p", "fmin", "fmax")
+
+#: Intrinsics emitted as direct calls.
+_DIRECT_INTRINSICS = {
+    "sin": "math.sin",
+    "cos": "math.cos",
+    "tanh": "math.tanh",
+    "fabs": "abs",
+    "floor": "math.floor",
+    "ceil": "math.ceil",
+    "copysign": "math.copysign",
+}
+
+#: Finite float constants shorter than this stay literals: a ``LOAD_CONST``
+#: is cheaper than a closure-cell load, so pooling only pays for long
+#: mantissas (source-size + compile-time win) and non-finite values (which
+#: would otherwise be a ``float("nan")`` call per use).
+_POOL_MIN_REPR = 6
+
 
 def _fdiv(a: float, b: float) -> float:
-    return runtime.eval_float_binop("fdiv", a, b)
+    """IEEE-style float division (same semantics as ``eval_float_binop``)."""
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return math.nan
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+    return a / b
 
 
 def _sdiv(a: int, b: int) -> int:
-    return runtime.eval_int_binop("sdiv", a, b)
+    """Truncating signed division (same semantics as ``eval_int_binop``)."""
+    if b == 0:
+        raise ZeroDivisionError("integer division by zero in IR execution")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
 
 
 def _srem(a: int, b: int) -> int:
-    return runtime.eval_int_binop("srem", a, b)
+    """C-style signed remainder (same semantics as ``eval_int_binop``)."""
+    if b == 0:
+        raise ZeroDivisionError("integer remainder by zero in IR execution")
+    q = abs(a) // abs(b)
+    return a - (q if (a >= 0) == (b >= 0) else -q) * b
 
 
-class PythonCodeGenerator:
-    """Translates every defined function of a module into Python source."""
+class _Bailout(Exception):
+    """Raised when a function cannot be expressed structurally.
 
-    def __init__(self, module: Module, prefix: str = "ir"):
-        self.module = module
-        self.prefix = prefix
-        self._value_names: Dict[int, str] = {}
-        self._counter = 0
+    The generator catches it per function and falls back to the dispatch
+    ladder, so a bailout is a performance event, never a correctness one.
+    """
 
-    # -- naming -------------------------------------------------------------------
-    def _name(self, value: Value) -> str:
-        if isinstance(value, Constant):
-            v = value.value
-            if isinstance(v, float):
-                if math.isnan(v):
-                    return "float('nan')"
-                if math.isinf(v):
-                    return "float('inf')" if v > 0 else "float('-inf')"
-                return repr(v)
-            return repr(v)
-        if isinstance(value, UndefValue):
-            return "0.0" if value.type.is_float else "0"
-        key = id(value)
-        if key not in self._value_names:
-            self._counter += 1
-            self._value_names[key] = f"v{self._counter}"
-        return self._value_names[key]
 
-    # -- source emission -------------------------------------------------------------
-    def generate_source(self) -> str:
-        lines = [
-            "# Generated by repro.backends.pycodegen — do not edit.",
-            "import math",
-        ]
-        for fn in self.module.defined_functions():
-            lines.append("")
-            lines.extend(self._emit_function(fn))
-        return "\n".join(lines)
+class _Ptr:
+    """Symbolic pointer: buffer name + (runtime base symbol, constant delta).
 
-    def compile(self) -> Dict[str, object]:
-        """Compile the generated source and return the callables by IR name."""
-        source = self.generate_source()
-        namespace: Dict[str, object] = {
-            "math": math,
-            "_fdiv": _fdiv,
-            "_sdiv": _sdiv,
-            "_srem": _srem,
-            "_intrinsics": runtime.INTRINSIC_IMPLS,
-            "_uniform_from_state": prng.uniform_from_state,
-            "_normal_from_state": prng.normal_from_state,
-        }
-        exec(compile(source, f"<distill:{self.module.name}>", "exec"), namespace)
-        return {
-            fn.name: namespace[self._py_name(fn)] for fn in self.module.defined_functions()
-        }
+    ``buf`` is a Python expression naming the slot buffer (an unpacked
+    pointer argument's ``<arg>_buf`` or the function's ``_frame``).  The slot
+    offset is ``base + const`` where ``base`` is either ``None`` (fully
+    constant offset) or the name of a run-time offset local.
+    """
 
-    def _py_name(self, fn: Function) -> str:
-        return f"{self.prefix}_{fn.name}".replace(".", "_")
+    __slots__ = ("buf", "base", "const")
 
-    # -- per function ------------------------------------------------------------------
-    def _emit_function(self, fn: Function) -> List[str]:
-        args = ", ".join(self._name(arg) for arg in fn.args)
-        lines = [f"def {self._py_name(fn)}({args}):"]
-        body: List[str] = []
+    def __init__(self, buf: str, base: Optional[str], const: int):
+        self.buf = buf
+        self.base = base
+        self.const = const
 
-        block_ids = {id(block): i for i, block in enumerate(fn.blocks)}
+    def advanced(self, delta: int) -> "_Ptr":
+        return _Ptr(self.buf, self.base, self.const + delta)
 
-        # Unpack pointer arguments into (buffer, offset) pairs.
-        for arg in fn.args:
-            if arg.type.is_pointer:
-                name = self._name(arg)
-                body.append(f"{name}_buf, {name}_off = {name}")
 
-        if len(fn.blocks) == 1:
-            body.extend(self._emit_block_body(fn, fn.blocks[0], block_ids, single=True))
-        else:
-            body.append("_block = 0")
-            body.append("while True:")
-            for i, block in enumerate(fn.blocks):
-                keyword = "if" if i == 0 else "elif"
-                body.append(f"    {keyword} _block == {i}:")
-                block_lines = self._emit_block_body(fn, block, block_ids, single=False)
-                body.extend(f"        {line}" for line in block_lines)
-        lines.extend(f"    {line}" for line in body)
-        return lines
+class _DispatchPointers:
+    """Legacy pointer strategy: every pointer value is a ``_buf``/``_off``
+    local pair, allocas allocate their own lists, GEPs compute offsets at
+    run time.  Used by the dispatch-ladder emitter."""
 
-    # -- per block ------------------------------------------------------------------------
-    def _emit_block_body(
-        self, fn: Function, block: BasicBlock, block_ids: Dict[int, int], single: bool
-    ) -> List[str]:
-        lines: List[str] = []
-        for instr in block.instructions:
-            if isinstance(instr, Phi):
-                continue  # materialised on the incoming edges
-            if instr.is_terminator:
-                lines.extend(self._emit_terminator(fn, block, instr, block_ids, single))
-            else:
-                lines.extend(self._emit_instruction(instr))
-        if not lines:
-            lines.append("pass")
-        return lines
+    def __init__(self, gen: "PythonCodeGenerator"):
+        self.gen = gen
 
-    def _pointer_expr(self, value: Value) -> tuple[str, str]:
-        """Return (buffer_expr, offset_expr) for a pointer-typed IR value."""
-        name = self._name(value)
+    def _pair(self, value: Value) -> Tuple[str, str]:
+        name = self.gen._name(value)
         return f"{name}_buf", f"{name}_off"
 
-    def _emit_instruction(self, instr) -> List[str]:
-        name = self._name(instr)
-        if isinstance(instr, BinaryOp):
-            fmt = _BINOP_FMT[instr.opcode]
-            return [f"{name} = " + fmt.format(a=self._name(instr.lhs), b=self._name(instr.rhs))]
-        if isinstance(instr, FCmp):
-            if instr.predicate in _FCMP_FMT:
-                expr = _FCMP_FMT[instr.predicate].format(
-                    a=self._name(instr.lhs), b=self._name(instr.rhs)
-                )
-                # Ordered comparisons are False when either side is NaN; Python's
-                # comparisons already return False for NaN operands.
-                return [f"{name} = 1 if {expr} else 0"]
-            if instr.predicate == "ord":
-                return [
-                    f"{name} = 0 if (math.isnan({self._name(instr.lhs)}) or "
-                    f"math.isnan({self._name(instr.rhs)})) else 1"
-                ]
-            return [
-                f"{name} = 1 if (math.isnan({self._name(instr.lhs)}) or "
-                f"math.isnan({self._name(instr.rhs)})) else 0"
-            ]
-        if isinstance(instr, ICmp):
-            expr = _ICMP_FMT[instr.predicate].format(
-                a=self._name(instr.lhs), b=self._name(instr.rhs)
-            )
-            return [f"{name} = 1 if {expr} else 0"]
-        if isinstance(instr, Select):
-            return [
-                f"{name} = {self._name(instr.true_value)} if {self._name(instr.condition)} "
-                f"else {self._name(instr.false_value)}"
-            ]
-        if isinstance(instr, Cast):
-            return [self._emit_cast(instr, name)]
-        if isinstance(instr, Alloca):
-            slots = max(instr.allocated_type.slot_count(), 1)
-            return [f"{name}_buf = [0.0] * {slots}", f"{name}_off = 0"]
-        if isinstance(instr, Load):
-            buf, off = self._pointer_expr(instr.pointer)
-            return [f"{name} = {buf}[{off}]"]
-        if isinstance(instr, Store):
-            buf, off = self._pointer_expr(instr.pointer)
-            return [f"{buf}[{off}] = {self._name(instr.value)}"]
-        if isinstance(instr, GEP):
-            return self._emit_gep(instr, name)
-        if isinstance(instr, Call):
-            return self._emit_call(instr, name)
-        raise NotImplementedError(f"cannot generate Python for {instr.opcode}")
+    def pointer_ref(self, value: Value) -> Tuple[str, str]:
+        return self._pair(value)
 
-    def _emit_cast(self, instr: Cast, name: str) -> str:
-        source = self._name(instr.value)
-        if instr.opcode == "sitofp":
-            return f"{name} = float({source})"
-        if instr.opcode == "fptosi":
-            return f"{name} = 0 if math.isnan({source}) else int({source})"
-        if instr.opcode in ("zext", "sext", "bitcast", "fpext", "fptrunc"):
-            return f"{name} = {source}"
-        if instr.opcode == "trunc":
-            mask = (1 << instr.type.width) - 1
-            return f"{name} = int({source}) & {mask}"
-        raise NotImplementedError(f"cast {instr.opcode}")
+    def pointer_ref_plus1(self, value: Value) -> Tuple[str, str]:
+        buf, off = self._pair(value)
+        return buf, f"{off} + 1"
 
-    def _emit_gep(self, instr: GEP, name: str) -> List[str]:
-        base_buf, base_off = self._pointer_expr(instr.pointer)
+    def call_arg(self, value: Value) -> str:
+        buf, off = self._pair(value)
+        return f"({buf}, {off})"
+
+    def emit_alloca(self, instr: Alloca) -> List[str]:
+        name = self.gen._name(instr)
+        slots = max(instr.allocated_type.slot_count(), 1)
+        return [f"{name}_buf = [0.0] * {slots}", f"{name}_off = 0"]
+
+    def emit_gep(self, instr: GEP) -> List[str]:
+        gen = self.gen
+        name = gen._name(instr)
+        base_buf, base_off = self._pair(instr.pointer)
         pointee = instr.pointer.type.pointee
         indices = instr.indices
 
@@ -298,49 +253,858 @@ class PythonCodeGenerator:
         if isinstance(index, Constant):
             return str(int(index.value) * stride)
         if stride == 1:
-            return f"int({self._name(index)})"
-        return f"int({self._name(index)}) * {stride}"
+            return f"int({self.gen._name(index)})"
+        return f"int({self.gen._name(index)}) * {stride}"
 
-    def _emit_call(self, instr: Call, name: str) -> List[str]:
+
+class _AllocaPlan:
+    __slots__ = ("start", "size", "zero_at_site")
+
+    def __init__(self, start: int, size: int, zero_at_site: bool):
+        self.start = start
+        self.size = size
+        self.zero_at_site = zero_at_site
+
+
+class _StructuredFunction:
+    """Per-function state of the structured emitter: the relooper plus the
+    frame/pointer planner.  Also acts as the pointer strategy consumed by
+    :meth:`PythonCodeGenerator._emit_instruction`."""
+
+    _LOOP = "loop"
+    _FOLLOW = "follow"
+    _MAX_DEPTH = 400
+
+    def __init__(self, gen: "PythonCodeGenerator", fn: Function):
+        self.gen = gen
+        self.fn = fn
+        self.domtree, self.loopinfo = gen._cfg_analyses(fn)
+        # The dominator tree already carries the CFG walks this emitter
+        # needs: its RPO (unreachable blocks trail at the end and have no
+        # idom entry) and the predecessor map.  Reusing them keeps the
+        # lowering stage free of redundant O(V+E) traversals.
+        self._reachable_ids = {id(b) for b in fn.blocks if b in self.domtree.idom}
+        self.reachable = [b for b in self.domtree.rpo if id(b) in self._reachable_ids]
+        if not is_reducible(fn, self.domtree):
+            raise _Bailout(f"irreducible CFG in @{fn.name}")
+        rpo = self.reachable
+        self.rpo_index = {id(b): i for i, b in enumerate(rpo)}
+        self.preds = {
+            block: [p for p in preds if id(p) in self._reachable_ids]
+            for block, preds in self.domtree.preds.items()
+            if id(block) in self._reachable_ids
+        }
+        self.loops_by_header = {id(l.header): l for l in self.loopinfo.loops}
+        self.loop_follow: Dict[int, Optional[BasicBlock]] = {}
+        for loop in self.loopinfo.loops:
+            exits = [e for e in loop.exit_blocks() if id(e) in self._reachable_ids]
+            if len(exits) > 1:
+                raise _Bailout(
+                    f"loop at {loop.header.name} in @{fn.name} has "
+                    f"{len(exits)} distinct exit targets"
+                )
+            self.loop_follow[id(loop.header)] = exits[0] if exits else None
+        self.emitted: set[int] = set()
+
+        # -- memory / pointer planning (before any emission) -----------------
+        self.frame_size = 0
+        self.alloca_plans: Dict[int, _AllocaPlan] = {}
+        self.ptrs: Dict[int, _Ptr] = {}
+        self.gep_code: Dict[int, str] = {}
+        self._arg_off_syms: set[str] = set()
+        self._arg_tuple_of: Dict[str, str] = {}  # "<arg>_off" -> parameter name
+        self._use_counts: Dict[Tuple[str, int], int] = {}
+        self.hoisted: Dict[Tuple[str, int], str] = {}
+        self._pointer_tuples: Dict[Tuple[str, Optional[str], int], str] = {}
+        self._plan_frame(rpo)
+        self._plan_pointers(rpo)
+
+    # ------------------------------------------------------------------
+    # Frame planning: liveness-coalesced alloca slot ranges
+    # ------------------------------------------------------------------
+    def _plan_frame(self, rpo: List[BasicBlock]) -> None:
+        positions: Dict[int, int] = {}
+        block_span: Dict[int, Tuple[int, int]] = {}
+        counter = 0
+        for block in rpo:
+            start = counter
+            for instr in block.instructions:
+                positions[id(instr)] = counter
+                counter += 1
+            block_span[id(block)] = (start, counter - 1 if counter > start else start)
+
+        allocas = [
+            instr
+            for block in rpo
+            for instr in block.instructions
+            if isinstance(instr, Alloca)
+        ]
+        if not allocas:
+            return
+
+        loop_spans = []
+        loop_block_ids = []
+        for loop in self.loopinfo.loops:
+            spans = [block_span[id(b)] for b in loop.blocks if id(b) in block_span]
+            if spans:
+                loop_spans.append((min(s for s, _ in spans), max(e for _, e in spans)))
+                loop_block_ids.append({id(b) for b in loop.blocks})
+
+        intervals: Dict[int, Tuple[int, int]] = {}
+        in_loop: Dict[int, bool] = {}
+        for alloca in allocas:
+            uses = {positions[id(alloca)]}
+            stack: List[Value] = [alloca]
+            seen = {id(alloca)}
+            while stack:
+                value = stack.pop()
+                for user in value.uses:
+                    pos = positions.get(id(user))
+                    if pos is not None:
+                        uses.add(pos)
+                    if isinstance(user, GEP) and id(user) not in seen:
+                        seen.add(id(user))
+                        stack.append(user)
+            lo, hi = min(uses), max(uses)
+            # A live range that touches a loop covers the whole loop: the
+            # back edge may revisit any position inside it.
+            changed = True
+            while changed:
+                changed = False
+                for span_lo, span_hi in loop_spans:
+                    if lo <= span_hi and hi >= span_lo and (lo > span_lo or hi < span_hi):
+                        lo, hi = min(lo, span_lo), max(hi, span_hi)
+                        changed = True
+            intervals[id(alloca)] = (lo, hi)
+            in_loop[id(alloca)] = any(
+                id(alloca.parent) in ids for ids in loop_block_ids
+            )
+
+        # Greedy slot assignment: reuse the frame range of any alloca whose
+        # live interval is disjoint from ours.
+        placed: List[Tuple[Tuple[int, int], int, int, Alloca]] = []
+        shared: set[int] = set()
+        for alloca in sorted(allocas, key=lambda a: intervals[id(a)]):
+            size = max(alloca.allocated_type.slot_count(), 1)
+            lo, hi = intervals[id(alloca)]
+            conflicts = sorted(
+                (slot_start, slot_start + slot_size)
+                for (other_lo, other_hi), slot_start, slot_size, other in placed
+                if not (hi < other_lo or other_hi < lo)
+            )
+            start = 0
+            for c_start, c_end in conflicts:
+                if start + size <= c_start:
+                    break
+                start = max(start, c_end)
+            for (_, s, sz, other) in placed:
+                if not (start + size <= s or start >= s + sz):
+                    shared.add(id(alloca))
+                    shared.add(id(other))
+            placed.append(((lo, hi), start, size, alloca))
+            self.frame_size = max(self.frame_size, start + size)
+        for (_, start, size, alloca) in placed:
+            self.alloca_plans[id(alloca)] = _AllocaPlan(
+                start, size, in_loop[id(alloca)] or id(alloca) in shared
+            )
+
+    # ------------------------------------------------------------------
+    # Pointer planning: GEP folding + hoist-count bookkeeping
+    # ------------------------------------------------------------------
+    def _plan_pointers(self, rpo: List[BasicBlock]) -> None:
+        gen = self.gen
+        for arg in self.fn.args:
+            if arg.type.is_pointer:
+                name = gen._name(arg)
+                self.ptrs[id(arg)] = _Ptr(f"{name}_buf", f"{name}_off", 0)
+                self._arg_off_syms.add(f"{name}_off")
+                self._arg_tuple_of[f"{name}_off"] = name
+
+        def base_ptr(value: Value) -> _Ptr:
+            ptr = self.ptrs.get(id(value))
+            if ptr is None:
+                raise _Bailout(
+                    f"unsupported pointer producer {type(value).__name__} in @{self.fn.name}"
+                )
+            return ptr
+
+        for block in rpo:
+            for instr in block.instructions:
+                if isinstance(instr, Alloca):
+                    plan = self.alloca_plans[id(instr)]
+                    self.ptrs[id(instr)] = _Ptr("_frame", None, plan.start)
+                elif isinstance(instr, GEP):
+                    self._fold_gep(instr, base_ptr(instr.pointer))
+                elif isinstance(instr, Load):
+                    self._count_use(base_ptr(instr.pointer))
+                elif isinstance(instr, Store):
+                    self._count_use(base_ptr(instr.pointer))
+                elif isinstance(instr, Call):
+                    if instr.callee.intrinsic_name in ("rng_uniform", "rng_normal"):
+                        state = base_ptr(instr.args[0])
+                        self._count_use(state)
+                        self._count_use(state.advanced(1))
+                        self._count_use(state.advanced(1))
+                    else:
+                        for arg in instr.args:
+                            if arg.type.is_pointer:
+                                base_ptr(arg)  # validate producer support
+
+        for key, count in self._use_counts.items():
+            if count >= 2:
+                base, const = key
+                suffix = str(const) if const >= 0 else f"m{-const}"
+                self.hoisted[key] = f"_{base}_{suffix}"
+
+    def _fold_gep(self, instr: GEP, base: _Ptr) -> None:
+        gen = self.gen
+        pointee = instr.pointer.type.pointee
+        indices = instr.indices
+        const = 0
+        dynamic: List[str] = []
+
+        def add_index(idx: Value, stride: int) -> None:
+            nonlocal const
+            if isinstance(idx, Constant):
+                const += int(idx.value) * stride
+            elif stride == 1:
+                dynamic.append(gen._name(idx))
+            else:
+                dynamic.append(f"{gen._name(idx)} * {stride}")
+
+        add_index(indices[0], pointee.slot_count())
+        current = pointee
+        for idx in indices[1:]:
+            if isinstance(current, StructType):
+                if not isinstance(idx, Constant):
+                    raise NotImplementedError("dynamic struct indices are not supported")
+                field_index = int(idx.value)
+                const += current.field_slot_offset(field_index)
+                current = current.field_type(field_index)
+            elif isinstance(current, ArrayType):
+                add_index(idx, current.element.slot_count())
+                current = current.element
+            else:
+                raise NotImplementedError(f"cannot index into {current}")
+
+        if not dynamic:
+            self.ptrs[id(instr)] = _Ptr(base.buf, base.base, base.const + const)
+            return
+        terms: List[str] = []
+        if base.base is not None:
+            terms.append(base.base)
+        terms.extend(dynamic)
+        total_const = base.const + const
+        if total_const:
+            terms.append(str(total_const))
+        name = f"{gen._name(instr)}_off"
+        self.gep_code[id(instr)] = f"{name} = " + " + ".join(terms)
+        self.ptrs[id(instr)] = _Ptr(base.buf, name, 0)
+
+    def _count_use(self, ptr: _Ptr) -> None:
+        if ptr.base in self._arg_off_syms and ptr.const:
+            key = (ptr.base, ptr.const)
+            self._use_counts[key] = self._use_counts.get(key, 0) + 1
+
+    def _offset_expr(self, ptr: _Ptr) -> str:
+        if ptr.base is None:
+            return str(ptr.const)
+        if not ptr.const:
+            return ptr.base
+        hoisted = self.hoisted.get((ptr.base, ptr.const))
+        if hoisted is not None:
+            return hoisted
+        if ptr.const > 0:
+            return f"{ptr.base} + {ptr.const}"
+        return f"{ptr.base} - {-ptr.const}"
+
+    def prologue(self) -> List[str]:
+        """Per-call setup: the frame, hoisted offsets, pooled call tuples."""
+        lines: List[str] = []
+        if self.frame_size:
+            lines.append(f"_frame = [0.0] * {self.frame_size}")
+        for (base, const), name in sorted(self.hoisted.items(), key=lambda kv: kv[1]):
+            op = f"+ {const}" if const > 0 else f"- {-const}"
+            lines.append(f"{name} = {base} {op}")
+        for (buf, base, const), name in sorted(
+            self._pointer_tuples.items(), key=lambda kv: kv[1]
+        ):
+            off = self._offset_expr(_Ptr(buf, base, const))
+            lines.append(f"{name} = ({buf}, {off})")
+        return lines
+
+    # -- pointer strategy interface ------------------------------------
+    def pointer_ref(self, value: Value) -> Tuple[str, str]:
+        ptr = self.ptrs[id(value)]
+        return ptr.buf, self._offset_expr(ptr)
+
+    def pointer_ref_plus1(self, value: Value) -> Tuple[str, str]:
+        ptr = self.ptrs[id(value)].advanced(1)
+        return ptr.buf, self._offset_expr(ptr)
+
+    def call_arg(self, value: Value) -> str:
+        ptr = self.ptrs[id(value)]
+        if ptr.base is not None and ptr.base not in self._arg_off_syms:
+            # Offset local materialised mid-function: build the pair inline.
+            return f"({ptr.buf}, {self._offset_expr(ptr)})"
+        if ptr.const == 0 and ptr.base in self._arg_tuple_of:
+            # The argument's own tuple can be forwarded unchanged.
+            return self._arg_tuple_of[ptr.base]
+        # Entry-stable pair: build it once per call in the prologue.
+        key = (ptr.buf, ptr.base, ptr.const)
+        name = self._pointer_tuples.get(key)
+        if name is None:
+            name = f"_p{len(self._pointer_tuples)}"
+            self._pointer_tuples[key] = name
+        return name
+
+    def emit_alloca(self, instr: Alloca) -> List[str]:
+        plan = self.alloca_plans[id(instr)]
+        if not plan.zero_at_site:
+            return []  # the frame is zero-filled at function entry
+        if plan.size == 1:
+            return [f"_frame[{plan.start}] = 0.0"]
+        zeros = self.gen._zero_tuple(plan.size)
+        return [f"_frame[{plan.start}:{plan.start + plan.size}] = {zeros}"]
+
+    def emit_gep(self, instr: GEP) -> List[str]:
+        line = self.gep_code.get(id(instr))
+        return [line] if line is not None else []
+
+    # ------------------------------------------------------------------
+    # The relooper
+    # ------------------------------------------------------------------
+    def emit(self) -> List[str]:
+        lines = self._emit_chain(self.fn.entry_block, (), 0)
+        if len(self.emitted) != len(self.reachable):
+            raise _Bailout(
+                f"structured emission missed blocks in @{self.fn.name}"
+            )
+        return lines
+
+    def _emit_chain(self, block: BasicBlock, ctx: tuple, depth: int) -> List[str]:
+        if depth > self._MAX_DEPTH:
+            raise _Bailout(f"region nesting too deep in @{self.fn.name}")
+        if id(block) in self.emitted:
+            raise _Bailout(f"block {block.name} reached twice in @{self.fn.name}")
+        self.emitted.add(id(block))
+        loop = self.loops_by_header.get(id(block))
+        if loop is not None:
+            follow = self.loop_follow[id(block)]
+            inner_ctx = ctx + ((self._LOOP, block, follow),)
+            body = self._emit_block_code(block, inner_ctx, depth + 1)
+            lines = ["while True:"] + [f"    {line}" for line in (body or ["pass"])]
+            if follow is not None:
+                # Phi copies for the exit edges were emitted at the break
+                # sites; here the follow either continues the enclosing
+                # construct or is emitted inline.
+                jump = self._try_goto(follow, ctx, copies=[])
+                if jump is not None:
+                    lines.extend(jump)
+                else:
+                    lines.extend(self._emit_chain(follow, ctx, depth + 1))
+            return lines
+        return self._emit_block_code(block, ctx, depth + 1)
+
+    def _emit_block_code(self, block: BasicBlock, ctx: tuple, depth: int) -> List[str]:
+        gen = self.gen
+        lines: List[str] = []
+        term = None
+        for instr in block.instructions:
+            if isinstance(instr, Phi):
+                continue
+            if instr.is_terminator:
+                term = instr
+                break
+            lines.extend(gen._emit_instruction(instr, self))
+        if term is None:
+            raise _Bailout(f"block {block.name} has no terminator")
+        if isinstance(term, Return):
+            if term.value is None:
+                lines.append("return None")
+            else:
+                lines.append(f"return {gen._name(term.value)}")
+            return lines
+        if isinstance(term, Branch):
+            lines.extend(self._realize_edge(block, term.target, ctx, depth))
+            return lines
+        if isinstance(term, CondBranch):
+            lines.extend(self._emit_cond(block, term, ctx, depth))
+            return lines
+        raise _Bailout(f"unsupported terminator {term.opcode}")
+
+    def _emit_cond(self, block: BasicBlock, term: CondBranch, ctx: tuple, depth: int) -> List[str]:
+        deferred = self._deferred_ids(ctx)
+        merges = [
+            child
+            for child in self.domtree.children.get(block, [])
+            if id(child) in self._reachable_ids
+            and id(child) not in self.emitted
+            and id(child) not in deferred
+            and len(self._forward_preds(child)) >= 2
+        ]
+        merges.sort(key=lambda b: self.rpo_index[id(b)])
+        arm_ctx = ctx + tuple((self._FOLLOW, m) for m in reversed(merges))
+
+        true_lines = self._realize_edge(block, term.true_block, arm_ctx, depth)
+        false_lines = self._realize_edge(block, term.false_block, arm_ctx, depth)
+        cond = self.gen._name(term.condition)
+
+        lines: List[str] = []
+        if true_lines and false_lines:
+            lines.append(f"if {cond}:")
+            lines.extend(f"    {line}" for line in true_lines)
+            lines.append("else:")
+            lines.extend(f"    {line}" for line in false_lines)
+        elif true_lines:
+            lines.append(f"if {cond}:")
+            lines.extend(f"    {line}" for line in true_lines)
+        elif false_lines:
+            lines.append(f"if not {cond}:")
+            lines.extend(f"    {line}" for line in false_lines)
+        # Both arms empty: both targets fall through to the same merge with
+        # no phi traffic — the branch is a no-op.
+
+        for i, merge in enumerate(merges):
+            rest = ctx + tuple((self._FOLLOW, m) for m in reversed(merges[i + 1 :]))
+            lines.extend(self._emit_chain(merge, rest, depth + 1))
+        return lines
+
+    def _realize_edge(
+        self, source: BasicBlock, target: BasicBlock, ctx: tuple, depth: int
+    ) -> List[str]:
+        copies = self.gen._phi_copies(source, target, structured=True)
+        jump = self._try_goto(target, ctx, copies)
+        if jump is not None:
+            return jump
+        forward = self._forward_preds(target)
+        if id(target) in self.emitted or len(forward) != 1 or forward[0] is not source:
+            raise _Bailout(
+                f"edge {source.name} -> {target.name} in @{self.fn.name} is "
+                f"not expressible structurally"
+            )
+        return copies + self._emit_chain(target, ctx, depth + 1)
+
+    def _try_goto(
+        self, target: BasicBlock, ctx: tuple, copies: List[str]
+    ) -> Optional[List[str]]:
+        """Realize a jump using the enclosing constructs, if possible.
+
+        Falling off the end of the current arm reaches only the innermost
+        pending follow; ``continue``/``break`` reach only the innermost loop.
+        """
+        allow_fallthrough = True
+        for entry in reversed(ctx):
+            if entry[0] == self._FOLLOW:
+                if allow_fallthrough and entry[1] is target:
+                    return copies
+                allow_fallthrough = False
+            else:  # loop
+                _, header, follow = entry
+                if header is target:
+                    return copies + ["continue"]
+                if follow is target:
+                    return copies + ["break"]
+                return None
+        return None
+
+    def _deferred_ids(self, ctx: tuple) -> set:
+        deferred = set()
+        for entry in ctx:
+            if entry[0] == self._FOLLOW:
+                deferred.add(id(entry[1]))
+            elif entry[2] is not None:
+                deferred.add(id(entry[2]))
+        return deferred
+
+    def _forward_preds(self, target: BasicBlock) -> List[BasicBlock]:
+        preds = self.preds.get(target, [])
+        loop = self.loops_by_header.get(id(target))
+        if loop is None:
+            return preds
+        return [p for p in preds if not loop.contains(p)]
+
+
+class PythonCodeGenerator:
+    """Translates every defined function of a module into Python source.
+
+    ``structured=True`` (the default) reconstructs loops and conditionals
+    from the dominator tree and loop info — served by ``analysis_manager``
+    when one is supplied, so a compile reuses the pipeline's cached analyses
+    — and plans alloca frames, GEP offsets, pooled constants and intrinsic
+    bindings at emission time.  ``structured=False`` reproduces the legacy
+    block-dispatch emitter for the whole module.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        prefix: str = "ir",
+        structured: bool = True,
+        analysis_manager=None,
+    ):
+        self.module = module
+        self.prefix = prefix
+        self.structured = structured
+        self.analysis_manager = analysis_manager
+        self._value_names: Dict[int, str] = {}
+        self._counter = 0
+        #: Functions that fell back to the dispatch ladder (irreducible or
+        #: structurally inexpressible CFGs); inspected by tests and reports.
+        self.dispatch_fallbacks: List[str] = []
+        # -- factory-level pools (structured mode only) --------------------
+        self._float_uses = self._count_float_uses() if structured else {}
+        self._pool: Dict[str, str] = {}
+        self._prelude_lines: List[str] = []
+        self._aliases: Dict[str, str] = {}
+        self._zero_tuples: Dict[int, str] = {}
+
+    # -- analyses -----------------------------------------------------------------
+    def _cfg_analyses(self, fn: Function) -> Tuple[DominatorTree, LoopInfo]:
+        am = self.analysis_manager
+        if am is not None:
+            return am.get("domtree", fn), am.get("loopinfo", fn)
+        domtree = DominatorTree(fn)
+        return domtree, LoopInfo(fn, domtree=domtree)
+
+    # -- constant / helper pooling -------------------------------------------------
+    def _count_float_uses(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for fn in self.module.defined_functions():
+            for instr in fn.instructions():
+                for op in instr.operands:
+                    if isinstance(op, Constant) and isinstance(op.value, float):
+                        key = self._float_key(op.value)
+                        counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    @staticmethod
+    def _float_key(v: float) -> str:
+        if math.isnan(v):
+            return "nan"
+        if math.isinf(v):
+            return "inf" if v > 0 else "-inf"
+        return repr(v)
+
+    def _float_expr(self, v: float) -> str:
+        key = self._float_key(v)
+        if math.isnan(v):
+            literal = 'float("nan")'
+        elif math.isinf(v):
+            literal = 'float("inf")' if v > 0 else 'float("-inf")'
+        else:
+            literal = key
+        if not self.structured:
+            return literal
+        pooled = self._pool.get(key)
+        if pooled is not None:
+            return pooled
+        if math.isfinite(v) and (
+            len(literal) < _POOL_MIN_REPR or self._float_uses.get(key, 0) < 2
+        ):
+            return literal
+        name = f"_c{len(self._pool)}"
+        self._pool[key] = name
+        self._prelude_lines.append(f"{name} = {literal}")
+        return name
+
+    def _alias(self, name: str, expr: str) -> str:
+        """A factory-local binding for a hot helper (one closure cell)."""
+        if name not in self._aliases:
+            self._aliases[name] = expr
+            self._prelude_lines.append(f"{name} = {expr}")
+        return name
+
+    def _zero_tuple(self, size: int) -> str:
+        name = self._zero_tuples.get(size)
+        if name is None:
+            name = f"_z{size}"
+            self._zero_tuples[size] = name
+            self._prelude_lines.append(f"{name} = (0.0,) * {size}")
+        return name
+
+    def _name(self, value: Value) -> str:
+        if isinstance(value, Constant):
+            v = value.value
+            if isinstance(v, float):
+                return self._float_expr(v)
+            return repr(v)
+        if isinstance(value, UndefValue):
+            return "0.0" if value.type.is_float else "0"
+        key = id(value)
+        if key not in self._value_names:
+            self._counter += 1
+            self._value_names[key] = f"v{self._counter}"
+        return self._value_names[key]
+
+    # -- source emission -------------------------------------------------------------
+    def generate_source(self) -> str:
+        functions = self.module.defined_functions()
+        sources = [self._emit_function(fn) for fn in functions]
+        lines = [
+            "# Generated by repro.backends.pycodegen — do not edit.",
+            "import math",
+        ]
+        if not self.structured or not functions:
+            for source in sources:
+                lines.append("")
+                lines.extend(source)
+            return "\n".join(lines)
+        names = ", ".join(self._py_name(fn) for fn in functions)
+        if len(functions) == 1:
+            names += ","
+        # All generated functions live inside one factory: pooled constants
+        # and intrinsic bindings are factory locals captured by the
+        # functions' closures, and cross-function calls resolve through
+        # closure cells instead of module-global lookups.
+        lines.append("")
+        lines.append("def _distill_module():")
+        body: List[str] = list(self._prelude_lines)
+        for source in sources:
+            body.append("")
+            body.extend(source)
+        body.append("")
+        body.append(f"return ({names})")
+        lines.extend(f"    {line}" if line else "" for line in body)
+        lines.append("")
+        lines.append(f"({names}) = _distill_module()")
+        return "\n".join(lines)
+
+    def compile(self) -> Dict[str, object]:
+        """Compile the generated source and return the callables by IR name."""
+        source = self.generate_source()
+        namespace: Dict[str, object] = {
+            "math": math,
+            "_fdiv": _fdiv,
+            "_sdiv": _sdiv,
+            "_srem": _srem,
+            "_intrinsics": runtime.INTRINSIC_IMPLS,
+            "_uniform_from_state": prng.uniform_from_state,
+            "_normal_from_state": prng.normal_from_state,
+        }
+        exec(compile(source, f"<distill:{self.module.name}>", "exec"), namespace)
+        return {
+            fn.name: namespace[self._py_name(fn)] for fn in self.module.defined_functions()
+        }
+
+    def _py_name(self, fn: Function) -> str:
+        return f"{self.prefix}_{fn.name}".replace(".", "_")
+
+    # -- per function ------------------------------------------------------------------
+    def _emit_function(self, fn: Function) -> List[str]:
+        if self.structured:
+            try:
+                return self._emit_function_structured(fn)
+            except _Bailout:
+                self.dispatch_fallbacks.append(fn.name)
+        return self._emit_function_dispatch(fn)
+
+    def _emit_function_structured(self, fn: Function) -> List[str]:
+        emitter = _StructuredFunction(self, fn)
+        body = emitter.emit()
+        args = ", ".join(self._name(arg) for arg in fn.args)
+        lines = [f"def {self._py_name(fn)}({args}):"]
+        prologue: List[str] = []
+        for arg in fn.args:
+            if arg.type.is_pointer:
+                name = self._name(arg)
+                prologue.append(f"{name}_buf, {name}_off = {name}")
+        prologue.extend(emitter.prologue())
+        lines.extend(f"    {line}" for line in prologue + body)
+        return lines
+
+    def _emit_function_dispatch(self, fn: Function) -> List[str]:
+        """Legacy emission: a ``while True`` dispatch ladder over block ids.
+
+        Used for the whole module under ``structured=False`` and per function
+        as the fallback for CFGs the structured emitter cannot express
+        (irreducible graphs in particular).
+        """
+        ptrs = _DispatchPointers(self)
+        args = ", ".join(self._name(arg) for arg in fn.args)
+        lines = [f"def {self._py_name(fn)}({args}):"]
+        body: List[str] = []
+
+        block_ids = {id(block): i for i, block in enumerate(fn.blocks)}
+
+        # Unpack pointer arguments into (buffer, offset) pairs.
+        for arg in fn.args:
+            if arg.type.is_pointer:
+                name = self._name(arg)
+                body.append(f"{name}_buf, {name}_off = {name}")
+
+        if len(fn.blocks) == 1:
+            body.extend(self._emit_block_body(fn, fn.blocks[0], block_ids, True, ptrs))
+        else:
+            body.append("_block = 0")
+            body.append("while True:")
+            for i, block in enumerate(fn.blocks):
+                keyword = "if" if i == 0 else "elif"
+                body.append(f"    {keyword} _block == {i}:")
+                block_lines = self._emit_block_body(fn, block, block_ids, False, ptrs)
+                body.extend(f"        {line}" for line in block_lines)
+        lines.extend(f"    {line}" for line in body)
+        return lines
+
+    # -- per block ------------------------------------------------------------------------
+    def _emit_block_body(
+        self,
+        fn: Function,
+        block: BasicBlock,
+        block_ids: Dict[int, int],
+        single: bool,
+        ptrs,
+    ) -> List[str]:
+        lines: List[str] = []
+        for instr in block.instructions:
+            if isinstance(instr, Phi):
+                continue  # materialised on the incoming edges
+            if instr.is_terminator:
+                lines.extend(self._emit_terminator(fn, block, instr, block_ids, single))
+            else:
+                lines.extend(self._emit_instruction(instr, ptrs))
+        if not lines:
+            lines.append("pass")
+        return lines
+
+    def _emit_instruction(self, instr, ptrs) -> List[str]:
+        name = self._name(instr)
+        structured = isinstance(ptrs, _StructuredFunction)
+        if isinstance(instr, BinaryOp):
+            fmt = (_BINOP_FMT_STRUCTURED if structured else _BINOP_FMT)[instr.opcode]
+            if structured and instr.opcode == "frem":
+                self._alias("_fmod", "math.fmod")
+            return [f"{name} = " + fmt.format(a=self._name(instr.lhs), b=self._name(instr.rhs))]
+        if isinstance(instr, FCmp):
+            a, b = self._name(instr.lhs), self._name(instr.rhs)
+            if instr.predicate in _FCMP_FMT:
+                expr = _FCMP_FMT[instr.predicate].format(a=a, b=b)
+                # Ordered comparisons are False when either side is NaN; Python's
+                # comparisons already return False for NaN operands.
+                if structured:
+                    return [f"{name} = {expr}"]
+                return [f"{name} = 1 if {expr} else 0"]
+            if structured:
+                # x == x is the NaN self-test: no math.isnan call needed.
+                op = "and" if instr.predicate == "ord" else "or"
+                eq = "==" if instr.predicate == "ord" else "!="
+                return [f"{name} = ({a} {eq} {a} {op} {b} {eq} {b})"]
+            if instr.predicate == "ord":
+                return [
+                    f"{name} = 0 if (math.isnan({a}) or math.isnan({b})) else 1"
+                ]
+            return [
+                f"{name} = 1 if (math.isnan({a}) or math.isnan({b})) else 0"
+            ]
+        if isinstance(instr, ICmp):
+            expr = _ICMP_FMT[instr.predicate].format(
+                a=self._name(instr.lhs), b=self._name(instr.rhs)
+            )
+            if structured:
+                return [f"{name} = {expr}"]
+            return [f"{name} = 1 if {expr} else 0"]
+        if isinstance(instr, Select):
+            return [
+                f"{name} = {self._name(instr.true_value)} if {self._name(instr.condition)} "
+                f"else {self._name(instr.false_value)}"
+            ]
+        if isinstance(instr, Cast):
+            return [self._emit_cast(instr, name, structured)]
+        if isinstance(instr, Alloca):
+            return ptrs.emit_alloca(instr)
+        if isinstance(instr, Load):
+            buf, off = ptrs.pointer_ref(instr.pointer)
+            return [f"{name} = {buf}[{off}]"]
+        if isinstance(instr, Store):
+            buf, off = ptrs.pointer_ref(instr.pointer)
+            return [f"{buf}[{off}] = {self._name(instr.value)}"]
+        if isinstance(instr, GEP):
+            return ptrs.emit_gep(instr)
+        if isinstance(instr, Call):
+            return self._emit_call(instr, name, ptrs, structured)
+        raise NotImplementedError(f"cannot generate Python for {instr.opcode}")
+
+    def _emit_cast(self, instr: Cast, name: str, structured: bool) -> str:
+        source = self._name(instr.value)
+        if instr.opcode == "sitofp":
+            return f"{name} = float({source})"
+        if instr.opcode == "fptosi":
+            if structured:
+                # NaN != NaN: the self-test replaces the math.isnan lookup.
+                return f"{name} = 0 if {source} != {source} else int({source})"
+            return f"{name} = 0 if math.isnan({source}) else int({source})"
+        if instr.opcode in ("zext", "sext", "bitcast", "fpext", "fptrunc"):
+            return f"{name} = {source}"
+        if instr.opcode == "trunc":
+            mask = (1 << instr.type.width) - 1
+            return f"{name} = int({source}) & {mask}"
+        raise NotImplementedError(f"cast {instr.opcode}")
+
+    def _emit_call(self, instr: Call, name: str, ptrs, structured: bool) -> List[str]:
         callee = instr.callee
         arg_exprs = []
         for arg in instr.args:
             if arg.type.is_pointer:
-                buf, off = self._pointer_expr(arg)
-                arg_exprs.append(f"({buf}, {off})")
+                arg_exprs.append(ptrs.call_arg(arg))
             else:
                 arg_exprs.append(self._name(arg))
         if callee.intrinsic_name is not None:
             intrinsic = callee.intrinsic_name
-            if intrinsic == "rng_uniform":
-                buf, off = self._pointer_expr(instr.args[0])
+            if intrinsic in ("rng_uniform", "rng_normal"):
+                buf, off = ptrs.pointer_ref(instr.args[0])
+                buf1, off1 = ptrs.pointer_ref_plus1(instr.args[0])
+                if structured:
+                    return self._emit_rng_inline(intrinsic, name, buf, off, buf1, off1)
+                helper = (
+                    "_uniform_from_state" if intrinsic == "rng_uniform" else "_normal_from_state"
+                )
                 return [
-                    f"{name}, _ctr = _uniform_from_state(int({buf}[{off}]), int({buf}[{off} + 1]))",
-                    f"{buf}[{off} + 1] = _ctr",
+                    f"{name}, _ctr = {helper}(int({buf}[{off}]), int({buf1}[{off1}]))",
+                    f"{buf1}[{off1}] = _ctr",
                 ]
-            if intrinsic == "rng_normal":
-                buf, off = self._pointer_expr(instr.args[0])
-                return [
-                    f"{name}, _ctr = _normal_from_state(int({buf}[{off}]), int({buf}[{off} + 1]))",
-                    f"{buf}[{off} + 1] = _ctr",
-                ]
-            direct = {
-                "exp": "math.exp",
-                "log": "math.log",
-                "sqrt": "math.sqrt",
-                "sin": "math.sin",
-                "cos": "math.cos",
-                "tanh": "math.tanh",
-                "fabs": "abs",
-                "floor": "math.floor",
-                "ceil": "math.ceil",
-                "copysign": "math.copysign",
-            }
-            if intrinsic in ("exp", "log", "sqrt", "pow", "log1p", "fmin", "fmax"):
+            if structured and intrinsic == "exp":
+                # math.exp only raises OverflowError for large *finite*
+                # arguments (inf and NaN pass through), so the common case
+                # is one comparison + the direct C call; the rare huge
+                # argument falls back to the guarded helper.
+                a = arg_exprs[0]
+                fn_name = self._alias("_m_exp", "math.exp")
+                guarded = self._alias("_i_exp", "_intrinsics['exp']")
+                expr = f"{fn_name}({a}) if {a} < 700.0 else {guarded}({a})"
+                if instr.type.is_void:
+                    return [f"({expr})"]
+                return [f"{name} = {expr}"]
+            if structured and intrinsic in ("sqrt", "log"):
+                # The guard folds to one comparison around the direct call
+                # (NaN inputs take the else arm and stay NaN, as the guarded
+                # runtime implementations do).
+                a = arg_exprs[0]
+                nan = self._float_expr(math.nan)
+                if intrinsic == "sqrt":
+                    fn_name = self._alias("_m_sqrt", "math.sqrt")
+                    expr = f"{fn_name}({a}) if {a} >= 0.0 else {nan}"
+                else:
+                    fn_name = self._alias("_m_log", "math.log")
+                    ninf = self._float_expr(-math.inf)
+                    expr = (
+                        f"{fn_name}({a}) if {a} > 0.0 else "
+                        f"({ninf} if {a} == 0.0 else {nan})"
+                    )
+                if instr.type.is_void:
+                    return [f"({expr})"]
+                return [f"{name} = {expr}"]
+            if intrinsic in _GUARDED_INTRINSICS:
                 # These need the guarded runtime semantics (NaN/Inf edge cases).
-                call = f"_intrinsics[{intrinsic!r}]({', '.join(arg_exprs)})"
+                if structured:
+                    target = self._alias(f"_i_{intrinsic}", f"_intrinsics[{intrinsic!r}]")
+                else:
+                    target = f"_intrinsics[{intrinsic!r}]"
+                call = f"{target}({', '.join(arg_exprs)})"
             else:
-                call = f"{direct[intrinsic]}({', '.join(arg_exprs)})"
+                direct = _DIRECT_INTRINSICS[intrinsic]
+                if structured:
+                    direct = self._alias(f"_m_{intrinsic}", direct)
+                call = f"{direct}({', '.join(arg_exprs)})"
             if instr.type.is_void:
                 return [call]
             return [f"{name} = {call}"]
@@ -350,11 +1114,75 @@ class PythonCodeGenerator:
             return [call]
         return [f"{name} = {call}"]
 
+    def _emit_rng_inline(
+        self, intrinsic: str, name: str, buf: str, off: str, buf1: str, off1: str
+    ) -> List[str]:
+        """Inline the counter-based PRNG as straight-line integer arithmetic.
+
+        Bit-identical to :func:`repro.cogframe.prng.uniform_from_state` /
+        ``normal_from_state`` but with zero Python call frames per draw —
+        the draws dominate the run time of every stochastic model, so this
+        is the single largest per-operation overhead the compiled backend
+        can remove (profile: ~60% of a predator-prey trial was spent inside
+        the helper call stack).
+        """
+
+        def mix(z: str, counter_expr: str) -> List[str]:
+            return [
+                f"{z} = (_rk * 0x9E3779B97F4A7C15 + {counter_expr} * "
+                f"0xBF58476D1CE4E5B9 + 0x632BE59BD9B4E019) & 0xFFFFFFFFFFFFFFFF",
+                f"{z} ^= {z} >> 30",
+                f"{z} = ({z} * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF",
+                f"{z} ^= {z} >> 27",
+                f"{z} = ({z} * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF",
+                f"{z} ^= {z} >> 31",
+            ]
+
+        lines = [f"_rk = int({buf}[{off}])", f"_rc = int({buf1}[{off1}])"]
+        if intrinsic == "rng_uniform":
+            lines += mix("_rz", "_rc")
+            lines.append(f"{name} = (_rz >> 11) * 1.1102230246251565e-16")
+            lines.append(f"{buf1}[{off1}] = _rc + 1")
+            return lines
+        sqrt = self._alias("_m_sqrt", "math.sqrt")
+        log = self._alias("_m_log", "math.log")
+        cos = self._alias("_m_cos", "math.cos")
+        lines += mix("_rz", "_rc")
+        lines.append("_ru = (_rz >> 11) * 1.1102230246251565e-16")
+        lines += mix("_rz", "(_rc + 1)")
+        lines.append("_rv = (_rz >> 11) * 1.1102230246251565e-16")
+        lines.append("_ru = 1e-300 if _ru < 1e-300 else _ru")
+        lines.append(
+            f"{name} = {sqrt}(-2.0 * {log}(_ru)) * {cos}(6.283185307179586 * _rv)"
+        )
+        lines.append(f"{buf1}[{off1}] = _rc + 2")
+        return lines
+
     # -- terminators and phi copies ------------------------------------------------------------
-    def _phi_copies(self, source: BasicBlock, target: BasicBlock) -> List[str]:
+    def _phi_copies(
+        self, source: BasicBlock, target: BasicBlock, structured: bool = False
+    ) -> List[str]:
         phis = target.phis()
         if not phis:
             return []
+        if structured:
+            # One parallel multiple-assignment: the RHS tuple is evaluated
+            # in full before any phi local is written, which is exactly the
+            # simultaneous-assignment semantics of phi nodes.
+            targets: List[str] = []
+            sources: List[str] = []
+            for phi in phis:
+                incoming = phi.incoming_for_block(source)
+                if incoming is None:
+                    continue
+                phi_name = self._name(phi)
+                value_name = self._name(incoming)
+                if phi_name != value_name:
+                    targets.append(phi_name)
+                    sources.append(value_name)
+            if not targets:
+                return []
+            return [f"{', '.join(targets)} = {', '.join(sources)}"]
         lines: List[str] = []
         temporaries: List[tuple[str, str]] = []
         for i, phi in enumerate(phis):
@@ -400,9 +1228,9 @@ class PythonCodeGenerator:
         raise NotImplementedError(f"terminator {instr.opcode}")
 
 
-def compile_module_to_python(module: Module) -> Dict[str, object]:
+def compile_module_to_python(module: Module, structured: bool = True) -> Dict[str, object]:
     """Compile every defined function of ``module`` to Python callables."""
-    return PythonCodeGenerator(module).compile()
+    return PythonCodeGenerator(module, structured=structured).compile()
 
 
 # ---------------------------------------------------------------------------

@@ -19,6 +19,7 @@ import math
 from typing import List, Sequence, Tuple
 
 from ..cogframe import prng
+from ..ir import types as ir_types
 from ..ir.types import ArrayType, IRType, PointerType, StructType
 
 Pointer = Tuple[list, int]
@@ -47,17 +48,55 @@ def store_slot(ptr: Pointer, value) -> None:
     buffer[offset] = value
 
 
+#: Memoization tables for :func:`gep_offset` / :func:`gep_strides`.  Both
+#: helpers are pure functions of ``(type, indices)`` and sit on the
+#: per-instruction hot path of the IR interpreter and the gpu-sim executor,
+#: which re-walk the same aggregate types millions of times per run.  The
+#: tables key on ``id(pointee)`` (O(1), no recursive type hashing) and pin
+#: the type object in the entry so the id cannot be recycled.  Cached
+#: offsets depend on ``slot_count()``, which in-place type mutation
+#: (``StructType.add_field``) changes — so both tables are dropped whenever
+#: :data:`repro.ir.types.TYPE_MUTATION_EPOCH` moves.
+_GEP_OFFSET_CACHE: dict = {}
+_GEP_STRIDES_CACHE: dict = {}
+_GEP_CACHE_EPOCH = -1
+
+#: Entry cap: a fuzz campaign compiles thousands of throwaway modules whose
+#: types would otherwise stay pinned forever; past the cap the table is
+#: simply dropped (the next runs re-warm it).
+_GEP_CACHE_LIMIT = 4096
+
+
+def _check_gep_cache_epoch() -> None:
+    global _GEP_CACHE_EPOCH
+    _GEP_OFFSET_CACHE.clear()
+    _GEP_STRIDES_CACHE.clear()
+    _GEP_CACHE_EPOCH = ir_types.TYPE_MUTATION_EPOCH
+
+
 def gep_offset(pointee: IRType, indices: Sequence[int]) -> int:
     """Slot offset addressed by a ``getelementptr`` with constant indices.
 
     The first index scales by the full pointee size (LLVM semantics); each
-    further index walks into the aggregate.
+    further index walks into the aggregate.  Results are memoized per
+    ``(type, indices)``.
     """
     if not indices:
         return 0
-    offset = int(indices[0]) * pointee.slot_count()
+    if ir_types.TYPE_MUTATION_EPOCH != _GEP_CACHE_EPOCH:
+        _check_gep_cache_epoch()
+    key = tuple(indices) if not isinstance(indices, tuple) else indices
+    entry = _GEP_OFFSET_CACHE.get(id(pointee))
+    if entry is None:
+        if len(_GEP_OFFSET_CACHE) >= _GEP_CACHE_LIMIT:
+            _GEP_OFFSET_CACHE.clear()
+        entry = _GEP_OFFSET_CACHE[id(pointee)] = (pointee, {})
+    cached = entry[1].get(key)
+    if cached is not None:
+        return cached
+    offset = int(key[0]) * pointee.slot_count()
     current = pointee
-    for idx in indices[1:]:
+    for idx in key[1:]:
         idx = int(idx)
         if isinstance(current, StructType):
             offset += current.field_slot_offset(idx)
@@ -67,6 +106,7 @@ def gep_offset(pointee: IRType, indices: Sequence[int]) -> int:
             current = current.element
         else:
             raise TypeError(f"cannot index into scalar type {current}")
+    entry[1][key] = offset
     return offset
 
 
@@ -76,8 +116,19 @@ def gep_strides(pointee: IRType, num_indices: int) -> List[Tuple[int, int]]:
     Returns a list with one entry per index: the slot stride that index is
     multiplied by.  Struct indices must be resolved separately because their
     offset is not a linear function of the index; the code generator folds
-    constant struct indices before calling this helper.
+    constant struct indices before calling this helper.  Results are
+    memoized per ``(type, num_indices)``.
     """
+    if ir_types.TYPE_MUTATION_EPOCH != _GEP_CACHE_EPOCH:
+        _check_gep_cache_epoch()
+    entry = _GEP_STRIDES_CACHE.get(id(pointee))
+    if entry is None:
+        if len(_GEP_STRIDES_CACHE) >= _GEP_CACHE_LIMIT:
+            _GEP_STRIDES_CACHE.clear()
+        entry = _GEP_STRIDES_CACHE[id(pointee)] = (pointee, {})
+    cached = entry[1].get(num_indices)
+    if cached is not None:
+        return cached
     strides: List[Tuple[int, int]] = [(pointee.slot_count(), 0)]
     current = pointee
     for _ in range(1, num_indices):
@@ -89,6 +140,7 @@ def gep_strides(pointee: IRType, num_indices: int) -> List[Tuple[int, int]]:
                 "dynamic struct indexing is not supported; struct field "
                 "indices must be constants"
             )
+    entry[1][num_indices] = strides
     return strides
 
 

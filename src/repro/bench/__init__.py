@@ -15,7 +15,22 @@ from .harness import (
     figure5c_report,
     figure6_report,
     figure7_report,
+    figure7_cache_report,
+    figure8_report,
+    fuzz_campaign_report,
 )
+
+
+def __getattr__(name):
+    # Lazy re-export: importing json_out eagerly would shadow the
+    # ``python -m repro.bench.json_out`` CLI entry point (runpy warns when
+    # the submodule is already in sys.modules).
+    if name in ("bench_payload", "current_commit", "write_bench_json"):
+        from . import json_out
+
+        return getattr(json_out, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "FigureReport",
@@ -28,4 +43,10 @@ __all__ = [
     "figure5c_report",
     "figure6_report",
     "figure7_report",
+    "figure7_cache_report",
+    "figure8_report",
+    "fuzz_campaign_report",
+    "bench_payload",
+    "current_commit",
+    "write_bench_json",
 ]

@@ -15,6 +15,11 @@ For one model the oracle runs a matrix of *legs* and demands agreement:
 * **pipeline conformance** — the ``compiled``-engine buffers must be bitwise
   identical across every pipeline in the matrix (O0 through O3 by default):
   optimisation must not change observable behaviour.
+* **codegen conformance** — the first pipeline is recompiled with
+  ``flags={"structured_codegen": False}`` (the legacy block-dispatch
+  emitter) and its compiled-engine buffers must be bitwise identical to the
+  structured emitter's: relooping, frame planning and constant pooling must
+  never change observable behaviour.
 * **reference conformance** — the interpretive :class:`ReferenceRunner` is
   the semantic baseline; compiled outputs and pass counts must match it to
   the suite-wide tolerance (``rtol=1e-9``, ``atol=1e-12``; engines share one
@@ -58,7 +63,7 @@ BASELINE_ENGINE = "compiled"
 class Divergence:
     """One observed disagreement between oracle legs."""
 
-    kind: str  # "analysis-cache" | "engine" | "engine-error" | "pipeline" | "reference" | "compile-error"
+    kind: str  # "analysis-cache" | "engine" | "engine-error" | "pipeline" | "reference" | "compile-error" | "codegen"
     pipeline: str
     engine: Optional[str] = None
     detail: str = ""
@@ -94,6 +99,10 @@ class OracleConfig:
     workers: int = 2
     check_reference: bool = True
     check_analysis_cache: bool = True
+    #: Recompile the first pipeline with ``flags={"structured_codegen":
+    #: False}`` and demand bitwise-identical buffers: the legacy dispatch
+    #: emitter is the conformance anchor for the structured relooper.
+    check_codegen: bool = True
 
     def resolved_engines(self) -> List[str]:
         return list(self.engines) if self.engines is not None else list(list_engines())
@@ -285,6 +294,46 @@ def check_composition(
                 if baseline is not None:
                     verdict.rng_counters = _final_rng_counters(cached, baseline[2])
                     reference_model = cached
+                if config.check_codegen:
+                    leg_label = "structured vs dispatch codegen"
+                    verdict.legs += 1
+                    legacy = None
+                    try:
+                        legacy = compile_composition(
+                            build(),
+                            pipeline=pipeline_text,
+                            flags={"structured_codegen": False},
+                        )
+                        legacy_buffers = raw_buffers(
+                            legacy, inputs, num_trials, run_seed, BASELINE_ENGINE
+                        )
+                        legacy_error = None
+                    except Exception as exc:  # noqa: BLE001
+                        legacy_buffers = None
+                        legacy_error = f"{type(exc).__name__}: {exc}"
+                    finally:
+                        if legacy is not None:
+                            legacy.close_engines()
+                    if (legacy_buffers is None) != (baseline is None):
+                        verdict.divergences.append(
+                            Divergence(
+                                "codegen",
+                                pipeline_text,
+                                None,
+                                f"{leg_label}: structured="
+                                f"{baseline_error or 'ok'} vs dispatch="
+                                f"{legacy_error or 'ok'}",
+                            )
+                        )
+                    elif baseline is not None:
+                        mismatch = buffers_equal(baseline, legacy_buffers)
+                        if mismatch is not None:
+                            verdict.divergences.append(
+                                Divergence(
+                                    "codegen", pipeline_text, None,
+                                    f"{leg_label}: {mismatch}",
+                                )
+                            )
             else:
                 verdict.legs += 1
                 if (baseline is None) != (first_baseline is None):

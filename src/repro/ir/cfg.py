@@ -73,6 +73,65 @@ def reachable_blocks(function: Function) -> List[BasicBlock]:
     return result
 
 
+def back_edges(function: Function, domtree) -> List[tuple]:
+    """All ``(tail, head)`` edges where ``head`` dominates ``tail``.
+
+    These are exactly the latch edges of natural loops; any other cycle-forming
+    edge marks the CFG as irreducible (see :func:`is_reducible`).
+    """
+    edges = []
+    for block in function.blocks:
+        for succ in block.successors():
+            if succ in domtree.idom and domtree.dominates(succ, block):
+                edges.append((block, succ))
+    return edges
+
+
+def is_reducible(function: Function, domtree=None) -> bool:
+    """True when every cycle of the CFG is a natural loop.
+
+    Implemented as the classic test: remove every back edge (``tail -> head``
+    with ``head`` dominating ``tail``) and check that the remaining graph is
+    acyclic.  The structured-control-flow emitter uses this to decide whether
+    a function can be expressed with ``while``/``if``/``break``/``continue``
+    or must fall back to the block-dispatch ladder.
+    """
+    if not function.blocks:
+        return True
+    if domtree is None:
+        from ..passes.dominators import DominatorTree
+
+        domtree = DominatorTree(function)
+    removed = {(id(tail), id(head)) for tail, head in back_edges(function, domtree)}
+
+    # Iterative DFS cycle detection over the forward edges.  One root
+    # suffices: every relevant block is reachable from the entry, and
+    # unreachable blocks cannot execute.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {}
+    for root in (function.entry_block,):
+        stack = [(root, iter(root.successors()))]
+        color[id(root)] = GREY
+        while stack:
+            block, succ_iter = stack[-1]
+            advanced = False
+            for succ in succ_iter:
+                if (id(block), id(succ)) in removed:
+                    continue
+                state = color.get(id(succ), WHITE)
+                if state == GREY:
+                    return False  # cycle made only of forward edges
+                if state == WHITE:
+                    color[id(succ)] = GREY
+                    stack.append((succ, iter(succ.successors())))
+                    advanced = True
+                    break
+            if not advanced:
+                color[id(block)] = BLACK
+                stack.pop()
+    return True
+
+
 def to_networkx(function: Function):
     """Export the CFG of ``function`` as a ``networkx.DiGraph``.
 

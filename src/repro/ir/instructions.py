@@ -82,6 +82,8 @@ SIDE_EFFECT_OPCODES = frozenset({"store", "call", "ret", "br", "condbr"})
 class Instruction(Value):
     """Base class of every IR instruction."""
 
+    __slots__ = ("operands", "parent", "metadata")
+
     #: Opcode string, e.g. ``"fadd"`` or ``"load"``.
     opcode: str = "?"
     #: True if this instruction terminates a basic block.
@@ -166,6 +168,10 @@ class Instruction(Value):
 class BinaryOp(Instruction):
     """A two-operand arithmetic or bitwise operation."""
 
+    # The slot shadows the class-level default so the per-instance opcode
+    # assignment in __init__ still works without an instance dict.
+    __slots__ = ("opcode",)
+
     def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = ""):
         if opcode not in BINOPS:
             raise ValueError(f"unknown binary opcode {opcode!r}")
@@ -198,6 +204,7 @@ class FCmp(Instruction):
     """Floating point comparison producing an i1."""
 
     opcode = "fcmp"
+    __slots__ = ("predicate",)
 
     def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
         if predicate not in FCMP_PREDICATES:
@@ -224,6 +231,7 @@ class ICmp(Instruction):
     """Integer comparison producing an i1."""
 
     opcode = "icmp"
+    __slots__ = ("predicate",)
 
     def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
         if predicate not in ICMP_PREDICATES:
@@ -250,6 +258,7 @@ class Select(Instruction):
     """``select cond, a, b`` – the ternary operator."""
 
     opcode = "select"
+    __slots__ = ()
 
     def __init__(self, cond: Value, true_value: Value, false_value: Value, name: str = ""):
         if true_value.type != false_value.type:
@@ -277,6 +286,8 @@ class Select(Instruction):
 
 class Cast(Instruction):
     """Type conversion instruction (``sitofp``, ``fptosi``, ``trunc`` ...)."""
+
+    __slots__ = ("opcode",)
 
     def __init__(self, opcode: str, value: Value, target_type: IRType, name: str = ""):
         if opcode not in CAST_OPS:
@@ -310,6 +321,7 @@ class Alloca(Instruction):
     """
 
     opcode = "alloca"
+    __slots__ = ("allocated_type",)
 
     def __init__(self, allocated_type: IRType, name: str = ""):
         super().__init__(PointerType(allocated_type), [], name)
@@ -323,6 +335,7 @@ class Load(Instruction):
     """Load a scalar from a pointer."""
 
     opcode = "load"
+    __slots__ = ()
 
     def __init__(self, ptr: Value, name: str = ""):
         if not ptr.type.is_pointer:
@@ -341,6 +354,7 @@ class Store(Instruction):
     """Store a scalar value through a pointer."""
 
     opcode = "store"
+    __slots__ = ()
 
     def __init__(self, value: Value, ptr: Value):
         if not ptr.type.is_pointer:
@@ -372,6 +386,7 @@ class GEP(Instruction):
     """
 
     opcode = "gep"
+    __slots__ = ()
 
     def __init__(self, ptr: Value, indices: Sequence[Value], result_type: IRType, name: str = ""):
         if not ptr.type.is_pointer:
@@ -418,6 +433,7 @@ class Phi(Instruction):
     """SSA phi node merging values from predecessor blocks."""
 
     opcode = "phi"
+    __slots__ = ("incoming_blocks",)
 
     def __init__(self, ty: IRType, name: str = ""):
         super().__init__(ty, [], name)
@@ -467,6 +483,7 @@ class Branch(Instruction):
 
     opcode = "br"
     is_terminator = True
+    __slots__ = ("targets",)
 
     def __init__(self, target: "BasicBlock"):
         super().__init__(VOID, [], "")
@@ -488,6 +505,7 @@ class CondBranch(Instruction):
 
     opcode = "condbr"
     is_terminator = True
+    __slots__ = ("targets",)
 
     def __init__(self, cond: Value, true_block: "BasicBlock", false_block: "BasicBlock"):
         super().__init__(VOID, [cond], "")
@@ -520,6 +538,7 @@ class Return(Instruction):
 
     opcode = "ret"
     is_terminator = True
+    __slots__ = ()
 
     def __init__(self, value: Optional[Value] = None):
         super().__init__(VOID, [value] if value is not None else [], "")
@@ -541,6 +560,7 @@ class Call(Instruction):
     """Call to another IR function or to a declared intrinsic."""
 
     opcode = "call"
+    __slots__ = ("callee",)
 
     def __init__(self, callee: "Function", args: Sequence[Value], name: str = ""):
         ftype = callee.type

@@ -18,6 +18,20 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence, Tuple
 
+#: Monotonic counter bumped whenever a type is mutated in place (today only
+#: ``StructType.add_field``).  Consumers that memoize derived facts about
+#: types — ``repro.backends.runtime``'s GEP-offset tables — compare this
+#: epoch and drop their caches when it moves, because appending a field
+#: changes ``slot_count()`` and therefore every offset that scales by the
+#: whole aggregate (including transitively, via arrays of structs).
+TYPE_MUTATION_EPOCH = 0
+
+
+def bump_type_mutation_epoch() -> None:
+    global TYPE_MUTATION_EPOCH
+    TYPE_MUTATION_EPOCH += 1
+
+
 
 class IRType:
     """Base class of every type in the repro IR."""
@@ -211,6 +225,7 @@ class StructType(IRType):
         if any(existing == name for existing, _ in self.fields):
             raise ValueError(f"duplicate field {name!r} in struct {self.name}")
         self.fields.append((name, ftype))
+        bump_type_mutation_epoch()
         return len(self.fields) - 1
 
     # -- queries ------------------------------------------------------

@@ -19,7 +19,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class Value:
-    """Base class for every SSA value in the IR."""
+    """Base class for every SSA value in the IR.
+
+    ``__slots__`` throughout the value hierarchy: a compiled model holds
+    tens of thousands of instruction objects, and slot storage shaves both
+    the per-instance dict allocation (compile-time + memory) and the
+    attribute-lookup indirection on the interpreter's hot path.  Passes and
+    analyses must not tack ad-hoc attributes onto values — use
+    ``Instruction.metadata`` for that.
+    """
+
+    __slots__ = ("type", "name", "uses")
 
     def __init__(self, ty: IRType, name: str = ""):
         self.type = ty
@@ -57,6 +67,8 @@ class Value:
 
 class Constant(Value):
     """A compile-time constant scalar value."""
+
+    __slots__ = ("value",)
 
     def __init__(self, ty: IRType, value):
         super().__init__(ty, name="")
@@ -97,12 +109,16 @@ class Constant(Value):
 class UndefValue(Value):
     """An undefined value of a given type (used rarely, e.g. by mem2reg)."""
 
+    __slots__ = ()
+
     def ref(self) -> str:
         return "undef"
 
 
 class Argument(Value):
     """A formal parameter of a function."""
+
+    __slots__ = ("index",)
 
     def __init__(self, ty: IRType, name: str, index: int):
         super().__init__(ty, name)

@@ -145,7 +145,8 @@ class TestPythonBackend:
         build_loop_sum_function(module)
         source = PythonCodeGenerator(module).generate_source()
         assert "def ir_loop_sum" in source
-        assert "while True:" in source  # block dispatch loop
+        assert "while True:" in source  # the reconstructed natural loop
+        assert "_block" not in source  # no dispatch ladder for reducible CFGs
         assert "dict(" not in source  # no dynamic structures in the hot path
 
     @given(coordinate_floats, coordinate_floats)

@@ -1,0 +1,423 @@
+"""Structured-control-flow codegen (relooper) + frame planner tests.
+
+Covers the PR-5 emitter rewrite:
+
+* golden shape — loop-bearing registered models compile to native Python
+  loops/conditionals with no ``_block`` dispatch ladder;
+* the irreducible-CFG fallback — the ladder still exists, is taken exactly
+  for unstructurable functions, and executes correctly;
+* the 8-model x O0..O3 structured-vs-dispatch bitwise differential
+  (``flags={"structured_codegen": False}`` keeps the legacy emitter alive);
+* the frame planner — liveness-coalesced alloca slots and per-iteration
+  re-zeroing semantics;
+* phi-edge parallel copies, constant pooling, the memoized GEP helpers and
+  the ``__slots__`` satellite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import runtime
+from repro.backends.interp import Interpreter
+from repro.backends.pycodegen import PythonCodeGenerator, _StructuredFunction
+from repro.core.distill import compile_composition
+from repro.fuzz.oracle import OracleConfig, check_composition, raw_buffers, buffers_equal
+from repro.ir import F64, I64, ArrayType, FunctionType, IRBuilder, Module, StructType
+from repro.ir.verifier import verify_module
+from repro.models import FIGURE4_MODELS, MODEL_REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# IR builders
+# ---------------------------------------------------------------------------
+
+
+def build_irreducible_function(module: Module, name: str = "irr"):
+    """A two-entry cycle (A <-> B, both reachable from entry): irreducible."""
+    fn = module.add_function(name, FunctionType(F64, [F64]), ["x"])
+    entry = fn.append_block("entry")
+    a = fn.append_block("a")
+    b_blk = fn.append_block("b")
+    exit_blk = fn.append_block("exit")
+
+    b = IRBuilder(entry)
+    (x,) = fn.args
+    cell = b.alloca(F64, "cell")
+    b.store(b.f64(0.0), cell)
+    b.cond_br(b.fcmp("ogt", x, b.f64(0.0)), a, b_blk)
+
+    b.position_at_end(a)
+    v = b.load(cell)
+    v1 = b.fadd(v, b.f64(1.0))
+    b.store(v1, cell)
+    b.cond_br(b.fcmp("olt", v1, b.f64(5.0)), b_blk, exit_blk)
+
+    b.position_at_end(b_blk)
+    w = b.load(cell)
+    w1 = b.fadd(w, b.f64(2.0))
+    b.store(w1, cell)
+    b.cond_br(b.fcmp("olt", w1, b.f64(8.0)), a, exit_blk)
+
+    b.position_at_end(exit_blk)
+    b.ret(b.load(cell))
+    return fn
+
+
+def build_loop_alloca_function(module: Module, name: str = "loop_alloca"):
+    """An alloca *inside* a loop: every iteration must observe fresh zeros.
+
+    Returns ``n`` iff each iteration's scratch slot starts at 0.0 (a stale
+    frame slot would accumulate and return n*(n+1)/2 instead).
+    """
+    fn = module.add_function(name, FunctionType(F64, [I64]), ["n"])
+    entry = fn.append_block("entry")
+    loop = fn.append_block("loop")
+    exit_blk = fn.append_block("exit")
+
+    b = IRBuilder(entry)
+    (n,) = fn.args
+    total = b.alloca(F64, "total")
+    b.store(b.f64(0.0), total)
+    b.br(loop)
+
+    b.position_at_end(loop)
+    i = b.phi(I64, "i")
+    scratch = b.alloca(F64, "scratch")
+    sv = b.load(scratch)
+    stepped = b.fadd(sv, b.f64(1.0))
+    b.store(stepped, scratch)
+    tv = b.load(total)
+    b.store(b.fadd(tv, stepped), total)
+    i_next = b.add(i, b.i64(1))
+    i.add_incoming(b.i64(0), entry)
+    i.add_incoming(i_next, loop)
+    b.cond_br(b.icmp("slt", i_next, n), loop, exit_blk)
+
+    b.position_at_end(exit_blk)
+    b.ret(b.load(total))
+    return fn
+
+
+def build_phi_swap_function(module: Module, name: str = "phi_swap"):
+    """Two loop phis that swap on every back edge (parallel-copy semantics)."""
+    fn = module.add_function(name, FunctionType(F64, [I64]), ["n"])
+    entry = fn.append_block("entry")
+    loop = fn.append_block("loop")
+    exit_blk = fn.append_block("exit")
+
+    b = IRBuilder(entry)
+    (n,) = fn.args
+    b.br(loop)
+
+    b.position_at_end(loop)
+    a = b.phi(F64, "a")
+    c = b.phi(F64, "c")
+    i = b.phi(I64, "i")
+    i_next = b.add(i, b.i64(1))
+    a.add_incoming(b.f64(1.0), entry)
+    a.add_incoming(c, loop)  # swap
+    c.add_incoming(b.f64(2.0), entry)
+    c.add_incoming(a, loop)  # swap
+    i.add_incoming(b.i64(0), entry)
+    i.add_incoming(i_next, loop)
+    b.cond_br(b.icmp("slt", i_next, n), loop, exit_blk)
+
+    b.position_at_end(exit_blk)
+    b.ret(b.fsub(a, b.fmul(b.f64(10.0), c)))
+    return fn
+
+
+def build_disjoint_allocas_function(module: Module, name: str = "disjoint"):
+    """Two 4-slot allocas with disjoint live ranges (coalescable)."""
+    fn = module.add_function(name, FunctionType(F64, [F64]), ["x"])
+    entry = fn.append_block("entry")
+    b = IRBuilder(entry)
+    (x,) = fn.args
+    first = b.alloca(ArrayType(F64, 4), "first")
+    p0 = b.gep(first, [b.i64(0), b.i64(1)])
+    b.store(b.fmul(x, x), p0)
+    v = b.load(p0)
+    second = b.alloca(ArrayType(F64, 4), "second")
+    p1 = b.gep(second, [b.i64(0), b.i64(2)])
+    b.store(b.fadd(v, b.f64(1.0)), p1)
+    b.ret(b.load(p1))
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Golden shape: structured emission is the default and ladder-free
+# ---------------------------------------------------------------------------
+
+
+class TestGoldenShape:
+    @pytest.mark.parametrize("model", ["predator_prey_s", "botvinick_stroop"])
+    def test_loop_models_have_no_dispatch_ladder(self, model):
+        entry = MODEL_REGISTRY[model]
+        compiled = compile_composition(entry.build(), pipeline="default<O2>")
+        gen = PythonCodeGenerator(compiled.module)
+        source = gen.generate_source()
+        assert gen.dispatch_fallbacks == []
+        assert "_block" not in source
+        # The model's pass/grid loops come back as native Python loops.
+        assert "while True:" in source
+        assert "continue" in source and "break" in source
+
+    def test_structured_is_the_default_and_flag_selects_dispatch(self):
+        entry = MODEL_REGISTRY["predator_prey_s"]
+        structured = compile_composition(entry.build(), pipeline="default<O1>")
+        legacy = compile_composition(
+            entry.build(), pipeline="default<O1>", flags={"structured_codegen": False}
+        )
+        structured_src = PythonCodeGenerator(structured.module).generate_source()
+        legacy_src = PythonCodeGenerator(
+            legacy.module, structured=False
+        ).generate_source()
+        assert "_block" not in structured_src
+        assert "_block = 0" in legacy_src
+        assert "elif _block ==" in legacy_src
+
+    def test_constant_pool_and_frame_in_source(self):
+        module = Module("pool")
+        fn = module.add_function("f", FunctionType(F64, [F64]), ["x"])
+        b = IRBuilder(fn.append_block("entry"))
+        (x,) = fn.args
+        # A long-mantissa constant used twice and a NaN: both pool.
+        k = 0.30000000000000004
+        v = b.fadd(b.fmul(x, b.f64(k)), b.f64(k))
+        v = b.fadd(v, b.f64(float("nan")))
+        slot = b.alloca(F64, "slot")
+        b.store(v, slot)
+        b.ret(b.load(slot))
+        verify_module(module)
+        gen = PythonCodeGenerator(module)
+        source = gen.generate_source()
+        assert "def _distill_module():" in source
+        assert "_c0 = 0.30000000000000004" in source
+        assert source.count("0.30000000000000004") == 1  # pooled, not repeated
+        assert 'float("nan")' in source  # pooled definition
+        assert "_frame = [0.0] * 1" in source
+        compiled = gen.compile()
+        result = compiled["f"](2.0)
+        assert result != result  # NaN propagated
+
+
+# ---------------------------------------------------------------------------
+# Irreducible CFGs: dispatch-ladder fallback
+# ---------------------------------------------------------------------------
+
+
+class TestIrreducibleFallback:
+    def test_fallback_is_taken_and_correct(self):
+        module = Module("irr")
+        build_irreducible_function(module)
+        verify_module(module)
+        gen = PythonCodeGenerator(module)
+        source = gen.generate_source()
+        assert gen.dispatch_fallbacks == ["irr"]
+        assert "_block = 0" in source  # the ladder survives for this function
+        compiled = gen.compile()
+        interp = Interpreter(module)
+        for x in (-1.0, 0.0, 1.0, 3.5):
+            assert compiled["irr"](x) == interp.call("irr", [x])
+
+    def test_reducible_functions_in_same_module_stay_structured(self):
+        module = Module("mixed")
+        build_irreducible_function(module, "irr")
+        build_phi_swap_function(module, "swap")
+        verify_module(module)
+        gen = PythonCodeGenerator(module)
+        source = gen.generate_source()
+        assert gen.dispatch_fallbacks == ["irr"]
+        # Exactly one ladder: the irreducible function's.
+        assert source.count("_block = 0") == 1
+
+    def test_is_reducible_queries(self):
+        from repro.ir.cfg import back_edges, is_reducible
+        from repro.passes.dominators import DominatorTree
+
+        module = Module("q")
+        irr = build_irreducible_function(module)
+        red = build_loop_alloca_function(module)
+        assert not is_reducible(irr)
+        assert is_reducible(red)
+        domtree = DominatorTree(red)
+        edges = back_edges(red, domtree)
+        assert len(edges) == 1
+        tail, head = edges[0]
+        assert head.name == "loop"
+
+
+# ---------------------------------------------------------------------------
+# Structured vs dispatch: bitwise equivalence, 8 models x O0..O3
+# ---------------------------------------------------------------------------
+
+
+class TestStructuredVsDispatchBitwise:
+    @pytest.mark.parametrize("opt_level", [0, 1, 2, 3])
+    def test_all_models_bitwise_equal(self, opt_level):
+        for name in FIGURE4_MODELS:
+            entry = MODEL_REGISTRY[name]
+            inputs = entry.inputs()
+            trials = min(entry.num_trials, 2)
+            structured = compile_composition(
+                entry.build(), pipeline=f"default<O{opt_level}>"
+            )
+            dispatch = compile_composition(
+                entry.build(),
+                pipeline=f"default<O{opt_level}>",
+                flags={"structured_codegen": False},
+            )
+            try:
+                mismatch = buffers_equal(
+                    raw_buffers(structured, inputs, trials, 0, "compiled"),
+                    raw_buffers(dispatch, inputs, trials, 0, "compiled"),
+                )
+                assert mismatch is None, f"{name} O{opt_level}: {mismatch}"
+            finally:
+                structured.close_engines()
+                dispatch.close_engines()
+
+    def test_oracle_codegen_leg_runs(self):
+        entry = MODEL_REGISTRY["predator_prey_s"]
+        config = OracleConfig(
+            pipelines=("default<O1>",),
+            engines=("compiled", "ir-interp"),
+            check_reference=False,
+            check_analysis_cache=False,
+        )
+        verdict = check_composition(
+            entry.build, entry.inputs(), 2, 0, config=config, model_name="pp_s"
+        )
+        assert verdict.ok, [d.describe() for d in verdict.divergences]
+        # compile leg + baseline + ir-interp + codegen leg
+        assert verdict.legs == 4
+
+
+# ---------------------------------------------------------------------------
+# Frame planner
+# ---------------------------------------------------------------------------
+
+
+class TestFramePlanner:
+    def test_in_loop_alloca_rezeroed_each_iteration(self):
+        module = Module("fz")
+        build_loop_alloca_function(module)
+        verify_module(module)
+        gen = PythonCodeGenerator(module)
+        compiled = gen.compile()
+        interp = Interpreter(module)
+        assert gen.dispatch_fallbacks == []
+        for n in (1, 3, 7):
+            expected = interp.call("loop_alloca", [n])
+            assert expected == float(n)  # fresh zeros per iteration
+            assert compiled["loop_alloca"](n) == expected
+
+    def test_disjoint_allocas_share_frame_slots(self):
+        module = Module("co")
+        fn = build_disjoint_allocas_function(module)
+        verify_module(module)
+        gen = PythonCodeGenerator(module)
+        emitter = _StructuredFunction(gen, fn)
+        # Two 4-slot allocas with disjoint live ranges share one range.
+        assert emitter.frame_size == 4
+        compiled = PythonCodeGenerator(module).compile()
+        interp = Interpreter(module)
+        for x in (0.0, 2.0, -3.0):
+            assert compiled["disjoint"](x) == interp.call("disjoint", [x])
+
+    def test_struct_gep_chain_folds_to_constant_offsets(self):
+        module = Module("gep")
+        struct = StructType("pair", [("a", F64), ("b", ArrayType(F64, 3))])
+        module.add_struct(struct)
+        from repro.ir import pointer
+
+        fn = module.add_function("pick", FunctionType(F64, [pointer(struct)]), ["p"])
+        b = IRBuilder(fn.append_block("entry"))
+        (p,) = fn.args
+        b_field = b.gep(p, [b.i64(0), b.i64(1)])
+        elem = b.gep(b_field, [b.i64(0), b.i64(2)])
+        b.ret(b.load(elem))
+        verify_module(module)
+        gen = PythonCodeGenerator(module)
+        source = gen.generate_source()
+        # No GEP materialisation: the load reads straight through the folded
+        # constant offset (argument base offset + 3).
+        assert "_off = " not in source.split("def ir_pick")[1].split("return")[0].replace(
+            "v1_buf, v1_off = v1", ""
+        )
+        compiled = gen.compile()
+        buffer = [10.0, 20.0, 30.0, 40.0]
+        assert compiled["pick"]((buffer, 0)) == 40.0
+        assert compiled["pick"](([0.0] + buffer, 1)) == 40.0  # nonzero base offset
+
+
+# ---------------------------------------------------------------------------
+# Phi-edge parallel copies
+# ---------------------------------------------------------------------------
+
+
+class TestPhiCopies:
+    def test_swapping_phis_keep_parallel_semantics(self):
+        module = Module("swap")
+        build_phi_swap_function(module)
+        verify_module(module)
+        gen = PythonCodeGenerator(module)
+        source = gen.generate_source()
+        compiled = gen.compile()
+        interp = Interpreter(module)
+        for n in (1, 2, 3, 6):
+            assert compiled["phi_swap"](n) == interp.call("phi_swap", [n])
+        # The back edge uses one parallel multiple-assignment, not the
+        # legacy _phi temporary dance.
+        assert "_phi0" not in source
+
+
+# ---------------------------------------------------------------------------
+# Satellites: memoized GEP helpers, __slots__
+# ---------------------------------------------------------------------------
+
+
+class TestRuntimeMemoization:
+    def test_gep_offset_memoized(self):
+        struct = StructType("mem_s", [("a", F64), ("b", ArrayType(F64, 5)), ("c", F64)])
+        first = runtime.gep_offset(struct, (0, 1, 3))
+        assert first == 4
+        entry = runtime._GEP_OFFSET_CACHE[id(struct)]
+        assert entry[0] is struct and entry[1][(0, 1, 3)] == 4
+        assert runtime.gep_offset(struct, [0, 1, 3]) == 4  # list spelling hits too
+        assert runtime.gep_offset(struct, (1, 2)) == 7 + 6
+
+    def test_gep_strides_memoized(self):
+        arr = ArrayType(ArrayType(F64, 3), 4)
+        first = runtime.gep_strides(arr, 2)
+        assert first == [(12, 0), (3, 0)]
+        assert runtime.gep_strides(arr, 2) is first
+
+    def test_memoized_offsets_match_interpreter_execution(self):
+        module = Module("memo")
+        build_disjoint_allocas_function(module, "d")
+        verify_module(module)
+        interp = Interpreter(module)
+        assert interp.call("d", [3.0]) == 10.0
+
+
+class TestSlots:
+    def test_values_and_instructions_have_no_dict(self):
+        from repro.ir.instructions import BinaryOp, Phi
+        from repro.ir.values import Argument, const_float
+
+        c = const_float(1.5)
+        add = BinaryOp("fadd", c, const_float(2.0))
+        phi = Phi(F64, "p")
+        arg = Argument(F64, "x", 0)
+        for obj in (c, add, phi, arg):
+            assert not hasattr(obj, "__dict__"), type(obj).__name__
+        # The metadata escape hatch still works.
+        add.metadata["source_node"] = "n"
+        assert add.metadata["source_node"] == "n"
+
+    def test_whole_suite_ir_builds_under_slots(self):
+        entry = MODEL_REGISTRY["necker_cube_s"]
+        compiled = compile_composition(entry.build(), pipeline="default<O2>")
+        assert compiled.module.instruction_count() > 0
