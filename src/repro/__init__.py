@@ -34,6 +34,10 @@ The package is organised as follows:
 * :mod:`repro.backends` — execution engines: IR interpreter, compiled
   Python/NumPy backend, multicore backend and the SIMT GPU simulator; each
   self-registers with the driver's backend registry.
+* :mod:`repro.lint` — the static safety suite: IR lint checkers built on the
+  monotone dataflow framework, baseline suppression and the mutation-notify
+  audit; its runtime counterpart is the ``flags={"sanitize": True}`` codegen
+  mode cross-validated by the fuzz oracle.
 * :mod:`repro.models` — the evaluated cognitive models (Necker cube,
   Predator-Prey, Botvinick Stroop, Extended Stroop, Multitasking).
 * :mod:`repro.bench` — the benchmark harness regenerating the paper's
@@ -61,20 +65,22 @@ __version__ = "1.2.0"
 
 
 def __getattr__(name: str):
-    # repro.fuzz pulls in the whole driver/backends stack; load it lazily so
-    # `import repro` stays light while `repro.fuzz.run_campaign(...)` works
+    # repro.fuzz / repro.lint pull in the whole driver/backends stack; load
+    # them lazily so `import repro` stays light while
+    # `repro.fuzz.run_campaign(...)` and `repro.lint.run_lint(...)` work
     # without an explicit submodule import.
-    if name == "fuzz":
+    if name in ("fuzz", "lint"):
         import importlib
 
-        module = importlib.import_module(".fuzz", __name__)
-        globals()["fuzz"] = module
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
         return module
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "__version__",
     "fuzz",
+    "lint",
     "compile",
     "Session",
     "default_session",

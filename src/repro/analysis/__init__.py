@@ -15,12 +15,24 @@ of the ordinary pass/analysis infrastructure:
   detection for nodes and whole models (§4.4, Figure 3).
 * :mod:`repro.analysis.cdfg` — control/data-flow graph extraction and
   model-shape matching (the observation underpinning §4).
+* :mod:`repro.analysis.dataflow` — the generic monotone dataflow framework
+  (definite-initialisation, live slots, division safety) feeding the lint
+  checkers and the sanitizer (see :mod:`repro.lint`).
 * :mod:`repro.analysis.manager` — the caching :class:`AnalysisManager` with
   preserved-analyses invalidation that makes all of the above first-class
   cached pipeline citizens (see DESIGN.md, "The analysis manager").
 """
 
 from .cdfg import build_cdfg, cdfg_statistics, matches_model_structure, model_flow_graph
+from .dataflow import (
+    DataflowProblem,
+    DataflowSolution,
+    DefiniteInitProblem,
+    LiveSlotsProblem,
+    MemoryFacts,
+    classify_divisions,
+    solve,
+)
 from .clone_detect import (
     CloneDetector,
     CloneReport,
@@ -48,6 +60,13 @@ from .scev import (
 from .vrp import ValueRangePropagation, VRPResult, analyze_ranges
 
 __all__ = [
+    "DataflowProblem",
+    "DataflowSolution",
+    "DefiniteInitProblem",
+    "LiveSlotsProblem",
+    "MemoryFacts",
+    "classify_divisions",
+    "solve",
     "AnalysisManager",
     "PreservedAnalyses",
     "CFG_ANALYSES",

@@ -1,0 +1,704 @@
+"""Generic monotone dataflow framework plus the memory/division facts built
+on it.
+
+The first half of this module is a direction-agnostic worklist solver: a
+:class:`DataflowProblem` supplies the lattice (``initial``/``boundary``/
+``join``) and a per-instruction ``transfer`` function, and :func:`solve`
+iterates block transfer functions over the CFG (reverse post-order for
+forward problems, its reverse for backward ones) until a fixpoint.  Results
+are exposed per block boundary and can be replayed to any instruction.
+
+The second half instantiates the framework for the two memory problems the
+lint checkers and the sanitizer share:
+
+* :class:`DefiniteInitProblem` — a forward *must* analysis computing, at
+  every program point, the set of ``(alloca, slot)`` pairs that have
+  definitely been stored on **every** path from the entry.  A load of a slot
+  outside this set may observe the implicit zero-fill — the use-before-init
+  hazard introduced by frame-slot coalescing.
+* :class:`LiveSlotsProblem` — a backward *may* analysis computing the set of
+  ``(alloca, slot)`` pairs that may still be read later.  A store to a slot
+  that is not live is a dead store.
+
+Both problems deliberately mirror the runtime sanitizer's shadow tracking
+(:mod:`repro.backends.pycodegen` with ``sanitize=True``): a dynamic-offset
+store initialises the *whole* alloca in both worlds, and an alloca whose
+address escapes into a call is treated as fully initialised in both worlds.
+Keeping the two sides over/under-approximating in lockstep is what makes the
+fuzz oracle's cross-validation meaningful: a sanitizer trap on a statically
+clean function is always a genuine analysis false negative.
+
+The module also hosts the guard reasoning shared by the division checker and
+the sanitizer: :func:`classify_divisions` decides, per division, whether the
+divisor is provably nonzero (value range, dominating branch guard) or whether
+the result is discarded by a ``select`` whenever the divisor could have been
+zero (the DriftDiffusionAnalytical pattern).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..ir.cfg import predecessor_map, reverse_post_order
+from ..ir.instructions import (
+    GEP,
+    MATH_INTRINSICS,
+    Alloca,
+    BinaryOp,
+    Call,
+    Cast,
+    CondBranch,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Select,
+    Store,
+)
+from ..ir.module import BasicBlock, Function
+from ..ir.types import ArrayType, StructType
+from ..ir.values import Constant, Value
+from .intervals import Interval
+
+__all__ = [
+    "DataflowProblem",
+    "DataflowSolution",
+    "solve",
+    "ANY_SLOT",
+    "MemoryFacts",
+    "DefiniteInitProblem",
+    "LiveSlotsProblem",
+    "compute_init_facts",
+    "compute_live_slots",
+    "gep_constant_offset",
+    "resolve_pointer",
+    "DIV_OPCODES",
+    "classify_divisions",
+    "select_filtered_divisions",
+    "loop_invariant_in",
+]
+
+
+# ---------------------------------------------------------------------------
+# The generic solver
+# ---------------------------------------------------------------------------
+
+
+class DataflowProblem:
+    """A monotone dataflow problem over a function's CFG.
+
+    Subclasses choose ``direction`` and implement the lattice hooks.  States
+    must be immutable values with structural equality (frozensets, tuples);
+    ``transfer`` returns a new state and must be monotone in its input.
+    """
+
+    #: ``"forward"`` or ``"backward"``.
+    direction = "forward"
+
+    def boundary(self, function: Function):
+        """State at the entry (forward) / at every function exit (backward)."""
+        raise NotImplementedError
+
+    def initial(self, function: Function):
+        """Optimistic initial state for all other block boundaries."""
+        raise NotImplementedError
+
+    def join(self, a, b):
+        """Combine states at control-flow merges."""
+        raise NotImplementedError
+
+    def transfer(self, instr: Instruction, state):
+        """Effect of one instruction (input is the state *before* it in the
+        direction of analysis)."""
+        return state
+
+    def transfer_block(self, block: BasicBlock, state):
+        instructions = block.instructions
+        if self.direction == "backward":
+            instructions = reversed(instructions)
+        for instr in instructions:
+            state = self.transfer(instr, state)
+        return state
+
+
+class DataflowSolution:
+    """Fixpoint of a :class:`DataflowProblem`: states at block boundaries.
+
+    ``before``/``after`` are in *program* order regardless of direction: for
+    a backward problem ``after[block]`` is the merge over successors and
+    ``before[block]`` is the result of transferring the block.
+    """
+
+    def __init__(self, problem: DataflowProblem, function: Function,
+                 before: Dict[int, object], after: Dict[int, object]):
+        self.problem = problem
+        self.function = function
+        self._before = before
+        self._after = after
+
+    def state_before(self, block: BasicBlock):
+        return self._before[id(block)]
+
+    def state_after(self, block: BasicBlock):
+        return self._after[id(block)]
+
+    def states_at(self, block: BasicBlock) -> List[object]:
+        """Per-instruction states, aligned with ``block.instructions``.
+
+        For a forward problem entry ``i`` is the state *before* instruction
+        ``i``; for a backward problem it is the state *after* it (i.e. the
+        facts about the rest of the execution).
+        """
+        states: List[object] = []
+        if self.problem.direction == "forward":
+            state = self._before[id(block)]
+            for instr in block.instructions:
+                states.append(state)
+                state = self.problem.transfer(instr, state)
+        else:
+            state = self._after[id(block)]
+            for instr in reversed(block.instructions):
+                states.append(state)
+                state = self.problem.transfer(instr, state)
+            states.reverse()
+        return states
+
+
+def solve(problem: DataflowProblem, function: Function) -> DataflowSolution:
+    """Run the worklist algorithm for ``problem`` over ``function``."""
+    blocks = function.blocks
+    if not blocks:
+        return DataflowSolution(problem, function, {}, {})
+    forward = problem.direction == "forward"
+    preds = predecessor_map(function)
+    rpo = reverse_post_order(function)
+    init = problem.initial(function)
+    boundary = problem.boundary(function)
+    entry = function.entry_block
+
+    before = {id(b): init for b in blocks}
+    after = {id(b): init for b in blocks}
+
+    order = rpo if forward else list(reversed(rpo))
+    work = deque(order)
+    queued = {id(b) for b in order}
+
+    while work:
+        block = work.popleft()
+        queued.discard(id(block))
+        if forward:
+            block_preds = preds.get(block, [])
+            state = boundary if block is entry else None
+            for p in block_preds:
+                ps = after[id(p)]
+                state = ps if state is None else problem.join(state, ps)
+            if state is None:
+                state = init  # unreachable block: stays optimistic
+            before[id(block)] = state
+            out = problem.transfer_block(block, state)
+            if out != after[id(block)]:
+                after[id(block)] = out
+                for succ in block.successors():
+                    if id(succ) not in queued:
+                        queued.add(id(succ))
+                        work.append(succ)
+        else:
+            succs = block.successors()
+            state = boundary if not succs else None
+            for s in succs:
+                ss = before[id(s)]
+                state = ss if state is None else problem.join(state, ss)
+            after[id(block)] = state
+            out = problem.transfer_block(block, state)
+            if out != before[id(block)]:
+                before[id(block)] = out
+                for p in preds.get(block, []):
+                    if id(p) not in queued:
+                        queued.add(id(p))
+                        work.append(p)
+
+    return DataflowSolution(problem, function, before, after)
+
+
+# ---------------------------------------------------------------------------
+# Pointer resolution
+# ---------------------------------------------------------------------------
+
+
+def gep_constant_offset(gep: GEP) -> Optional[int]:
+    """Constant slot offset a GEP adds to its base pointer, or ``None``.
+
+    Mirrors the slot-flattening the backends perform: the first index scales
+    by the whole pointee, subsequent indices step into the aggregate.
+    """
+    pointee = gep.pointer.type.pointee
+    first = gep.indices[0]
+    if not isinstance(first, Constant):
+        return None
+    total = int(first.value) * pointee.slot_count()
+    current = pointee
+    for idx in gep.indices[1:]:
+        if isinstance(current, StructType):
+            if not isinstance(idx, Constant):
+                return None
+            field = int(idx.value)
+            total += current.field_slot_offset(field)
+            current = current.field_type(field)
+        elif isinstance(current, ArrayType):
+            if not isinstance(idx, Constant):
+                return None
+            total += current.element_slot_offset(int(idx.value))
+            current = current.element
+        else:
+            return None
+    return total
+
+
+def resolve_pointer(ptr: Value) -> Tuple[Value, Optional[int]]:
+    """Walk a GEP chain to its root: ``(root, constant slot offset | None)``.
+
+    The offset is ``None`` when any link in the chain uses a dynamic index.
+    """
+    offset: Optional[int] = 0
+    value = ptr
+    while isinstance(value, GEP):
+        part = gep_constant_offset(value)
+        if part is None:
+            offset = None
+        elif offset is not None:
+            offset += part
+        value = value.pointer
+    return value, offset
+
+
+# ---------------------------------------------------------------------------
+# Per-function memory facts
+# ---------------------------------------------------------------------------
+
+#: Sentinel slot meaning "some slot addressed dynamically" in liveness sets.
+ANY_SLOT = -1
+
+
+class MemoryFacts:
+    """Allocas of a function: slot extents, display names and escapes.
+
+    An alloca *escapes* when a pointer derived from it flows anywhere other
+    than a load, a store-destination or another GEP — a call argument, a
+    stored value, a select/phi arm or a return.  Escaped allocas are exempt
+    from init/dead-store reasoning (callees may read or write them), and the
+    sanitizer marks them fully initialised for the same reason.
+    """
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.allocas: List[Alloca] = [
+            i for i in function.instructions() if isinstance(i, Alloca)
+        ]
+        self.slot_counts: Dict[int, int] = {
+            id(a): a.allocated_type.slot_count() for a in self.allocas
+        }
+        self.names: Dict[int, str] = {
+            id(a): (a.name or "<alloca>") for a in self.allocas
+        }
+        self.escaped: FrozenSet[int] = self._compute_escapes()
+
+    def _compute_escapes(self) -> FrozenSet[int]:
+        escaped = set()
+        for alloca in self.allocas:
+            derived_ids = {id(alloca)}
+            work: List[Value] = [alloca]
+            leaked = False
+            while work and not leaked:
+                value = work.pop()
+                for user in value.uses:
+                    if user.parent is None:
+                        continue  # detached instruction still on the use list
+                    if isinstance(user, GEP) and user.pointer is value:
+                        if id(user) not in derived_ids:
+                            derived_ids.add(id(user))
+                            work.append(user)
+                    elif isinstance(user, Load) and user.pointer is value:
+                        continue
+                    elif isinstance(user, Store) and user.pointer is value \
+                            and user.value is not value:
+                        continue
+                    else:
+                        leaked = True
+                        break
+            if leaked:
+                escaped.add(id(alloca))
+        return frozenset(escaped)
+
+    def slots_of(self, alloca_id: int) -> FrozenSet[Tuple[int, int]]:
+        return frozenset(
+            (alloca_id, s) for s in range(self.slot_counts[alloca_id])
+        )
+
+    def all_slots(self) -> FrozenSet[Tuple[int, int]]:
+        keys = []
+        for a in self.allocas:
+            keys.extend((id(a), s) for s in range(self.slot_counts[id(a)]))
+        return frozenset(keys)
+
+    def resolve_alloca(self, ptr: Value) -> Tuple[Optional[Alloca], Optional[int]]:
+        """``(alloca, slot)`` addressed by ``ptr``; alloca ``None`` when the
+        root is not a local alloca, slot ``None`` when dynamic."""
+        root, offset = resolve_pointer(ptr)
+        if isinstance(root, Alloca) and id(root) in self.slot_counts:
+            return root, offset
+        return None, None
+
+
+class DefiniteInitProblem(DataflowProblem):
+    """Forward must-analysis: slots definitely stored on every path."""
+
+    direction = "forward"
+
+    def __init__(self, facts: MemoryFacts):
+        self.facts = facts
+        self._universe = facts.all_slots()
+        escaped_keys = []
+        for alloca in facts.allocas:
+            if id(alloca) in facts.escaped:
+                escaped_keys.extend(facts.slots_of(id(alloca)))
+        self._escaped_keys = frozenset(escaped_keys)
+
+    def boundary(self, function: Function):
+        # Escaped allocas count as initialised from the start; nothing else.
+        return self._escaped_keys
+
+    def initial(self, function: Function):
+        return self._universe
+
+    def join(self, a, b):
+        return a & b
+
+    def transfer(self, instr: Instruction, state):
+        if isinstance(instr, Store):
+            alloca, slot = self.facts.resolve_alloca(instr.pointer)
+            if alloca is not None:
+                if slot is None:
+                    # Dynamic store: treat the whole alloca as initialised —
+                    # the sanitizer shadow does the same, keeping trap ⊆ flag.
+                    return state | self.facts.slots_of(id(alloca))
+                if 0 <= slot < self.facts.slot_counts[id(alloca)]:
+                    return state | {(id(alloca), slot)}
+        elif isinstance(instr, Alloca) and id(instr) in self.facts.slot_counts:
+            if id(instr) not in self.facts.escaped:
+                # Re-executing an alloca (in a loop) yields fresh storage.
+                return state - self.facts.slots_of(id(instr))
+        return state
+
+
+class LiveSlotsProblem(DataflowProblem):
+    """Backward may-analysis: slots that may still be read later.
+
+    Liveness keys are ``(id(alloca), slot)`` with :data:`ANY_SLOT` standing
+    for dynamically addressed reads (which keep every slot of the alloca
+    alive).  Calls keep any directly passed alloca alive in full.
+    """
+
+    direction = "backward"
+
+    def __init__(self, facts: MemoryFacts):
+        self.facts = facts
+
+    def boundary(self, function: Function):
+        return frozenset()
+
+    def initial(self, function: Function):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, instr: Instruction, state):
+        if isinstance(instr, Load):
+            alloca, slot = self.facts.resolve_alloca(instr.pointer)
+            if alloca is not None:
+                key = (id(alloca), ANY_SLOT if slot is None else slot)
+                return state | {key}
+        elif isinstance(instr, Store):
+            alloca, slot = self.facts.resolve_alloca(instr.pointer)
+            if alloca is not None and slot is not None:
+                return state - {(id(alloca), slot)}
+        elif isinstance(instr, Call):
+            added = None
+            for arg in instr.args:
+                if arg.type.is_pointer:
+                    alloca, _ = self.facts.resolve_alloca(arg)
+                    if alloca is not None:
+                        added = (added or set())
+                        added.add((id(alloca), ANY_SLOT))
+            if added:
+                return state | added
+        return state
+
+
+def compute_init_facts(function: Function) -> Tuple[MemoryFacts, DataflowSolution]:
+    """Memory facts plus the definite-initialisation fixpoint."""
+    facts = MemoryFacts(function)
+    return facts, solve(DefiniteInitProblem(facts), function)
+
+
+def compute_live_slots(function: Function) -> Tuple[MemoryFacts, DataflowSolution]:
+    """Memory facts plus the live-slots fixpoint."""
+    facts = MemoryFacts(function)
+    return facts, solve(LiveSlotsProblem(facts), function)
+
+
+# ---------------------------------------------------------------------------
+# Division safety: range, dominating-guard and select-filter reasoning
+# ---------------------------------------------------------------------------
+
+#: Division-like opcodes whose divisor must not be zero.
+DIV_OPCODES = frozenset({"fdiv", "sdiv", "srem", "frem"})
+
+
+def _implied_interval(predicate: str, bound: float, swapped: bool,
+                      taken: bool) -> Optional[object]:
+    """Constraint on ``x`` implied by branching on ``x <pred> bound``.
+
+    Returns an :class:`Interval`, the string ``"nonzero"`` for disequality
+    with zero, or ``None`` when nothing is implied.
+    """
+    from .vrp import ValueRangePropagation
+
+    refined = ValueRangePropagation._refine_for_predicate(
+        predicate, bound, swapped, taken
+    )
+    if refined is not None:
+        return refined
+    # one/ne against zero: not an interval, but it excludes the divisor hazard.
+    normalised = predicate
+    if not taken:
+        normalised = {"one": "oeq", "oeq": "one", "ne": "eq", "eq": "ne"}.get(
+            predicate, ""
+        )
+    if normalised in ("one", "ne") and bound == 0.0:
+        return "nonzero"
+    return None
+
+
+def _condition_parts(cond: Value) -> Optional[Tuple[Value, float, bool, str]]:
+    """Decompose a compare-vs-constant: ``(tracked, bound, swapped, pred)``."""
+    if not isinstance(cond, (FCmp, ICmp)):
+        return None
+    lhs, rhs = cond.lhs, cond.rhs
+    if isinstance(rhs, Constant):
+        return lhs, float(rhs.value), False, cond.predicate
+    if isinstance(lhs, Constant):
+        return rhs, float(lhs.value), True, cond.predicate
+    return None
+
+
+def _is_fabs_of(value: Value, operand: Value) -> bool:
+    return (
+        isinstance(value, Call)
+        and value.callee.intrinsic_name == "fabs"
+        and value.args[0] is operand
+    )
+
+
+def _condition_excludes_zero(cond: Value, divisor: Value, taken: bool) -> bool:
+    """True when ``cond`` being ``taken`` implies ``divisor != 0``."""
+    parts = _condition_parts(cond)
+    if parts is None:
+        return False
+    tracked, bound, swapped, predicate = parts
+    direct = tracked is divisor
+    via_fabs = _is_fabs_of(tracked, divisor)
+    if not (direct or via_fabs):
+        return False
+    implied = _implied_interval(predicate, bound, swapped, taken)
+    if implied is None:
+        return False
+    if implied == "nonzero":
+        return direct  # |d| != 0 also works, and only strengthens this
+    if via_fabs:
+        # A constraint on |d| excludes zero iff it forces |d| > 0.
+        return implied.lo > 0.0 or implied.hi < 0.0
+    return not implied.contains(0.0)
+
+
+def _condition_refinement(cond: Value, divisor: Value, taken: bool):
+    """Interval (or "nonzero") implied for ``divisor`` itself, if any."""
+    parts = _condition_parts(cond)
+    if parts is None:
+        return None
+    tracked, bound, swapped, predicate = parts
+    if tracked is divisor:
+        return _implied_interval(predicate, bound, swapped, taken)
+    if _is_fabs_of(tracked, divisor):
+        implied = _implied_interval(predicate, bound, swapped, taken)
+        if implied == "nonzero":
+            return "nonzero"
+        if isinstance(implied, Interval) and implied.lo > 0.0:
+            return "nonzero"
+    return None
+
+
+def _branch_guard_excludes_zero(div: Instruction, domtree, preds) -> bool:
+    """Walk the idom chain looking for branch guards that bound the divisor
+    away from zero on every path into the division's block."""
+    divisor = div.rhs
+    rng = None  # accumulated refinement; starts unconstrained
+    node = div.parent
+    while node is not None:
+        idom = domtree.idom.get(node)
+        if idom is None or idom is node:
+            break
+        # The edge idom -> node only implies the branch condition when node
+        # cannot be entered any other way (mirrors VRP's refinement rule).
+        node_preds = preds.get(node, [])
+        if len(node_preds) == 1 and node_preds[0] is idom:
+            term = idom.terminator
+            if isinstance(term, CondBranch):
+                on_true = term.true_block is node and term.false_block is not node
+                on_false = term.false_block is node and term.true_block is not node
+                if on_true or on_false:
+                    refinement = _condition_refinement(
+                        term.condition, divisor, taken=on_true
+                    )
+                    if refinement == "nonzero":
+                        return True
+                    if isinstance(refinement, Interval):
+                        rng = refinement if rng is None else rng.intersect(refinement)
+                        if not rng.contains(0.0):
+                            return True
+        node = idom
+    return False
+
+
+def _select_arm_filters(select: Select, divisor: Value, arm_is_true: bool) -> bool:
+    """True when choosing this select arm implies the divisor was nonzero."""
+    return _condition_excludes_zero(select.condition, divisor, taken=arm_is_true)
+
+
+def _division_select_filtered(div: Instruction) -> bool:
+    """True when every observable use of the division result goes through a
+    select that discards it whenever the divisor could have been zero."""
+    divisor = div.rhs
+    visited = {id(div)}
+    work: List[Instruction] = [div]
+    while work:
+        value = work.pop()
+        for user in value.uses:
+            if user.parent is None:
+                continue
+            if isinstance(user, Select) and user.condition is not value:
+                filtered = True
+                if user.true_value is value and not _select_arm_filters(
+                    user, divisor, arm_is_true=True
+                ):
+                    filtered = False
+                if user.false_value is value and not _select_arm_filters(
+                    user, divisor, arm_is_true=False
+                ):
+                    filtered = False
+                if filtered:
+                    continue
+                if id(user) not in visited:
+                    visited.add(id(user))
+                    work.append(user)
+            elif isinstance(user, (BinaryOp, Cast, Phi)) or (
+                isinstance(user, Call)
+                and user.callee.intrinsic_name in MATH_INTRINSICS
+            ):
+                # Pure value flow: the hazard propagates to the result.
+                if id(user) not in visited:
+                    visited.add(id(user))
+                    work.append(user)
+            else:
+                # Stored, returned, compared, passed to a real call, used as
+                # an address or a branch condition: observed unguarded.
+                return False
+    return True
+
+
+def select_filtered_divisions(function: Function) -> FrozenSet[int]:
+    """ids of division instructions whose results are select-filtered."""
+    filtered = set()
+    for instr in function.instructions():
+        if isinstance(instr, BinaryOp) and instr.opcode in DIV_OPCODES:
+            if _division_select_filtered(instr):
+                filtered.add(id(instr))
+    return frozenset(filtered)
+
+
+def classify_divisions(function: Function, vrp, domtree) -> Dict[int, str]:
+    """Classify every division of ``function`` by divisor-zero safety.
+
+    Classes:
+
+    * ``"safe-range"`` — VRP proves the divisor interval excludes zero;
+    * ``"safe-guard"`` — a dominating branch bounds the divisor away from 0;
+    * ``"safe-select"`` — the result is select-discarded whenever the divisor
+      could have been zero (DriftDiffusionAnalytical's guard);
+    * ``"zero-maybe"`` — VRP knows a nontrivial range and it contains zero;
+    * ``"unknown"`` — the divisor range is TOP (statically unresolvable).
+
+    The sanitizer instruments ``safe-range`` and ``safe-guard`` divisions
+    with zero-divisor traps: a trap there means a static claim was wrong.
+    ``safe-select`` divisions execute even when the divisor is zero (the
+    select discards the bogus result), so they are never trapped.  The lint
+    checker reports ``zero-maybe`` at default severity and ``unknown`` as a
+    note.
+    """
+    preds = predecessor_map(function)
+    result: Dict[int, str] = {}
+    for instr in function.instructions():
+        if not (isinstance(instr, BinaryOp) and instr.opcode in DIV_OPCODES):
+            continue
+        rng = vrp.range_of(instr.rhs)
+        if not rng.contains(0.0):
+            result[id(instr)] = "safe-range"
+        elif _branch_guard_excludes_zero(instr, domtree, preds):
+            result[id(instr)] = "safe-guard"
+        elif _division_select_filtered(instr):
+            result[id(instr)] = "safe-select"
+        elif rng.lo == -math.inf and rng.hi == math.inf:
+            result[id(instr)] = "unknown"
+        else:
+            result[id(instr)] = "zero-maybe"
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Loop-invariance (nontermination checker support)
+# ---------------------------------------------------------------------------
+
+
+def loop_invariant_in(loop, value: Value) -> bool:
+    """True when ``value`` cannot change between iterations of ``loop``.
+
+    Mirrors LICM's notion of invariance, extended transitively: constants and
+    values defined outside the loop are invariant; phis, loads and effectful
+    calls inside the loop are variant; a pure instruction inside the loop is
+    invariant iff all its operands are.
+    """
+    memo: Dict[int, bool] = {}
+
+    def walk(v: Value) -> bool:
+        if not isinstance(v, Instruction):
+            return True
+        if v.parent is None or not loop.contains(v.parent):
+            return True
+        cached = memo.get(id(v))
+        if cached is not None:
+            return cached
+        if isinstance(v, (Phi, Load, Alloca)) or v.is_terminator:
+            memo[id(v)] = False
+            return False
+        if isinstance(v, Call) and v.has_side_effects():
+            memo[id(v)] = False
+            return False
+        memo[id(v)] = False  # provisional: cycles (via phis) stay variant
+        result = all(walk(op) for op in v.operands)
+        memo[id(v)] = result
+        return result
+
+    return walk(value)

@@ -222,12 +222,42 @@ def _compute_callgraph(module: Module, am: "AnalysisManager") -> Dict[str, int]:
     return count_call_sites(module)
 
 
+def _compute_memory_facts(function: Function, am: "AnalysisManager"):
+    from .dataflow import MemoryFacts
+
+    return MemoryFacts(function)
+
+
+def _compute_definite_init(function: Function, am: "AnalysisManager"):
+    from .dataflow import DefiniteInitProblem, solve
+
+    return solve(DefiniteInitProblem(am.get("memory-facts", function)), function)
+
+
+def _compute_live_slots(function: Function, am: "AnalysisManager"):
+    from .dataflow import LiveSlotsProblem, solve
+
+    return solve(LiveSlotsProblem(am.get("memory-facts", function)), function)
+
+
+def _compute_div_classes(function: Function, am: "AnalysisManager"):
+    from .dataflow import classify_divisions
+
+    return classify_divisions(
+        function, am.get("vrp", function), am.get("domtree", function)
+    )
+
+
 register_function_analysis("domtree", _compute_domtree, DominatorTree)
 register_function_analysis("cfg-preds", _compute_cfg_preds)
 register_function_analysis("loopinfo", _compute_loopinfo, LoopInfo)
 register_function_analysis("vrp", _compute_vrp)
 register_function_analysis("intervals", _compute_intervals)
 register_function_analysis("scev", _compute_scev)
+register_function_analysis("memory-facts", _compute_memory_facts)
+register_function_analysis("definite-init", _compute_definite_init)
+register_function_analysis("live-slots", _compute_live_slots)
+register_function_analysis("div-classes", _compute_div_classes)
 register_module_analysis("callgraph", _compute_callgraph)
 
 

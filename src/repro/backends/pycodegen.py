@@ -316,8 +316,17 @@ class _StructuredFunction:
         self._use_counts: Dict[Tuple[str, int], int] = {}
         self.hoisted: Dict[Tuple[str, int], str] = {}
         self._pointer_tuples: Dict[Tuple[str, Optional[str], int], str] = {}
+        #: id(pointer value) -> the Alloca it derives from (via GEP chains).
+        self.alloca_root: Dict[int, Alloca] = {}
         self._plan_frame(rpo)
         self._plan_pointers(rpo)
+
+        # -- sanitizer facts (sanitize mode only) --------------------------
+        self.san_escaped: frozenset = frozenset()
+        self.san_div_classes: Dict[int, str] = {}
+        self.san_vrp = None
+        if gen.sanitize:
+            self._plan_sanitizer()
 
     # ------------------------------------------------------------------
     # Frame planning: liveness-coalesced alloca slot ranges
@@ -433,8 +442,12 @@ class _StructuredFunction:
                 if isinstance(instr, Alloca):
                     plan = self.alloca_plans[id(instr)]
                     self.ptrs[id(instr)] = _Ptr("_frame", None, plan.start)
+                    self.alloca_root[id(instr)] = instr
                 elif isinstance(instr, GEP):
                     self._fold_gep(instr, base_ptr(instr.pointer))
+                    root = self.alloca_root.get(id(instr.pointer))
+                    if root is not None:
+                        self.alloca_root[id(instr)] = root
                 elif isinstance(instr, Load):
                     self._count_use(base_ptr(instr.pointer))
                 elif isinstance(instr, Store):
@@ -523,6 +536,9 @@ class _StructuredFunction:
         lines: List[str] = []
         if self.frame_size:
             lines.append(f"_frame = [0.0] * {self.frame_size}")
+            if self.gen.sanitize:
+                # Shadow init map: one byte per frame slot, set on store.
+                lines.append(f"_init = bytearray({self.frame_size})")
         for (base, const), name in sorted(self.hoisted.items(), key=lambda kv: kv[1]):
             op = f"+ {const}" if const > 0 else f"- {-const}"
             lines.append(f"{name} = {base} {op}")
@@ -560,16 +576,175 @@ class _StructuredFunction:
 
     def emit_alloca(self, instr: Alloca) -> List[str]:
         plan = self.alloca_plans[id(instr)]
+        lines: List[str] = []
+        if self.gen.sanitize and id(instr) not in self.san_escaped:
+            # Executing the alloca yields fresh (uninitialised) storage in
+            # the static model, so the shadow map resets here too — exactly
+            # the definite-init analysis's Alloca transfer.
+            lines.append(
+                f"_init[{plan.start}:{plan.start + plan.size}] = bytes({plan.size})"
+            )
         if not plan.zero_at_site:
-            return []  # the frame is zero-filled at function entry
+            return lines  # the frame is zero-filled at function entry
         if plan.size == 1:
-            return [f"_frame[{plan.start}] = 0.0"]
+            lines.append(f"_frame[{plan.start}] = 0.0")
+            return lines
         zeros = self.gen._zero_tuple(plan.size)
-        return [f"_frame[{plan.start}:{plan.start + plan.size}] = {zeros}"]
+        lines.append(f"_frame[{plan.start}:{plan.start + plan.size}] = {zeros}")
+        return lines
 
     def emit_gep(self, instr: GEP) -> List[str]:
         line = self.gep_code.get(id(instr))
         return [line] if line is not None else []
+
+    # ------------------------------------------------------------------
+    # Sanitizer instrumentation (gen.sanitize only)
+    # ------------------------------------------------------------------
+    def _plan_sanitizer(self) -> None:
+        # Lazy import: the analysis package must not become a hard import of
+        # the backend module (it pulls in the whole repro.analysis tree).
+        from ..analysis.dataflow import MemoryFacts, classify_divisions
+        from ..analysis.vrp import ValueRangePropagation
+
+        facts = MemoryFacts(self.fn)
+        self.san_escaped = facts.escaped
+        # The sanitizer validates *assumption-free* claims only: its private
+        # VRP leaves normal draws unbounded, so a trap can never be blamed on
+        # the lint suite's default ±sigma noise assumption.
+        self.san_vrp = ValueRangePropagation(
+            self.fn, assume_normal_range=None
+        ).run()
+        self.san_div_classes = classify_divisions(
+            self.fn, self.san_vrp, self.domtree
+        )
+
+    def _san_where(self, instr) -> str:
+        node = instr.metadata.get("source_node") if instr.metadata else None
+        where = f"@{self.fn.name}"
+        if node is not None:
+            where += f" node={node}"
+        return where
+
+    def sanitized_load(self, instr: Load, name: str) -> List[str]:
+        ptr = self.ptrs[id(instr.pointer)]
+        where = self._san_where(instr)
+        root = self.alloca_root.get(id(instr.pointer))
+        if root is not None:
+            plan = self.alloca_plans[id(root)]
+            lo, hi = plan.start, plan.start + plan.size
+            tracked = id(root) not in self.san_escaped
+            if ptr.base is None:
+                slot = ptr.const
+                if not (lo <= slot < hi):
+                    msg = (
+                        f"out-of-bounds load: slot {slot - lo} of "
+                        f"{plan.size}-slot alloca {where}"
+                    )
+                    return [f"_san_trap({msg!r})", f"{name} = 0.0"]
+                lines = []
+                if tracked:
+                    msg = f"use-before-init load: slot {slot - lo} of alloca {where}"
+                    lines.append(f"if not _init[{slot}]: _san_trap({msg!r})")
+                lines.append(f"{name} = _frame[{slot}]")
+                return lines
+            # Dynamic offset: bounds only.  The definite-init checker does
+            # not claim anything path-sensitive about dynamic loads (it only
+            # warns when *no* slot is initialised), so an init trap here
+            # could fire on lint-clean models and break the cross-check.
+            off = self._offset_expr(ptr)
+            msg = (
+                f"out-of-bounds load: dynamic slot outside "
+                f"{plan.size}-slot alloca {where}"
+            )
+            return [
+                f"_s = {off}",
+                f"if _s < {lo} or _s >= {hi}: _san_trap({msg!r})",
+                f"{name} = _frame[_s]",
+            ]
+        buf, off = self.pointer_ref(instr.pointer)
+        msg = f"out-of-bounds load: offset outside buffer {where}"
+        return [
+            f"_s = {off}",
+            f"if _s < 0 or _s >= len({buf}): _san_trap({msg!r})",
+            f"{name} = {buf}[_s]",
+        ]
+
+    def sanitized_store(self, instr: Store, value_expr: str) -> List[str]:
+        ptr = self.ptrs[id(instr.pointer)]
+        where = self._san_where(instr)
+        root = self.alloca_root.get(id(instr.pointer))
+        if root is not None:
+            plan = self.alloca_plans[id(root)]
+            lo, hi = plan.start, plan.start + plan.size
+            tracked = id(root) not in self.san_escaped
+            if ptr.base is None:
+                slot = ptr.const
+                if not (lo <= slot < hi):
+                    msg = (
+                        f"out-of-bounds store: slot {slot - lo} of "
+                        f"{plan.size}-slot alloca {where}"
+                    )
+                    return [f"_san_trap({msg!r})"]
+                lines = [f"_frame[{slot}] = {value_expr}"]
+                if tracked:
+                    lines.append(f"_init[{slot}] = 1")
+                return lines
+            off = self._offset_expr(ptr)
+            msg = (
+                f"out-of-bounds store: dynamic slot outside "
+                f"{plan.size}-slot alloca {where}"
+            )
+            lines = [
+                f"_s = {off}",
+                f"if _s < {lo} or _s >= {hi}: _san_trap({msg!r})",
+                f"_frame[_s] = {value_expr}",
+            ]
+            if tracked:
+                # The definite-init analysis models a dynamic store as
+                # initialising the whole alloca; the shadow must agree or a
+                # later constant-offset load would trap on a clean model.
+                lines.append(f"_init[{lo}:{hi}] = b'\\x01' * {plan.size}")
+            return lines
+        buf, off = self.pointer_ref(instr.pointer)
+        msg = f"out-of-bounds store: offset outside buffer {where}"
+        return [
+            f"_s = {off}",
+            f"if _s < 0 or _s >= len({buf}): _san_trap({msg!r})",
+            f"{buf}[_s] = {value_expr}",
+        ]
+
+    def sanitized_binop(self, instr: BinaryOp, name: str, line: str) -> List[str]:
+        lines: List[str] = []
+        if instr.opcode in ("fdiv", "frem", "sdiv", "srem"):
+            # Only divisions the analyses *proved* zero-free are trapped;
+            # "safe-select" divisions legitimately see a zero divisor (the
+            # select discards the poisoned result), and "zero-maybe"/
+            # "unknown" ones carry a lint finding already.
+            if self.san_div_classes.get(id(instr)) in ("safe-range", "safe-guard"):
+                b = self.gen._name(instr.rhs)
+                zero = "0.0" if instr.opcode in ("fdiv", "frem") else "0"
+                msg = (
+                    f"zero-divisor: {instr.opcode} divisor proven nonzero "
+                    f"was zero {self._san_where(instr)}"
+                )
+                lines.append(f"if {b} == {zero}: _san_trap({msg!r})")
+        lines.append(line)
+        lines.extend(self._san_result_checks(instr, name))
+        return lines
+
+    def _san_result_checks(self, instr, name: str) -> List[str]:
+        if not instr.type.is_float:
+            return []
+        rng = self.san_vrp.range_of(instr)
+        if not rng.definitely_not_nan():
+            return []
+        where = self._san_where(instr)
+        if rng.is_finite():
+            isfinite = self.gen._alias("_isfinite", "math.isfinite")
+            msg = f"non-finite result: value proven finite was not {where}"
+            return [f"if not {isfinite}({name}): _san_trap({msg!r})"]
+        msg = f"non-finite result: value proven not-NaN was NaN {where}"
+        return [f"if {name} != {name}: _san_trap({msg!r})"]
 
     # ------------------------------------------------------------------
     # The relooper
@@ -742,16 +917,25 @@ class PythonCodeGenerator:
         prefix: str = "ir",
         structured: bool = True,
         analysis_manager=None,
+        sanitize: bool = False,
     ):
+        if sanitize and not structured:
+            raise ValueError(
+                "sanitize=True requires the structured emitter "
+                "(structured_codegen cannot be disabled alongside it)"
+            )
         self.module = module
         self.prefix = prefix
         self.structured = structured
+        self.sanitize = sanitize
         self.analysis_manager = analysis_manager
         self._value_names: Dict[int, str] = {}
         self._counter = 0
         #: Functions that fell back to the dispatch ladder (irreducible or
         #: structurally inexpressible CFGs); inspected by tests and reports.
         self.dispatch_fallbacks: List[str] = []
+        #: function name -> the relooper bail reason (the _Bailout message).
+        self.dispatch_fallback_reasons: Dict[str, str] = {}
         # -- factory-level pools (structured mode only) --------------------
         self._float_uses = self._count_float_uses() if structured else {}
         self._pool: Dict[str, str] = {}
@@ -881,6 +1065,7 @@ class PythonCodeGenerator:
             "_intrinsics": runtime.INTRINSIC_IMPLS,
             "_uniform_from_state": prng.uniform_from_state,
             "_normal_from_state": prng.normal_from_state,
+            "_san_trap": runtime.sanitizer_trap,
         }
         exec(compile(source, f"<distill:{self.module.name}>", "exec"), namespace)
         return {
@@ -895,8 +1080,9 @@ class PythonCodeGenerator:
         if self.structured:
             try:
                 return self._emit_function_structured(fn)
-            except _Bailout:
+            except _Bailout as exc:
                 self.dispatch_fallbacks.append(fn.name)
+                self.dispatch_fallback_reasons[fn.name] = str(exc)
         return self._emit_function_dispatch(fn)
 
     def _emit_function_structured(self, fn: Function) -> List[str]:
@@ -974,7 +1160,10 @@ class PythonCodeGenerator:
             fmt = (_BINOP_FMT_STRUCTURED if structured else _BINOP_FMT)[instr.opcode]
             if structured and instr.opcode == "frem":
                 self._alias("_fmod", "math.fmod")
-            return [f"{name} = " + fmt.format(a=self._name(instr.lhs), b=self._name(instr.rhs))]
+            line = f"{name} = " + fmt.format(a=self._name(instr.lhs), b=self._name(instr.rhs))
+            if structured and self.sanitize:
+                return ptrs.sanitized_binop(instr, name, line)
+            return [line]
         if isinstance(instr, FCmp):
             a, b = self._name(instr.lhs), self._name(instr.rhs)
             if instr.predicate in _FCMP_FMT:
@@ -1013,15 +1202,28 @@ class PythonCodeGenerator:
         if isinstance(instr, Alloca):
             return ptrs.emit_alloca(instr)
         if isinstance(instr, Load):
+            if structured and self.sanitize:
+                return ptrs.sanitized_load(instr, name)
             buf, off = ptrs.pointer_ref(instr.pointer)
             return [f"{name} = {buf}[{off}]"]
         if isinstance(instr, Store):
+            if structured and self.sanitize:
+                return ptrs.sanitized_store(instr, self._name(instr.value))
             buf, off = ptrs.pointer_ref(instr.pointer)
             return [f"{buf}[{off}] = {self._name(instr.value)}"]
         if isinstance(instr, GEP):
             return ptrs.emit_gep(instr)
         if isinstance(instr, Call):
-            return self._emit_call(instr, name, ptrs, structured)
+            lines = self._emit_call(instr, name, ptrs, structured)
+            if (
+                structured
+                and self.sanitize
+                and not instr.type.is_void
+                and instr.type.is_float
+                and instr.callee.intrinsic_name is not None
+            ):
+                lines = lines + ptrs._san_result_checks(instr, name)
+            return lines
         raise NotImplementedError(f"cannot generate Python for {instr.opcode}")
 
     def _emit_cast(self, instr: Cast, name: str, structured: bool) -> str:

@@ -145,6 +145,35 @@ def gep_strides(pointee: IRType, num_indices: int) -> List[Tuple[int, int]]:
 
 
 # ---------------------------------------------------------------------------
+# Sanitizer support (``flags={"sanitize": True}`` in the compiled backend)
+# ---------------------------------------------------------------------------
+
+
+class SanitizerTrap(RuntimeError):
+    """A sanitizer-instrumented model violated a static claim at runtime.
+
+    The sanitizer codegen mode (:mod:`repro.backends.pycodegen` with
+    ``sanitize=True``) instruments the generated Python with checks that
+    mirror what the lint suite proved statically: frame accesses stay inside
+    their alloca's slot range, constant-offset frame loads only read slots
+    the definite-initialisation analysis says were stored, divisions the
+    analyses classified as zero-free really are, and results whose value
+    range excluded NaN/Inf really are finite.  A trap on a model with no
+    lint findings is therefore always an analysis false negative — the fuzz
+    oracle's sanitizer leg turns it into a campaign failure.
+
+    The message starts with the trap kind (``out-of-bounds``,
+    ``use-before-init``, ``zero-divisor`` or ``non-finite``) so reports can
+    group traps by class.
+    """
+
+
+def sanitizer_trap(message: str) -> None:
+    """Raise :class:`SanitizerTrap` (bound as ``_san_trap`` in generated code)."""
+    raise SanitizerTrap(message)
+
+
+# ---------------------------------------------------------------------------
 # Scalar intrinsic implementations
 # ---------------------------------------------------------------------------
 

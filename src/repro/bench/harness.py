@@ -747,6 +747,7 @@ def figure8_report(
         loop_heavy = name in FIG8_LOOP_HEAVY_MODELS
         if loop_heavy:
             loop_heavy_speedups.append(speedup)
+        fallbacks = structured.stats.dispatch_fallbacks
         report.add(
             model=name,
             trials=trials,
@@ -756,7 +757,13 @@ def figure8_report(
             speedup=speedup,
             structured_lower_s=structured.stats.lower_seconds,
             dispatch_lower_s=dispatch.stats.lower_seconds,
+            relooper_bails=len(fallbacks),
         )
+        for fn_name in fallbacks:
+            reason = structured.stats.dispatch_fallback_reasons.get(fn_name, "?")
+            report.note(
+                f"{name}: @{fn_name} fell back to the dispatch emitter: {reason}"
+            )
     if loop_heavy_speedups:
         report.add(
             model="loop-heavy mean",
@@ -767,6 +774,7 @@ def figure8_report(
             speedup=float(np.mean(loop_heavy_speedups)),
             structured_lower_s="-",
             dispatch_lower_s="-",
+            relooper_bails="-",
         )
     report.note(
         "Structured emission replaces the `_block` dispatch ladder with native "

@@ -65,6 +65,11 @@ class CompileStats:
     analysis_misses: int = 0
     analysis_invalidations: int = 0
     analysis_skipped_passes: int = 0
+    #: Functions the structured emitter could not express and lowered through
+    #: the legacy dispatch ladder, plus the relooper's reason per function
+    #: (reported by the Figure 8 harness).
+    dispatch_fallbacks: List[str] = field(default_factory=list)
+    dispatch_fallback_reasons: Dict[str, str] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -441,12 +446,22 @@ def compile_composition(
     # Figure 8 report).
     start = time.perf_counter()
     structured = bool((flags or {}).get("structured_codegen", True))
-    compiled_functions = PythonCodeGenerator(
+    sanitize_mode = bool((flags or {}).get("sanitize", False))
+    if sanitize_mode and not structured:
+        raise ValueError(
+            'flags={"sanitize": True} requires the structured emitter; '
+            'it cannot be combined with flags={"structured_codegen": False}'
+        )
+    generator = PythonCodeGenerator(
         artifacts.module,
         structured=structured,
         analysis_manager=analysis_manager if analysis_manager.enabled else None,
-    ).compile()
+        sanitize=sanitize_mode,
+    )
+    compiled_functions = generator.compile()
     stats.lower_seconds = time.perf_counter() - start
+    stats.dispatch_fallbacks = list(generator.dispatch_fallbacks)
+    stats.dispatch_fallback_reasons = dict(generator.dispatch_fallback_reasons)
 
     # The manager's lifetime is this compile: release the cached analyses
     # (and the pipeline's back-reference) so session-memoized models do not

@@ -310,6 +310,45 @@ class Session:
             inputs_batch, num_trials=num_trials, seed=seed, **options
         )
 
+    # -- static safety suite -------------------------------------------------------
+    def lint(
+        self,
+        composition: Union[str, Composition],
+        pipeline: Union[str, PassManager] = "default<O2>",
+        seed: int = 0,
+        verify: Union[str, bool, None] = None,
+        flags: Optional[Dict[str, object]] = None,
+        checks=None,
+    ):
+        """Compile (cached) and run the static safety suite over the IR.
+
+        ``composition`` may be a :class:`Composition` or a registered model
+        name.  Returns a :class:`repro.lint.LintReport`; ``report.ok`` is
+        True when no finding reaches the default gate severity.  The compile
+        goes through the session cache, so linting a model you already ran
+        costs only the analyses.
+        """
+        from ..lint import LintReport, run_lint
+
+        if isinstance(composition, str):
+            from ..models import get_model
+
+            entry = get_model(composition)
+            name = entry.name
+            composition = entry.build()
+        else:
+            name = composition.name
+        model = self.compile_model(
+            composition, pipeline=pipeline, seed=seed, verify=verify, flags=flags
+        )
+        if not isinstance(pipeline, str):
+            pipeline = pipeline.describe()
+        return LintReport(
+            module_name=name,
+            diagnostics=run_lint(model.module, checks=checks),
+            pipeline=pipeline,
+        )
+
     # -- cache management ----------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
         with self._lock:

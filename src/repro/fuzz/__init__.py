@@ -151,6 +151,7 @@ def _narrowed_config(config: OracleConfig, divergence: Divergence) -> OracleConf
         workers=config.workers,
         check_reference=divergence.kind == "reference",
         check_analysis_cache=divergence.kind == "analysis-cache",
+        check_sanitizer=divergence.kind == "sanitizer",
     )
 
 
@@ -161,6 +162,7 @@ def run_campaign(
     engines: Optional[Sequence[str]] = None,
     workers: int = 2,
     check_reference: bool = True,
+    check_sanitizer: bool = False,
     shrink: bool = True,
     out_dir: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
@@ -179,6 +181,7 @@ def run_campaign(
         engines=engines,
         workers=workers,
         check_reference=check_reference,
+        check_sanitizer=check_sanitizer,
     )
     report = CampaignReport(seed=seed, n_models=n_models)
     started = time.perf_counter()

@@ -56,6 +56,14 @@ def main(argv=None) -> int:
         help="skip the interpretive reference-runner leg",
     )
     parser.add_argument(
+        "--sanitizer",
+        action="store_true",
+        help=(
+            "add the sanitizer cross-validation leg: instrumented compile of "
+            "the first pipeline; traps on lint-clean models fail the campaign"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-model progress lines"
     )
     args = parser.parse_args(argv)
@@ -67,6 +75,7 @@ def main(argv=None) -> int:
         engines=args.engines,
         workers=args.workers,
         check_reference=not args.no_reference,
+        check_sanitizer=args.sanitizer,
         shrink=not args.no_shrink,
         out_dir=args.out_dir,
         progress=None if args.quiet else lambda line: print(line, flush=True),

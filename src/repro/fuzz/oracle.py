@@ -63,7 +63,7 @@ BASELINE_ENGINE = "compiled"
 class Divergence:
     """One observed disagreement between oracle legs."""
 
-    kind: str  # "analysis-cache" | "engine" | "engine-error" | "pipeline" | "reference" | "compile-error" | "codegen"
+    kind: str  # "analysis-cache" | "engine" | "engine-error" | "pipeline" | "reference" | "compile-error" | "codegen" | "sanitizer"
     pipeline: str
     engine: Optional[str] = None
     detail: str = ""
@@ -103,6 +103,13 @@ class OracleConfig:
     #: False}`` and demand bitwise-identical buffers: the legacy dispatch
     #: emitter is the conformance anchor for the structured relooper.
     check_codegen: bool = True
+    #: Recompile the first pipeline with ``flags={"sanitize": True}`` and
+    #: cross-validate the static safety suite (see :mod:`repro.lint`): a
+    #: sanitizer trap on a model with no lint findings is an analysis false
+    #: negative, and a trap-free instrumented run must reproduce the
+    #: baseline buffers bitwise.  Off by default (the nightly campaign and
+    #: ``python -m repro.fuzz --sanitizer`` enable it).
+    check_sanitizer: bool = False
 
     def resolved_engines(self) -> List[str]:
         return list(self.engines) if self.engines is not None else list(list_engines())
@@ -165,6 +172,95 @@ def _final_rng_counters(compiled, state: Sequence[float]) -> Dict[str, int]:
         name: int(state[offset + 1])
         for name, offset in compiled.layout.rng_offsets.items()
     }
+
+
+# ---------------------------------------------------------------------------
+# The sanitizer cross-validation leg
+# ---------------------------------------------------------------------------
+
+
+def _sanitizer_leg(
+    build, inputs, num_trials, run_seed, pipeline_text, baseline, baseline_error,
+    verdict,
+) -> List[Divergence]:
+    """Cross-validate the static safety suite against its runtime sanitizer.
+
+    The leg recompiles the model with ``flags={"sanitize": True}`` and runs
+    it.  Three outcomes:
+
+    * a :class:`~repro.backends.runtime.SanitizerTrap` on a model the lint
+      suite reports *clean* (no diagnostics at default severity) is a lint
+      false negative — a divergence;
+    * a trap on a model lint already flagged is the suite working as
+      documented — no divergence;
+    * no trap: the instrumented buffers must be bitwise identical to the
+      uninstrumented baseline (instrumentation must never change behaviour).
+    """
+    from ..backends.runtime import SanitizerTrap
+    from ..lint import run_lint
+    from ..ir.diagnostics import at_or_above
+
+    divergences: List[Divergence] = []
+    verdict.legs += 1
+    instrumented = None
+    san_buffers = None
+    san_trap: Optional[str] = None
+    san_error: Optional[str] = None
+    try:
+        instrumented = compile_composition(
+            build(), pipeline=pipeline_text, flags={"sanitize": True}
+        )
+        san_buffers = raw_buffers(
+            instrumented, inputs, num_trials, run_seed, BASELINE_ENGINE
+        )
+    except SanitizerTrap as exc:
+        san_trap = str(exc)
+    except Exception as exc:  # noqa: BLE001 - the oracle reports, never raises
+        san_error = f"{type(exc).__name__}: {exc}"
+    finally:
+        if instrumented is not None:
+            instrumented.close_engines()
+
+    if san_trap is not None:
+        try:
+            findings = at_or_above(run_lint(instrumented.module))
+        except Exception as exc:  # noqa: BLE001
+            findings = None
+            divergences.append(
+                Divergence(
+                    "sanitizer", pipeline_text, None,
+                    f"lint failed while triaging a trap: "
+                    f"{type(exc).__name__}: {exc} (trap: {san_trap})",
+                )
+            )
+        if findings is not None and not findings:
+            divergences.append(
+                Divergence(
+                    "sanitizer", pipeline_text, None,
+                    f"sanitizer trap on a statically clean model "
+                    f"(lint false negative): {san_trap}",
+                )
+            )
+        return divergences
+
+    if (san_buffers is None) != (baseline is None):
+        divergences.append(
+            Divergence(
+                "sanitizer", pipeline_text, None,
+                f"instrumented vs plain compile: plain="
+                f"{baseline_error or 'ok'} vs sanitize={san_error or 'ok'}",
+            )
+        )
+    elif baseline is not None:
+        mismatch = buffers_equal(baseline, san_buffers)
+        if mismatch is not None:
+            divergences.append(
+                Divergence(
+                    "sanitizer", pipeline_text, None,
+                    f"instrumented buffers differ from baseline: {mismatch}",
+                )
+            )
+    return divergences
 
 
 # ---------------------------------------------------------------------------
@@ -334,6 +430,13 @@ def check_composition(
                                     f"{leg_label}: {mismatch}",
                                 )
                             )
+                if config.check_sanitizer:
+                    verdict.divergences.extend(
+                        _sanitizer_leg(
+                            build, inputs, num_trials, run_seed,
+                            pipeline_text, baseline, baseline_error, verdict,
+                        )
+                    )
             else:
                 verdict.legs += 1
                 if (baseline is None) != (first_baseline is None):

@@ -1,0 +1,190 @@
+"""Structured diagnostics shared by the IR verifier and the lint suite.
+
+A :class:`Diagnostic` is one finding about a module: a verifier invariant
+violation, a lint checker warning, or a mutation-audit failure.  Diagnostics
+carry machine-readable coordinates (function, block, instruction index and
+opcode) plus the ``source_node`` provenance tag the model code generator
+attaches to every instruction, so a finding on optimised IR can be traced
+back to the mechanism/projection that produced it.
+
+Two renderers are provided: :func:`render_text` for humans and
+:func:`render_json` for CI artifacts.  The JSON form is *strict*: sorted
+keys, stable field set, and a schema version, so reports from different runs
+diff cleanly.
+
+Every diagnostic has a *stable fingerprint* — a content hash over its
+identity fields (check id, coordinates, provenance and message), explicitly
+excluding the instruction index so that inserting an unrelated instruction
+above a finding does not churn the baseline.  The committed
+baseline-suppression workflow (see :mod:`repro.lint`) compares fingerprint
+multisets: CI fails only when a fingerprint appears more often than the
+baseline allows, i.e. only on *new* findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = [
+    "Diagnostic",
+    "SEVERITIES",
+    "DEFAULT_SEVERITY",
+    "at_or_above",
+    "dedupe",
+    "ordered",
+    "render_text",
+    "render_json",
+]
+
+#: Recognised severities, most severe first.  ``error`` marks findings that
+#: make the IR meaningless (verifier failures, definite out-of-bounds);
+#: ``warning`` marks probable bugs (the CI gate); ``note`` marks informative
+#: findings that are expected to occur in correct programs.
+SEVERITIES = ("error", "warning", "note")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+#: The default reporting threshold: errors and warnings gate CI, notes do not.
+DEFAULT_SEVERITY = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding about a module."""
+
+    #: Registered check id (``"verify"`` for verifier findings).
+    check: str
+    #: One of :data:`SEVERITIES`.
+    severity: str
+    #: Human-readable description of the finding.
+    message: str
+    #: Name of the containing function ("" for module-level findings).
+    function: str = ""
+    #: Name of the containing basic block ("" when not block-scoped).
+    block: str = ""
+    #: Index of the instruction within its block (-1 when not anchored).
+    index: int = -1
+    #: Opcode of the anchored instruction ("" when not anchored).
+    opcode: str = ""
+    #: ``source_node`` provenance metadata of the anchored instruction.
+    source_node: str = ""
+
+    def __post_init__(self):
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this finding across runs.
+
+        The instruction *index* is deliberately excluded: unrelated edits
+        above a finding must not invalidate its baseline entry.
+        """
+        blob = "\x1f".join(
+            (self.check, self.function, self.block, self.opcode,
+             self.source_node, self.message)
+        )
+        return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
+
+    # -- rendering --------------------------------------------------------
+    @property
+    def location(self) -> str:
+        """Compact ``@function:block:index`` coordinate string."""
+        parts: List[str] = []
+        if self.function:
+            parts.append(f"@{self.function}")
+        if self.block:
+            parts.append(self.block)
+        if self.index >= 0:
+            parts.append(str(self.index))
+        return ":".join(parts) if parts else "<module>"
+
+    def render(self) -> str:
+        node = f" [node={self.source_node}]" if self.source_node else ""
+        return f"{self.severity}[{self.check}] {self.location}: {self.message}{node}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "check": self.check,
+            "severity": self.severity,
+            "message": self.message,
+            "function": self.function,
+            "block": self.block,
+            "index": self.index,
+            "opcode": self.opcode,
+            "source_node": self.source_node,
+            "fingerprint": self.fingerprint,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Collection helpers
+# ---------------------------------------------------------------------------
+
+def severity_rank(severity: str) -> int:
+    return _SEVERITY_RANK[severity]
+
+
+def at_or_above(
+    diagnostics: Iterable[Diagnostic], severity: str = DEFAULT_SEVERITY
+) -> List[Diagnostic]:
+    """The diagnostics whose severity is at least ``severity``."""
+    cutoff = _SEVERITY_RANK[severity]
+    return [d for d in diagnostics if _SEVERITY_RANK[d.severity] <= cutoff]
+
+
+def dedupe(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Drop repeated findings, keeping the first occurrence of each.
+
+    Identity is the full diagnostic (frozen dataclass equality), so two
+    findings at different coordinates are both kept even when their messages
+    coincide.
+    """
+    seen: set = set()
+    result: List[Diagnostic] = []
+    for diag in diagnostics:
+        if diag in seen:
+            continue
+        seen.add(diag)
+        result.append(diag)
+    return result
+
+
+def ordered(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Deterministic report order: severity, then coordinates, then text."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            _SEVERITY_RANK[d.severity], d.function, d.block, d.index,
+            d.check, d.message,
+        ),
+    )
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """Human-readable report, one line per finding."""
+    if not diagnostics:
+        return "no diagnostics"
+    return "\n".join(d.render() for d in diagnostics)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """Strict JSON report: schema-versioned, sorted keys, stable order."""
+    payload = {
+        "version": 1,
+        "count": len(diagnostics),
+        "diagnostics": [d.to_dict() for d in diagnostics],
+    }
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def fingerprint_counts(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
+    """Fingerprint multiset of a report (used by the baseline workflow)."""
+    counts: Dict[str, int] = {}
+    for diag in diagnostics:
+        counts[diag.fingerprint] = counts.get(diag.fingerprint, 0) + 1
+    return counts

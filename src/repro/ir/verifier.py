@@ -6,13 +6,21 @@ types, phi nodes agree with the CFG, and every value used inside a function is
 defined in that function (as an argument, a constant or an instruction).  The
 code generators run the verifier on freshly emitted modules and every pass is
 tested to preserve verification.
+
+Findings are produced as structured :class:`~repro.ir.diagnostics.Diagnostic`
+objects (severity ``error``) carrying function/block/instruction coordinates
+and source-node provenance, so verifier failures render through the same text
+and JSON reporters as the lint suite.  :class:`VerificationError` keeps its
+``errors`` list-of-strings API (each entry is the rendered diagnostic) and
+additionally exposes ``diagnostics``.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from .cfg import predecessor_map, reachable_blocks
+from .diagnostics import Diagnostic, dedupe
 from .instructions import (
     GEP,
     Alloca,
@@ -30,16 +38,24 @@ from .instructions import (
     Select,
     Store,
 )
-from .module import Function, Module
-from .values import Argument, Constant, UndefValue, Value
+from .module import BasicBlock, Function, Module
+from .values import Argument, Constant, UndefValue
 
 
 class VerificationError(Exception):
     """Raised when a module or function violates an IR invariant."""
 
-    def __init__(self, errors: List[str]):
-        self.errors = errors
-        super().__init__("\n".join(errors))
+    def __init__(self, errors):
+        if errors and isinstance(errors[0], Diagnostic):
+            self.diagnostics: List[Diagnostic] = list(errors)
+            self.errors = [d.render() for d in self.diagnostics]
+        else:
+            self.errors = list(errors)
+            self.diagnostics = [
+                Diagnostic(check="verify", severity="error", message=e)
+                for e in self.errors
+            ]
+        super().__init__("\n".join(self.errors))
 
 
 def verify_module(module: Module) -> None:
@@ -47,25 +63,74 @@ def verify_module(module: Module) -> None:
 
     Raises :class:`VerificationError` listing all problems found.
     """
-    errors: List[str] = []
-    for fn in module.defined_functions():
-        errors.extend(_verify_function(fn))
-    if errors:
-        raise VerificationError(errors)
+    diagnostics = verify_module_diagnostics(module)
+    if diagnostics:
+        raise VerificationError(diagnostics)
 
 
 def verify_function(function: Function) -> None:
-    errors = _verify_function(function)
-    if errors:
-        raise VerificationError(errors)
+    diagnostics = _verify_function(function)
+    if diagnostics:
+        raise VerificationError(dedupe(diagnostics))
 
 
-def _verify_function(fn: Function) -> List[str]:
-    errors: List[str] = []
-    where = f"function @{fn.name}"
+def verify_module_diagnostics(module: Module) -> List[Diagnostic]:
+    """All verifier findings for ``module`` as deduplicated diagnostics.
+
+    An empty list means the module verifies; callers that want the raising
+    behaviour use :func:`verify_module`.
+    """
+    diagnostics: List[Diagnostic] = []
+    for fn in module.defined_functions():
+        diagnostics.extend(_verify_function(fn))
+    return dedupe(diagnostics)
+
+
+class _Reporter:
+    """Accumulates diagnostics with the coordinates of the current scope."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.diagnostics: List[Diagnostic] = []
+
+    def report(self, message: str, block: Optional[BasicBlock] = None,
+               instr: Optional[Instruction] = None) -> None:
+        index = -1
+        opcode = ""
+        source_node = ""
+        if instr is not None:
+            if block is None and instr.parent is not None:
+                block = instr.parent
+            opcode = type(instr).__name__.lower()
+            if isinstance(instr, (BinaryOp, Cast)):
+                opcode = instr.opcode
+            node = instr.metadata.get("source_node") if instr.metadata else None
+            if node:
+                source_node = str(node)
+            if block is not None:
+                try:
+                    index = block.instructions.index(instr)
+                except ValueError:
+                    index = -1
+        self.diagnostics.append(
+            Diagnostic(
+                check="verify",
+                severity="error",
+                message=message,
+                function=self.fn.name,
+                block=block.name if block is not None else "",
+                index=index,
+                opcode=opcode,
+                source_node=source_node,
+            )
+        )
+
+
+def _verify_function(fn: Function) -> List[Diagnostic]:
+    out = _Reporter(fn)
 
     if not fn.blocks:
-        return errors
+        return out.diagnostics
 
     defined: set[int] = {id(arg) for arg in fn.args}
     for block in fn.blocks:
@@ -78,32 +143,37 @@ def _verify_function(fn: Function) -> List[str]:
     for block in fn.blocks:
         # Terminator discipline -------------------------------------------------
         if not block.instructions:
-            errors.append(f"{where}: block {block.name} is empty")
+            out.report(f"block {block.name} is empty", block=block)
             continue
         terminators = [i for i in block.instructions if i.is_terminator]
         if len(terminators) != 1:
-            errors.append(
-                f"{where}: block {block.name} has {len(terminators)} terminators"
+            out.report(
+                f"block {block.name} has {len(terminators)} terminators",
+                block=block,
             )
         elif block.instructions[-1] is not terminators[0]:
-            errors.append(
-                f"{where}: terminator of block {block.name} is not last"
+            out.report(
+                f"terminator of block {block.name} is not last", block=block
             )
 
         seen_non_phi = False
         for instr in block.instructions:
             if isinstance(instr, Phi):
                 if seen_non_phi:
-                    errors.append(
-                        f"{where}: phi {instr.ref()} appears after a non-phi "
-                        f"instruction in block {block.name}"
+                    out.report(
+                        f"phi {instr.ref()} appears after a non-phi "
+                        f"instruction in block {block.name}",
+                        block=block,
+                        instr=instr,
                     )
             else:
                 seen_non_phi = True
 
             if instr.parent is not block:
-                errors.append(
-                    f"{where}: instruction {instr.ref()} has stale parent pointer"
+                out.report(
+                    f"instruction {instr.ref()} has stale parent pointer",
+                    block=block,
+                    instr=instr,
                 )
 
             # Operand availability ----------------------------------------------
@@ -112,31 +182,39 @@ def _verify_function(fn: Function) -> List[str]:
                     continue
                 if isinstance(op, Argument):
                     if op not in fn.args:
-                        errors.append(
-                            f"{where}: {instr.ref()} uses argument {op.ref()} "
-                            f"from another function"
+                        out.report(
+                            f"{instr.ref()} uses argument {op.ref()} "
+                            f"from another function",
+                            block=block,
+                            instr=instr,
                         )
                     continue
                 if isinstance(op, Instruction):
                     if id(op) not in defined:
-                        errors.append(
-                            f"{where}: {instr.ref()} uses {op.ref()} which is "
-                            f"not defined in this function"
+                        out.report(
+                            f"{instr.ref()} uses {op.ref()} which is "
+                            f"not defined in this function",
+                            block=block,
+                            instr=instr,
                         )
                     continue
-                errors.append(
-                    f"{where}: {instr.ref()} has unexpected operand {op!r}"
+                out.report(
+                    f"{instr.ref()} has unexpected operand {op!r}",
+                    block=block,
+                    instr=instr,
                 )
 
-            errors.extend(_verify_instruction_types(where, block.name, instr))
+            _verify_instruction_types(out, block, instr)
 
             # Branch targets must belong to this function ------------------------
             if isinstance(instr, (Branch, CondBranch)):
                 for target in instr.targets:
                     if id(target) not in block_ids:
-                        errors.append(
-                            f"{where}: branch in {block.name} targets foreign "
-                            f"block {target.name}"
+                        out.report(
+                            f"branch in {block.name} targets foreign "
+                            f"block {target.name}",
+                            block=block,
+                            instr=instr,
                         )
 
         # Phi / CFG agreement -----------------------------------------------------
@@ -147,15 +225,19 @@ def _verify_function(fn: Function) -> List[str]:
             if incoming_ids != pred_ids:
                 pred_names = sorted(b.name for b in block_preds)
                 inc_names = sorted(b.name for b in phi.incoming_blocks)
-                errors.append(
-                    f"{where}: phi {phi.ref()} in {block.name} has incoming "
-                    f"blocks {inc_names} but predecessors are {pred_names}"
+                out.report(
+                    f"phi {phi.ref()} in {block.name} has incoming "
+                    f"blocks {inc_names} but predecessors are {pred_names}",
+                    block=block,
+                    instr=phi,
                 )
             for value, _ in phi.incoming():
                 if value.type != phi.type and not isinstance(value, UndefValue):
-                    errors.append(
-                        f"{where}: phi {phi.ref()} incoming value {value.ref()} "
-                        f"has type {value.type}, expected {phi.type}"
+                    out.report(
+                        f"phi {phi.ref()} incoming value {value.ref()} "
+                        f"has type {value.type}, expected {phi.type}",
+                        block=block,
+                        instr=phi,
                     )
 
     # Return type discipline ----------------------------------------------------------
@@ -163,23 +245,27 @@ def _verify_function(fn: Function) -> List[str]:
         term = block.terminator
         if isinstance(term, Return):
             if fn.return_type.is_void and term.value is not None:
-                errors.append(f"{where}: returns a value from a void function")
+                out.report(
+                    "returns a value from a void function", block=block,
+                    instr=term,
+                )
             if not fn.return_type.is_void:
                 if term.value is None:
-                    errors.append(f"{where}: missing return value")
+                    out.report("missing return value", block=block, instr=term)
                 elif term.value.type != fn.return_type:
-                    errors.append(
-                        f"{where}: return type {term.value.type} does not match "
-                        f"declared {fn.return_type}"
+                    out.report(
+                        f"return type {term.value.type} does not match "
+                        f"declared {fn.return_type}",
+                        block=block,
+                        instr=term,
                     )
-    return errors
+    return out.diagnostics
 
 
-def _verify_instruction_types(where: str, block_name: str, instr: Instruction) -> List[str]:
-    errors: List[str] = []
-
+def _verify_instruction_types(out: _Reporter, block: BasicBlock,
+                              instr: Instruction) -> None:
     def err(msg: str) -> None:
-        errors.append(f"{where}, block {block_name}: {msg}")
+        out.report(msg, block=block, instr=instr)
 
     if isinstance(instr, BinaryOp):
         lhs, rhs = instr.lhs, instr.rhs
@@ -247,4 +333,3 @@ def _verify_instruction_types(where: str, block_name: str, instr: Instruction) -
     elif isinstance(instr, Alloca):
         if not instr.type.is_pointer:
             err("alloca must produce a pointer")
-    return errors

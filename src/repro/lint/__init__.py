@@ -1,0 +1,340 @@
+"""repro.lint — the static safety suite's diagnostics subsystem.
+
+The lint suite runs an extensible registry of IR checkers over a compiled
+module and reports structured :class:`~repro.ir.diagnostics.Diagnostic`
+findings through the same renderers the verifier uses.  The shipped checkers
+(:mod:`repro.lint.checks`) are built on the monotone dataflow framework
+(:mod:`repro.analysis.dataflow`) plus the existing ``vrp``/``scev``
+analyses, all served through one :class:`~repro.analysis.manager.
+AnalysisManager` so results are cached and invalidated consistently:
+
+* ``use-before-init``    — loads that may observe uninitialised alloca slots;
+* ``gep-bounds``         — constant and range/SCEV-bounded GEP offsets
+  checked against alloca/struct/array extents;
+* ``zero-divisor``       — divisions whose divisor range includes zero with
+  no dominating guard or select filter (the DriftDiffusionAnalytical class);
+* ``dead-store``         — stores to slots that are never read afterwards;
+* ``unreachable-block``  — blocks unreachable from the function entry;
+* ``loop-invariant-exit`` — loops whose every exit condition is
+  loop-invariant (nontermination risk).
+
+The runtime counterpart is the sanitizer codegen mode
+(``flags={"sanitize": True}``): it instruments generated code with exactly
+the claims these checkers rely on, and the fuzz oracle's sanitizer leg
+(:mod:`repro.fuzz.oracle`) fails a campaign whenever a trap fires on a model
+this suite reported clean.
+
+Baseline workflow: :func:`load_baseline` / :func:`write_baseline` persist a
+fingerprint multiset (see ``Diagnostic.fingerprint``); CI compares a fresh
+report against the committed baseline with :func:`new_against_baseline` and
+fails only on *new* findings.  The committed baseline for this repository is
+empty — every registered model lints clean at default severity.
+
+Run from the command line::
+
+    python -m repro.lint necker_cube_s
+    python -m repro.lint --all --json lint-report.json
+    python -m repro.lint --fuzz --seed 0 --n-models 50
+
+or through the driver: ``repro.Session().lint("necker_cube_s")``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..ir.diagnostics import (
+    DEFAULT_SEVERITY,
+    Diagnostic,
+    at_or_above,
+    dedupe,
+    fingerprint_counts,
+    ordered,
+    render_json,
+    render_text,
+)
+from ..ir.instructions import BinaryOp, Cast, Instruction
+from ..ir.module import BasicBlock, Function, Module
+
+__all__ = [
+    "LintCheck",
+    "LintContext",
+    "LintReport",
+    "register_check",
+    "registered_checks",
+    "run_lint",
+    "lint_function",
+    "load_baseline",
+    "write_baseline",
+    "new_against_baseline",
+    "Diagnostic",
+    "DEFAULT_SEVERITY",
+    "render_text",
+    "render_json",
+]
+
+
+# ---------------------------------------------------------------------------
+# Check registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LintCheck:
+    """One registered checker: a per-function diagnostic generator."""
+
+    name: str
+    description: str
+    run: Callable[[Function, "LintContext"], Iterable[Diagnostic]]
+
+
+#: Registered checkers by id, in registration order (dicts preserve it).
+_CHECKS: Dict[str, LintCheck] = {}
+
+
+def register_check(name: str, description: str = ""):
+    """Decorator registering a checker under ``name``.
+
+    The decorated callable receives ``(function, context)`` and yields (or
+    returns an iterable of) :class:`Diagnostic` objects whose ``check`` field
+    should equal ``name``.  Registering the same name twice replaces the
+    previous checker (so tests can shadow a shipped check).
+    """
+
+    def decorator(fn):
+        summary = description or (fn.__doc__ or "").strip().splitlines()[0]
+        _CHECKS[name] = LintCheck(name=name, description=summary, run=fn)
+        return fn
+
+    return decorator
+
+
+def registered_checks() -> Dict[str, LintCheck]:
+    """The registry, id -> :class:`LintCheck` (a copy; mutate via decorator)."""
+    _ensure_builtin_checks()
+    return dict(_CHECKS)
+
+
+def _ensure_builtin_checks() -> None:
+    from . import checks  # noqa: F401 - importing registers the built-ins
+
+
+# ---------------------------------------------------------------------------
+# Per-function context: analyses served through the AnalysisManager
+# ---------------------------------------------------------------------------
+
+
+class LintContext:
+    """Analysis access and diagnostic construction for one function.
+
+    All analyses go through the compile's :class:`AnalysisManager`, so a lint
+    run after an optimisation pipeline reuses whatever the passes already
+    computed, and results are identical whether served cold or cached (the
+    fuzz oracle's analysis-cache leg audits exactly that).
+    """
+
+    def __init__(self, function: Function, analysis_manager):
+        self.function = function
+        self.am = analysis_manager
+
+    # -- analyses ----------------------------------------------------------
+    @property
+    def facts(self):
+        """:class:`~repro.analysis.dataflow.MemoryFacts` of the function."""
+        return self.am.get("memory-facts", self.function)
+
+    @property
+    def definite_init(self):
+        return self.am.get("definite-init", self.function)
+
+    @property
+    def live_slots(self):
+        return self.am.get("live-slots", self.function)
+
+    @property
+    def div_classes(self) -> Dict[int, str]:
+        return self.am.get("div-classes", self.function)
+
+    @property
+    def vrp(self):
+        return self.am.get("vrp", self.function)
+
+    @property
+    def domtree(self):
+        return self.am.get("domtree", self.function)
+
+    @property
+    def loopinfo(self):
+        return self.am.get("loopinfo", self.function)
+
+    @property
+    def scev(self):
+        return self.am.get("scev", self.function)
+
+    # -- diagnostics -------------------------------------------------------
+    def diag(
+        self,
+        check: str,
+        severity: str,
+        message: str,
+        instr: Optional[Instruction] = None,
+        block: Optional[BasicBlock] = None,
+    ) -> Diagnostic:
+        """A :class:`Diagnostic` anchored at ``instr`` (or ``block``)."""
+        block_name = ""
+        index = -1
+        opcode = ""
+        source_node = ""
+        if instr is not None:
+            if block is None:
+                block = instr.parent
+            if isinstance(instr, (BinaryOp, Cast)):
+                opcode = instr.opcode
+            else:
+                opcode = type(instr).__name__.lower()
+            node = instr.metadata.get("source_node") if instr.metadata else None
+            if node is not None:
+                source_node = str(node)
+        if block is not None:
+            block_name = block.name
+            if instr is not None:
+                try:
+                    index = block.instructions.index(instr)
+                except ValueError:
+                    index = -1
+        return Diagnostic(
+            check=check,
+            severity=severity,
+            message=message,
+            function=self.function.name,
+            block=block_name,
+            index=index,
+            opcode=opcode,
+            source_node=source_node,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Running the suite
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """Diagnostics for one module plus the metadata renderers need."""
+
+    module_name: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    pipeline: str = ""
+
+    def gating(self, severity: str = DEFAULT_SEVERITY) -> List[Diagnostic]:
+        """The findings at or above the CI gate severity."""
+        return at_or_above(self.diagnostics, severity)
+
+    @property
+    def ok(self) -> bool:
+        return not self.gating()
+
+    def render(self) -> str:
+        return render_text(self.diagnostics)
+
+    def to_json(self) -> str:
+        return render_json(self.diagnostics)
+
+
+def lint_function(
+    function: Function,
+    analysis_manager,
+    checks: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Run (a subset of) the registered checkers over one function."""
+    registry = registered_checks()
+    names = list(checks) if checks is not None else list(registry)
+    context = LintContext(function, analysis_manager)
+    diagnostics: List[Diagnostic] = []
+    for name in names:
+        diagnostics.extend(registry[name].run(function, context) or ())
+    return diagnostics
+
+
+def run_lint(
+    module: Module,
+    analysis_manager=None,
+    checks: Optional[Sequence[str]] = None,
+    include_verifier: bool = True,
+) -> List[Diagnostic]:
+    """Run the static safety suite over ``module``.
+
+    Verifier findings (severity ``error``) come first, then every registered
+    checker over every defined function.  Results are deduplicated and in
+    the deterministic report order of :func:`repro.ir.diagnostics.ordered` —
+    bitwise identical whether the analyses were served cold or from a warm
+    :class:`AnalysisManager`.
+    """
+    if analysis_manager is None:
+        from ..analysis.manager import AnalysisManager
+
+        analysis_manager = AnalysisManager()
+    diagnostics: List[Diagnostic] = []
+    if include_verifier:
+        from ..ir.verifier import verify_module_diagnostics
+
+        diagnostics.extend(verify_module_diagnostics(module))
+    for function in module.defined_functions():
+        diagnostics.extend(lint_function(function, analysis_manager, checks))
+    return ordered(dedupe(diagnostics))
+
+
+# ---------------------------------------------------------------------------
+# Baseline suppression
+# ---------------------------------------------------------------------------
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Fingerprint multiset from a committed baseline file.
+
+    A missing file is an empty baseline (the desired steady state).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return {}
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported lint baseline version in {path!r}")
+    return {str(k): int(v) for k, v in payload.get("fingerprints", {}).items()}
+
+
+def write_baseline(path: str, diagnostics: Iterable[Diagnostic]) -> None:
+    """Persist the fingerprint multiset of ``diagnostics`` as the baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": fingerprint_counts(list(diagnostics)),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+
+
+def new_against_baseline(
+    diagnostics: Iterable[Diagnostic], baseline: Dict[str, int]
+) -> List[Diagnostic]:
+    """The findings not covered by ``baseline``.
+
+    A fingerprint occurring more often than the baseline allows keeps its
+    excess occurrences; fixed findings simply leave baseline entries unused
+    (run ``--write-baseline`` to garbage-collect them).
+    """
+    remaining = dict(baseline)
+    fresh: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        allowance = remaining.get(diagnostic.fingerprint, 0)
+        if allowance > 0:
+            remaining[diagnostic.fingerprint] = allowance - 1
+        else:
+            fresh.append(diagnostic)
+    return fresh

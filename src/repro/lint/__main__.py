@@ -1,0 +1,183 @@
+"""Command-line entry point: ``python -m repro.lint``.
+
+Compiles models, runs the static safety suite over their optimised IR and
+compares the findings against the committed baseline; exits non-zero when
+any *new* finding is at or above the gate severity.  Typical invocations::
+
+    python -m repro.lint necker_cube_s
+    python -m repro.lint --all --json lint-report.json
+    python -m repro.lint --fuzz --seed 0 --n-models 50
+    python -m repro.lint --all --write-baseline   # accept current findings
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, List, Tuple
+
+from . import (
+    DEFAULT_SEVERITY,
+    LintReport,
+    load_baseline,
+    new_against_baseline,
+    run_lint,
+    write_baseline,
+)
+from ..ir.diagnostics import render_text
+
+DEFAULT_PIPELINE = "default<O2>"
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _model_targets(names: List[str]) -> List[Tuple[str, Callable]]:
+    from ..models import MODEL_REGISTRY
+
+    targets = []
+    for name in names:
+        entry = MODEL_REGISTRY.get(name)
+        if entry is None:
+            known = ", ".join(sorted(MODEL_REGISTRY))
+            raise SystemExit(f"unknown model {name!r}; known models: {known}")
+        targets.append((name, entry.build))
+    return targets
+
+
+def _fuzz_targets(seed: int, n_models: int) -> List[Tuple[str, Callable]]:
+    from ..fuzz.gen import generate_model_spec
+
+    targets = []
+    for model_seed in range(seed, seed + n_models):
+        spec = generate_model_spec(model_seed)
+        targets.append((f"fuzz-seed-{model_seed}", spec.build))
+    return targets
+
+
+def _lint_target(name: str, build: Callable, pipeline: str) -> LintReport:
+    from ..core.distill import compile_composition
+
+    model = compile_composition(build(), pipeline=pipeline)
+    return LintReport(
+        module_name=name,
+        diagnostics=run_lint(model.module),
+        pipeline=pipeline,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static safety suite: IR lint over compiled models.",
+    )
+    parser.add_argument("models", nargs="*", help="registered model names to lint")
+    parser.add_argument(
+        "--all", action="store_true", help="lint every registered model"
+    )
+    parser.add_argument(
+        "--fuzz",
+        action="store_true",
+        help="lint generated models (the fixed-seed fuzz corpus)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="first fuzz model seed")
+    parser.add_argument(
+        "--n-models", type=int, default=50, help="number of fuzz models to lint"
+    )
+    parser.add_argument(
+        "--pipeline",
+        default=DEFAULT_PIPELINE,
+        help=f"pipeline to compile with (default: {DEFAULT_PIPELINE})",
+    )
+    parser.add_argument(
+        "--severity",
+        default=DEFAULT_SEVERITY,
+        choices=("error", "warning", "note"),
+        help=f"gate severity (default: {DEFAULT_SEVERITY})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline suppression file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; gate on every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current gating findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the full structured report to PATH"
+    )
+    parser.add_argument(
+        "--notes", action="store_true", help="print informational notes too"
+    )
+    args = parser.parse_args(argv)
+
+    if args.all and args.models:
+        parser.error("give model names or --all, not both")
+    if args.fuzz and (args.all or args.models):
+        parser.error("--fuzz cannot be combined with model names or --all")
+    if args.fuzz:
+        targets = _fuzz_targets(args.seed, args.n_models)
+    elif args.all or not args.models:
+        from ..models import MODEL_REGISTRY
+
+        targets = _model_targets(sorted(MODEL_REGISTRY))
+    else:
+        targets = _model_targets(args.models)
+
+    reports = [
+        _lint_target(name, build, args.pipeline) for name, build in targets
+    ]
+
+    gating = []
+    for report in reports:
+        findings = report.gating(args.severity)
+        gating.extend(findings)
+        shown = report.diagnostics if args.notes else findings
+        if shown:
+            print(f"== {report.module_name} ({report.pipeline})")
+            print(render_text(shown))
+
+    if args.json:
+        payload = {
+            "version": 1,
+            "pipeline": args.pipeline,
+            "severity": args.severity,
+            "modules": [
+                {
+                    "name": report.module_name,
+                    "diagnostics": json.loads(report.to_json())["diagnostics"],
+                }
+                for report in reports
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+
+    if args.write_baseline:
+        write_baseline(args.baseline, gating)
+        print(f"baseline: wrote {len(gating)} fingerprint(s) to {args.baseline}")
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    fresh = new_against_baseline(gating, baseline)
+    total = sum(len(r.diagnostics) for r in reports)
+    print(
+        f"{len(reports)} module(s): {total} diagnostic(s), "
+        f"{len(gating)} at or above '{args.severity}', {len(fresh)} new "
+        f"vs baseline"
+    )
+    if fresh:
+        print(render_text(fresh))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

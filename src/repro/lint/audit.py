@@ -1,0 +1,100 @@
+"""Mutation-notify audit: do passes report the mutations they make?
+
+The cached :class:`~repro.analysis.manager.AnalysisManager` (PR 3) trusts
+``Function.mutation_count`` to decide when cached analyses are stale.  A pass
+that rewires blocks or operand lists through raw list surgery *without*
+calling ``notify_mutation()`` silently serves stale analyses to every later
+pass — a bug class no unit test of the pass itself catches.
+
+This audit closes that hole: it snapshots the structural identity of every
+defined function (block list, instruction lists, operand tuples), runs one
+pass, re-snapshots, and emits a ``mutation-audit`` error whenever the
+structure changed while the function's mutation counter did not advance.
+``audit_registered_passes`` sweeps every pass in the driver registry over a
+module factory and is wired into the pass-registry metadata tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..ir.diagnostics import Diagnostic
+from ..ir.module import Function, Module
+from ..passes.pass_base import call_pass
+
+#: Structural fingerprint of one function: per block, the identity of the
+#: block and of each instruction together with its operand identities.  Any
+#: CFG edit, instruction insertion/removal/reorder or operand rewrite changes
+#: it; pure analysis reads do not.
+_Signature = Tuple[Tuple[int, Tuple[Tuple[int, Tuple[int, ...]], ...]], ...]
+
+
+def _structure_signature(fn: Function) -> _Signature:
+    return tuple(
+        (
+            id(block),
+            tuple(
+                (id(instr), tuple(id(op) for op in instr.operands))
+                for instr in block.instructions
+            ),
+        )
+        for block in fn.blocks
+    )
+
+
+def audit_pass(pass_, module: Module, analysis_manager=None) -> List[Diagnostic]:
+    """Run ``pass_`` over ``module`` and audit its mutation notifications.
+
+    Returns one ``mutation-audit`` error :class:`Diagnostic` per defined
+    function whose structure changed while its ``mutation_count`` stayed
+    put.  Functions created by the pass (e.g. clones) are ignored — they are
+    born with fresh counters.  The pass runs for real: callers supplying a
+    module they care about should pass a throwaway clone.
+    """
+    name = getattr(pass_, "name", type(pass_).__name__)
+    before: Dict[int, Tuple[int, _Signature]] = {
+        id(fn): (fn.mutation_count, _structure_signature(fn))
+        for fn in module.defined_functions()
+    }
+    call_pass(pass_, module, analysis_manager)
+    diagnostics: List[Diagnostic] = []
+    for fn in module.defined_functions():
+        recorded = before.get(id(fn))
+        if recorded is None:
+            continue
+        count, signature = recorded
+        if _structure_signature(fn) != signature and fn.mutation_count == count:
+            diagnostics.append(
+                Diagnostic(
+                    check="mutation-audit",
+                    severity="error",
+                    message=(
+                        f"pass '{name}' restructured the function without "
+                        f"calling notify_mutation() (mutation_count still "
+                        f"{count}); cached analyses would go stale"
+                    ),
+                    function=fn.name,
+                )
+            )
+    return diagnostics
+
+
+def audit_registered_passes(
+    module_factory: Callable[[], Module],
+    names: Optional[Sequence[str]] = None,
+    analysis_manager_factory: Optional[Callable[[], object]] = None,
+) -> List[Diagnostic]:
+    """Audit every registered pass (or ``names``) against a fresh module each.
+
+    ``module_factory`` must return an independent module per call — each pass
+    mutates its own copy.  When ``analysis_manager_factory`` is given, each
+    pass also runs with a fresh manager so invalidation plumbing is exercised.
+    """
+    from ..driver import registry
+
+    diagnostics: List[Diagnostic] = []
+    for name in names if names is not None else registry.list_passes():
+        module = module_factory()
+        am = analysis_manager_factory() if analysis_manager_factory else None
+        diagnostics.extend(audit_pass(registry.create_pass(name), module, am))
+    return diagnostics

@@ -1,0 +1,364 @@
+"""The shipped lint checkers.
+
+Each checker is a small consumer of the dataflow framework
+(:mod:`repro.analysis.dataflow`) or of the existing ``vrp``/``scev``
+analyses; see DESIGN.md, "Static safety suite", for each checker's contract
+(what it is sound for, what it deliberately under-approximates).
+
+Severity conventions (see :mod:`repro.ir.diagnostics`): ``error`` marks
+findings that hold on *every* execution (a constant out-of-bounds offset);
+``warning`` marks findings that hold on some feasible path; ``note`` marks
+statically unresolvable situations that are expected in correct models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+from ..analysis.dataflow import ANY_SLOT, DIV_OPCODES, loop_invariant_in, resolve_pointer
+from ..analysis.intervals import Interval
+from ..ir.cfg import reachable_blocks
+from ..ir.diagnostics import Diagnostic
+from ..ir.instructions import (
+    GEP,
+    Alloca,
+    BinaryOp,
+    Cast,
+    CondBranch,
+    Load,
+    Store,
+)
+from ..ir.module import Function
+from ..ir.types import ArrayType, StructType
+from ..ir.values import Constant
+from . import LintContext, register_check
+
+
+# ---------------------------------------------------------------------------
+# use-before-init — definite-initialisation (forward must-analysis)
+# ---------------------------------------------------------------------------
+
+
+@register_check(
+    "use-before-init",
+    "loads of alloca slots with no dominating store on some path",
+)
+def check_use_before_init(fn: Function, ctx: LintContext) -> Iterator[Diagnostic]:
+    facts = ctx.facts
+    if not facts.allocas:
+        return
+    solution = ctx.definite_init
+    for block in fn.blocks:
+        states = None
+        for position, instr in enumerate(block.instructions):
+            if not isinstance(instr, Load):
+                continue
+            alloca, slot = facts.resolve_alloca(instr.pointer)
+            if alloca is None or id(alloca) in facts.escaped:
+                continue
+            if states is None:
+                states = solution.states_at(block)
+            state = states[position]
+            count = facts.slot_counts[id(alloca)]
+            name = facts.names[id(alloca)]
+            if slot is not None:
+                if not (0 <= slot < count):
+                    continue  # out of bounds: gep-bounds reports it
+                if (id(alloca), slot) not in state:
+                    yield ctx.diag(
+                        "use-before-init",
+                        "warning",
+                        f"load of slot {slot} of alloca '{name}' may read "
+                        f"storage no store dominates (implicit zero-fill)",
+                        instr,
+                    )
+            else:
+                initialised = len(facts.slots_of(id(alloca)) & state)
+                if initialised == 0:
+                    yield ctx.diag(
+                        "use-before-init",
+                        "warning",
+                        f"dynamically indexed load of alloca '{name}' before "
+                        f"any of its {count} slots is initialised",
+                        instr,
+                    )
+                elif initialised < count:
+                    yield ctx.diag(
+                        "use-before-init",
+                        "note",
+                        f"dynamically indexed load of alloca '{name}' while "
+                        f"only {initialised}/{count} slots are initialised",
+                        instr,
+                    )
+
+
+# ---------------------------------------------------------------------------
+# gep-bounds — constant and range/SCEV offsets vs aggregate extents
+# ---------------------------------------------------------------------------
+
+
+def _scev_index_ranges(ctx: LintContext) -> dict:
+    """``id(value) -> Interval`` for loop recurrences with bounded trips.
+
+    The range covers the whole iteration space: the recurrence's initial
+    range joined with its value after the loop's best bounded trip-count
+    estimate.  Casts of a recurrence phi (``fptosi`` for GEP indices)
+    inherit the phi's range.
+    """
+    ranges: dict = {}
+    for evolution in ctx.scev.analyze():
+        estimate = evolution.best_estimate()
+        if estimate is None or not estimate.is_bounded():
+            continue
+        for recurrence in evolution.recurrences:
+            span = recurrence.init_range.join(
+                recurrence.value_range_after(estimate.max_trips)
+            )
+            ranges[id(recurrence.phi)] = span
+            for user in recurrence.phi.uses:
+                if isinstance(user, Cast) and user.parent is not None:
+                    ranges[id(user)] = span
+    return ranges
+
+
+def _index_interval(ctx: LintContext, scev_ranges: dict, value) -> Interval:
+    if isinstance(value, Constant):
+        return Interval.point(float(value.value))
+    refined = scev_ranges.get(id(value))
+    rng = ctx.vrp.range_of(value)
+    if refined is not None:
+        rng = rng.intersect(refined)
+    return rng
+
+
+def _gep_offset_interval(ctx: LintContext, scev_ranges: dict, gep: GEP) -> Optional[Interval]:
+    """Interval of the slot offset a GEP adds to its base, ``None`` if unknown."""
+    pointee = gep.pointer.type.pointee
+    total = _index_interval(ctx, scev_ranges, gep.indices[0]).mul(
+        Interval.point(pointee.slot_count())
+    )
+    current = pointee
+    for idx in gep.indices[1:]:
+        if isinstance(current, StructType):
+            if not isinstance(idx, Constant):
+                return None
+            fieldno = int(idx.value)
+            total = total.add(Interval.point(current.field_slot_offset(fieldno)))
+            current = current.field_type(fieldno)
+        elif isinstance(current, ArrayType):
+            total = total.add(
+                _index_interval(ctx, scev_ranges, idx).mul(
+                    Interval.point(current.element.slot_count())
+                )
+            )
+            current = current.element
+        else:
+            return None
+    return total
+
+
+@register_check(
+    "gep-bounds",
+    "constant and range/SCEV-bounded GEP offsets vs alloca extents",
+)
+def check_gep_bounds(fn: Function, ctx: LintContext) -> Iterator[Diagnostic]:
+    facts = ctx.facts
+    if not facts.allocas:
+        return
+    scev_ranges: Optional[dict] = None
+    for block in fn.blocks:
+        for instr in block.instructions:
+            if not isinstance(instr, GEP):
+                continue
+            root, offset = resolve_pointer(instr)
+            if not isinstance(root, Alloca) or id(root) not in facts.slot_counts:
+                continue
+            count = facts.slot_counts[id(root)]
+            name = facts.names[id(root)]
+            if offset is not None:
+                if not (0 <= offset < count):
+                    yield ctx.diag(
+                        "gep-bounds",
+                        "error",
+                        f"getelementptr offset {offset} is outside alloca "
+                        f"'{name}' ({count} slots)",
+                        instr,
+                    )
+                continue
+            # Dynamic chain: bound the total offset from the root with VRP
+            # ranges, sharpened by bounded loop recurrences (SCEV).
+            if scev_ranges is None:
+                scev_ranges = _scev_index_ranges(ctx)
+            base_root, base_offset = resolve_pointer(instr.pointer)
+            rng = _gep_offset_interval(ctx, scev_ranges, instr)
+            if rng is not None and base_offset is not None and base_root is root:
+                rng = rng.add(Interval.point(float(base_offset)))
+            else:
+                rng = None
+            if rng is None or rng.is_empty_range() or (
+                rng.lo == -math.inf and rng.hi == math.inf
+            ):
+                # Statically unresolvable: expected for data-dependent
+                # indexing; the sanitizer validates these at runtime.
+                yield ctx.diag(
+                    "gep-bounds",
+                    "note",
+                    f"dynamic getelementptr offset into alloca '{name}' "
+                    f"({count} slots) cannot be bounded statically",
+                    instr,
+                )
+                continue
+            if rng.lo >= count or rng.hi < 0:
+                yield ctx.diag(
+                    "gep-bounds",
+                    "error",
+                    f"getelementptr offset range [{rng.lo:g}, {rng.hi:g}] is "
+                    f"entirely outside alloca '{name}' ({count} slots)",
+                    instr,
+                )
+            elif rng.hi >= count or rng.lo < 0:
+                yield ctx.diag(
+                    "gep-bounds",
+                    "warning",
+                    f"getelementptr offset range [{rng.lo:g}, {rng.hi:g}] may "
+                    f"leave alloca '{name}' ({count} slots)",
+                    instr,
+                )
+
+
+# ---------------------------------------------------------------------------
+# zero-divisor — division classification (VRP + guards + select filters)
+# ---------------------------------------------------------------------------
+
+
+@register_check(
+    "zero-divisor",
+    "divisions whose divisor range includes zero with no dominating guard",
+)
+def check_zero_divisor(fn: Function, ctx: LintContext) -> Iterator[Diagnostic]:
+    classes = ctx.div_classes
+    if not classes:
+        return
+    for block in fn.blocks:
+        for instr in block.instructions:
+            if not (isinstance(instr, BinaryOp) and instr.opcode in DIV_OPCODES):
+                continue
+            verdict = classes.get(id(instr))
+            if verdict == "zero-maybe":
+                rng = ctx.vrp.range_of(instr.rhs)
+                yield ctx.diag(
+                    "zero-divisor",
+                    "warning",
+                    f"{instr.opcode} divisor range [{rng.lo:g}, {rng.hi:g}] "
+                    f"includes zero and neither a dominating guard nor a "
+                    f"select filter protects the result",
+                    instr,
+                )
+            elif verdict == "unknown":
+                yield ctx.diag(
+                    "zero-divisor",
+                    "note",
+                    f"{instr.opcode} divisor range is unbounded; zero cannot "
+                    f"be excluded statically",
+                    instr,
+                )
+
+
+# ---------------------------------------------------------------------------
+# dead-store — live-slots (backward may-analysis)
+# ---------------------------------------------------------------------------
+
+
+@register_check("dead-store", "stores to alloca slots never read afterwards")
+def check_dead_store(fn: Function, ctx: LintContext) -> Iterator[Diagnostic]:
+    facts = ctx.facts
+    if not facts.allocas:
+        return
+    solution = ctx.live_slots
+    for block in fn.blocks:
+        states = None
+        for position, instr in enumerate(block.instructions):
+            if not isinstance(instr, Store):
+                continue
+            alloca, slot = facts.resolve_alloca(instr.pointer)
+            if alloca is None or slot is None or id(alloca) in facts.escaped:
+                continue
+            count = facts.slot_counts[id(alloca)]
+            if not (0 <= slot < count):
+                continue  # out of bounds: gep-bounds reports it
+            if states is None:
+                # Backward problem: entry i is the facts about the execution
+                # *after* instruction i — exactly "may this store be read".
+                states = solution.states_at(block)
+            live = states[position]
+            if (id(alloca), slot) not in live and (id(alloca), ANY_SLOT) not in live:
+                name = facts.names[id(alloca)]
+                yield ctx.diag(
+                    "dead-store",
+                    "warning",
+                    f"store to slot {slot} of alloca '{name}' is never read",
+                    instr,
+                )
+
+
+# ---------------------------------------------------------------------------
+# unreachable-block
+# ---------------------------------------------------------------------------
+
+
+@register_check("unreachable-block", "blocks unreachable from the entry")
+def check_unreachable_block(fn: Function, ctx: LintContext) -> Iterator[Diagnostic]:
+    if not fn.blocks:
+        return
+    reachable = {id(b) for b in reachable_blocks(fn)}
+    for block in fn.blocks:
+        if id(block) not in reachable:
+            yield ctx.diag(
+                "unreachable-block",
+                "warning",
+                f"block '{block.name}' is unreachable from the entry",
+                block=block,
+            )
+
+
+# ---------------------------------------------------------------------------
+# loop-invariant-exit — nontermination risk
+# ---------------------------------------------------------------------------
+
+
+@register_check(
+    "loop-invariant-exit",
+    "loops whose every exit condition is loop-invariant",
+)
+def check_loop_invariant_exit(fn: Function, ctx: LintContext) -> Iterator[Diagnostic]:
+    loopinfo = ctx.loopinfo
+    for loop in loopinfo.loops:
+        exiting = loop.exiting_blocks()
+        if not exiting:
+            yield ctx.diag(
+                "loop-invariant-exit",
+                "warning",
+                f"loop with header '{loop.header.name}' has no exit",
+                block=loop.header,
+            )
+            continue
+        conditions = []
+        analyzable = True
+        for block in exiting:
+            terminator = block.terminator
+            if not isinstance(terminator, CondBranch):
+                analyzable = False
+                break
+            conditions.append(terminator.condition)
+        if not analyzable or not conditions:
+            continue
+        if all(loop_invariant_in(loop, cond) for cond in conditions):
+            yield ctx.diag(
+                "loop-invariant-exit",
+                "warning",
+                f"every exit condition of the loop with header "
+                f"'{loop.header.name}' is loop-invariant: the loop either "
+                f"exits on its first test or never",
+                block=loop.header,
+            )

@@ -20,7 +20,10 @@ from repro.fuzz.gen import generate_model_spec
 __all__ = [
     "finite_floats",
     "coordinate_floats",
+    "edge_floats",
     "interval_with_point",
+    "intervals",
+    "interval_pairs_with_points",
     "model_specs",
     "pipeline_texts",
 ]
@@ -50,6 +53,48 @@ def interval_with_point(draw):
     # clamp so the point really belongs to the interval.
     x = min(max(x, lo), hi)
     return Interval(lo, hi), x
+
+
+#: Floats including the awkward edges the interval domain must survive:
+#: ±inf, ±0.0, NaN, overflow-adjacent magnitudes and denormals.
+edge_floats = st.one_of(
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.sampled_from(
+        [0.0, -0.0, 1e308, -1e308, 5e-324, float("inf"), float("-inf"), float("nan")]
+    ),
+)
+
+
+@st.composite
+def intervals(draw, allow_empty: bool = True, allow_nan: bool = True):
+    """Arbitrary :class:`Interval` values, empty and NaN-tainted included."""
+    kind = draw(st.sampled_from(["finite", "point", "half", "top", "empty"]))
+    may_nan = draw(st.booleans()) if allow_nan else False
+    if kind == "empty" and allow_empty:
+        iv = Interval.bottom()
+        iv.may_nan = may_nan
+        return iv
+    if kind == "top":
+        return Interval(may_nan=may_nan)
+    if kind == "point":
+        value = draw(finite_floats)
+        return Interval(value, value, may_nan=may_nan)
+    a, b = draw(finite_floats), draw(finite_floats)
+    lo, hi = min(a, b), max(a, b)
+    if kind == "half":
+        if draw(st.booleans()):
+            lo = float("-inf")
+        else:
+            hi = float("inf")
+    return Interval(lo, hi, may_nan=may_nan)
+
+
+@st.composite
+def interval_pairs_with_points(draw):
+    """Two intervals, each with a member point (for arithmetic soundness)."""
+    iv_a, x = draw(interval_with_point())
+    iv_b, y = draw(interval_with_point())
+    return iv_a, x, iv_b, y
 
 
 # ---------------------------------------------------------------------------

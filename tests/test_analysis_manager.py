@@ -147,6 +147,45 @@ class TestPreservedAnalyses:
         assert meta["preserves"] == "cfg"
         assert meta["summary"]
 
+    def test_registered_passes_notify_their_mutations(self):
+        # The mutation-notify audit (repro.lint.audit): every registered
+        # pass, run over a module that actually gives it work to do, must
+        # bump the mutation counter whenever it restructures a function —
+        # otherwise the cached manager would serve stale analyses.
+        from repro.lint.audit import audit_registered_passes
+
+        def factory():
+            m = Module("audit")
+            build_alloca_function(m)
+            build_branchy_function(m)
+            build_loop_sum_function(m)
+            return m
+
+        assert audit_registered_passes(factory, analysis_manager_factory=AnalysisManager) == []
+
+    def test_mutation_audit_catches_notify_skipping_pass(self):
+        from repro.lint.audit import audit_pass
+
+        class SneakyDropBlock(Pass):
+            """Deletes a block through raw list surgery, never notifying."""
+
+            name = "sneaky"
+            preserves = "all"
+
+            def run(self, module, am=None):
+                fn = module.defined_functions()[0]
+                fn.blocks.pop()
+                return False
+
+        m = Module("audit")
+        build_branchy_function(m)
+        diags = audit_pass(SneakyDropBlock(), m)
+        assert len(diags) == 1
+        diag = diags[0]
+        assert diag.check == "mutation-audit" and diag.severity == "error"
+        assert "notify_mutation" in diag.message
+        assert diag.function == "branchy"
+
 
 # ---------------------------------------------------------------------------
 # AnalysisManager caching behaviour

@@ -1,0 +1,392 @@
+"""Unit tests for the monotone dataflow framework (repro.analysis.dataflow).
+
+Covers the generic worklist solver on both directions, the memory-shape
+facts (escape analysis, slot resolution), the two shipped problems
+(definite-initialisation, live-slots) and the division classifier the
+zero-divisor checker and the sanitizer both consume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dataflow import (
+    ANY_SLOT,
+    DataflowProblem,
+    DefiniteInitProblem,
+    LiveSlotsProblem,
+    MemoryFacts,
+    classify_divisions,
+    compute_init_facts,
+    compute_live_slots,
+    gep_constant_offset,
+    loop_invariant_in,
+    resolve_pointer,
+    solve,
+)
+from repro.analysis.manager import AnalysisManager
+from repro.ir import F64, I64, ArrayType, FunctionType, IRBuilder, Module, pointer
+from repro.ir.instructions import Alloca, BinaryOp, Load, Store
+
+
+# ---------------------------------------------------------------------------
+# IR builders
+# ---------------------------------------------------------------------------
+
+
+def build_partial_init(module, name="partial_init"):
+    """Stores to an alloca on only one branch, then loads at the merge."""
+    fn = module.add_function(name, FunctionType(F64, [F64]), ["x"])
+    entry = fn.append_block("entry")
+    then_block = fn.append_block("then")
+    merge = fn.append_block("merge")
+    b = IRBuilder(entry)
+    (x,) = fn.args
+    cell = b.alloca(F64, "cell")
+    b.cond_br(b.fcmp("ogt", x, b.f64(0.0)), then_block, merge)
+
+    b.position_at_end(then_block)
+    b.store(x, cell)
+    b.br(merge)
+
+    b.position_at_end(merge)
+    b.ret(b.load(cell))
+    return fn
+
+
+def build_escaping_alloca(module, name="escaper"):
+    """Passes an alloca pointer to a callee: every slot must be assumed
+    initialised (and reads by the callee keep stores live)."""
+    callee = module.add_function("reads_ptr", FunctionType(F64, [pointer(F64)]), ["p"])
+    cb = IRBuilder(callee.append_block("entry"))
+    cb.ret(cb.load(callee.args[0]))
+
+    fn = module.add_function(name, FunctionType(F64, [F64]), ["x"])
+    b = IRBuilder(fn.append_block("entry"))
+    (x,) = fn.args
+    cell = b.alloca(F64, "cell")
+    escaped = b.call(callee, [cell])
+    b.ret(escaped)
+    return fn
+
+
+def build_array_walk(module, name="walk", length=4):
+    """Initialises ``arr[0..length)`` in a loop, then reads ``arr[0]``."""
+    fn = module.add_function(name, FunctionType(F64, [F64]), ["x"])
+    entry = fn.append_block("entry")
+    loop = fn.append_block("loop")
+    done = fn.append_block("done")
+    b = IRBuilder(entry)
+    (x,) = fn.args
+    arr = b.alloca(ArrayType(F64, length), "arr")
+    b.br(loop)
+
+    b.position_at_end(loop)
+    i = b.phi(I64, "i")
+    slot = b.gep(arr, [b.i64(0), i])
+    b.store(x, slot)
+    i_next = b.add(i, b.i64(1))
+    b.cond_br(b.icmp("slt", i_next, b.i64(length)), loop, done)
+    i.add_incoming(b.i64(0), entry)
+    i.add_incoming(i_next, loop)
+
+    b.position_at_end(done)
+    b.ret(b.load(b.gep(arr, [b.i64(0), b.i64(0)])))
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Generic solver
+# ---------------------------------------------------------------------------
+
+
+class ReachingStores(DataflowProblem):
+    """Tiny forward may-analysis: ids of Store instructions seen so far."""
+
+    direction = "forward"
+
+    def boundary(self, function):
+        return frozenset()
+
+    def initial(self, function):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, instr, state):
+        if isinstance(instr, Store):
+            return state | {id(instr)}
+        return state
+
+
+def test_forward_solver_reaches_fixpoint_on_branchy_cfg():
+    module = Module("m")
+    fn = build_partial_init(module)
+    solution = solve(ReachingStores(), fn)
+    blocks = {block.name: block for block in fn.blocks}
+    store = next(
+        i for i in blocks["then"].instructions if isinstance(i, Store)
+    )
+    assert solution.state_before(blocks["entry"]) == frozenset()
+    # The store flows into the merge along one edge: a may-analysis keeps it.
+    assert id(store) in solution.state_before(blocks["merge"])
+    assert id(store) not in solution.state_after(blocks["entry"])
+
+
+def test_states_at_gives_per_instruction_states():
+    module = Module("m")
+    fn = build_partial_init(module)
+    solution = solve(ReachingStores(), fn)
+    then_block = next(b for b in fn.blocks if b.name == "then")
+    states = solution.states_at(then_block)
+    # Forward problem: entry i is the state *before* instruction i.
+    assert len(states) == len(then_block.instructions)
+    assert states[0] == frozenset()
+    assert solution.state_after(then_block) != frozenset()
+
+
+# ---------------------------------------------------------------------------
+# MemoryFacts
+# ---------------------------------------------------------------------------
+
+
+def test_memory_facts_tracks_slots_and_names():
+    module = Module("m")
+    fn = build_array_walk(module, length=4)
+    facts = MemoryFacts(fn)
+    (alloca_id,) = [id(a) for a in facts.allocas]
+    assert facts.slot_counts[alloca_id] == 4
+    assert facts.names[alloca_id] == "arr"
+    assert facts.escaped == frozenset()
+    assert len(facts.slots_of(alloca_id)) == 4
+
+
+def test_memory_facts_escape_through_call():
+    module = Module("m")
+    fn = build_escaping_alloca(module)
+    facts = MemoryFacts(fn)
+    assert len(facts.allocas) == 1
+    assert {id(a) for a in facts.allocas} == set(facts.escaped)
+
+
+def test_resolve_pointer_and_constant_offsets():
+    module = Module("m")
+    fn = build_array_walk(module, length=4)
+    done = next(b for b in fn.blocks if b.name == "done")
+    load = next(i for i in done.instructions if isinstance(i, Load))
+    root, offset = resolve_pointer(load.pointer)
+    assert isinstance(root, Alloca) and offset == 0
+    loop = next(b for b in fn.blocks if b.name == "loop")
+    store = next(i for i in loop.instructions if isinstance(i, Store))
+    root, offset = resolve_pointer(store.pointer)
+    assert isinstance(root, Alloca) and offset is None  # dynamic index
+    assert gep_constant_offset(store.pointer) is None
+
+
+# ---------------------------------------------------------------------------
+# Definite-initialisation (forward must)
+# ---------------------------------------------------------------------------
+
+
+def test_definite_init_partial_branch_is_not_must():
+    module = Module("m")
+    fn = build_partial_init(module)
+    facts, solution = compute_init_facts(fn)
+    (alloca_id,) = [id(a) for a in facts.allocas]
+    merge = next(b for b in fn.blocks if b.name == "merge")
+    # Initialised on the then-path only: the must-intersection drops it.
+    assert (alloca_id, 0) not in solution.state_before(merge)
+    then_block = next(b for b in fn.blocks if b.name == "then")
+    assert (alloca_id, 0) in solution.state_after(then_block)
+
+
+def test_definite_init_escaped_allocas_assumed_initialised():
+    module = Module("m")
+    fn = build_escaping_alloca(module)
+    facts, solution = compute_init_facts(fn)
+    (alloca_id,) = [id(a) for a in facts.allocas]
+    entry = next(iter(fn.blocks))
+    assert (alloca_id, 0) in solution.state_after(entry)
+
+
+def test_definite_init_dynamic_store_initialises_whole_alloca():
+    module = Module("m")
+    fn = build_array_walk(module, length=3)
+    facts, solution = compute_init_facts(fn)
+    (alloca_id,) = [id(a) for a in facts.allocas]
+    done = next(b for b in fn.blocks if b.name == "done")
+    assert facts.slots_of(alloca_id) <= solution.state_before(done)
+
+
+# ---------------------------------------------------------------------------
+# Live-slots (backward may)
+# ---------------------------------------------------------------------------
+
+
+def test_live_slots_detects_dead_and_live_stores():
+    module = Module("m")
+    fn = module.add_function("ds", FunctionType(F64, [F64]), ["x"])
+    b = IRBuilder(fn.append_block("entry"))
+    (x,) = fn.args
+    cell = b.alloca(F64, "cell")
+    dead = b.store(b.f64(1.0), cell)  # overwritten before any read
+    live = b.store(x, cell)
+    b.ret(b.load(cell))
+    facts, solution = compute_live_slots(fn)
+    (alloca_id,) = [id(a) for a in facts.allocas]
+    entry = next(iter(fn.blocks))
+    states = solution.states_at(entry)
+    dead_pos = entry.instructions.index(dead)
+    live_pos = entry.instructions.index(live)
+    # Backward problem: entry i is the state *after* instruction i.
+    assert (alloca_id, 0) not in states[dead_pos]
+    assert (alloca_id, 0) in states[live_pos]
+
+
+def test_live_slots_dynamic_load_keeps_every_slot_live():
+    module = Module("m")
+    fn = module.add_function("dyn", FunctionType(F64, [I64]), ["i"])
+    b = IRBuilder(fn.append_block("entry"))
+    (i,) = fn.args
+    arr = b.alloca(ArrayType(F64, 2), "arr")
+    store = b.store(b.f64(1.0), b.gep(arr, [b.i64(0), b.i64(1)]))
+    b.ret(b.load(b.gep(arr, [b.i64(0), i])))
+    facts, solution = compute_live_slots(fn)
+    (alloca_id,) = [id(a) for a in facts.allocas]
+    entry = next(iter(fn.blocks))
+    after_store = solution.states_at(entry)[entry.instructions.index(store)]
+    assert (alloca_id, ANY_SLOT) in after_store
+
+
+# ---------------------------------------------------------------------------
+# Division classification
+# ---------------------------------------------------------------------------
+
+
+def _division_classes(fn):
+    am = AnalysisManager()
+    return classify_divisions(fn, am.get("vrp", fn), am.get("domtree", fn))
+
+
+def _divisions_of(fn):
+    return {
+        instr.opcode: instr
+        for block in fn.blocks
+        for instr in block.instructions
+        if isinstance(instr, BinaryOp) and instr.opcode in ("fdiv", "sdiv")
+    }
+
+
+def test_classify_safe_range_guard_and_unknown():
+    module = Module("m")
+    fn = module.add_function("divs", FunctionType(F64, [F64, F64]), ["x", "y"])
+    entry = fn.append_block("entry")
+    guarded = fn.append_block("guarded")
+    merge = fn.append_block("merge")
+    b = IRBuilder(entry)
+    x, y = fn.args
+    # safe-range: exp(x) + 1 is provably >= a positive bound.
+    denom = b.fadd(b.exp(x), b.f64(1.0))
+    safe = b.fdiv(x, denom, "safe")
+    b.cond_br(b.fcmp("one", y, b.f64(0.0)), guarded, merge)
+
+    b.position_at_end(guarded)
+    # safe-guard: dominated by the y != 0 branch.
+    by_guard = b.fdiv(x, y, "by_guard")
+    b.br(merge)
+
+    b.position_at_end(merge)
+    phi = b.phi(F64, "r")
+    phi.add_incoming(by_guard, guarded)
+    phi.add_incoming(safe, entry)
+    # unknown: x is TOP under assumption-free VRP.
+    unknown = b.fdiv(phi, x, "unknown")
+    b.ret(unknown)
+
+    from repro.analysis.vrp import ValueRangePropagation
+    from repro.passes.dominators import DominatorTree
+
+    vrp = ValueRangePropagation(fn, assume_normal_range=None).run()
+    classes = classify_divisions(fn, vrp, DominatorTree(fn))
+    assert classes[id(safe)] == "safe-range"
+    assert classes[id(by_guard)] == "safe-guard"
+    assert classes[id(unknown)] == "unknown"
+
+
+def test_classify_zero_maybe_and_select_filter():
+    module = Module("m")
+    fn = module.add_function("sel", FunctionType(F64, [F64]), ["x"])
+    b = IRBuilder(fn.append_block("entry"))
+    (x,) = fn.args
+    # tanh(x) has range [-1, 1]: nontrivial and containing zero.
+    divisor = b.tanh(x)
+    division = b.fdiv(x, divisor, "d")
+    # DDM idiom: the result is only used where the divisor is nonzero.
+    cond = b.fcmp("one", divisor, b.f64(0.0))
+    filtered = b.select(cond, division, b.f64(0.0))
+
+    risky = b.fdiv(x, b.tanh(b.fadd(x, b.f64(1.0))), "risky")
+    b.ret(b.fadd(filtered, risky))
+
+    classes = _division_classes(fn)
+    assert classes[id(division)] == "safe-select"
+    assert classes[id(risky)] == "zero-maybe"
+
+
+# ---------------------------------------------------------------------------
+# Loop-invariance helper
+# ---------------------------------------------------------------------------
+
+
+def test_loop_invariant_in():
+    from repro.passes.loopinfo import LoopInfo
+
+    module = Module("m")
+    fn = module.add_function("li", FunctionType(F64, [F64]), ["x"])
+    entry = fn.append_block("entry")
+    loop = fn.append_block("loop")
+    done = fn.append_block("done")
+    b = IRBuilder(entry)
+    (x,) = fn.args
+    pre = b.fmul(x, b.f64(2.0))
+    b.br(loop)
+
+    b.position_at_end(loop)
+    acc = b.phi(F64, "acc")
+    acc_next = b.fadd(acc, pre)
+    b.cond_br(b.fcmp("olt", acc_next, b.f64(10.0)), loop, done)
+    acc.add_incoming(b.f64(0.0), entry)
+    acc.add_incoming(acc_next, loop)
+
+    b.position_at_end(done)
+    b.ret(acc_next)
+
+    info = LoopInfo(fn)
+    (the_loop,) = info.loops
+    assert loop_invariant_in(the_loop, pre)
+    assert loop_invariant_in(the_loop, x)
+    assert not loop_invariant_in(the_loop, acc_next)
+
+
+# ---------------------------------------------------------------------------
+# AnalysisManager integration: dataflow analyses invalidate on mutation
+# ---------------------------------------------------------------------------
+
+
+def test_dataflow_analyses_invalidate_on_mutation():
+    module = Module("m")
+    fn = build_partial_init(module)
+    am = AnalysisManager()
+    first = am.get("definite-init", fn)
+    assert am.get("definite-init", fn) is first  # cached
+    fn.notify_mutation()
+    assert am.get("definite-init", fn) is not first  # recomputed
+
+
+def test_problem_base_class_raises_on_unimplemented():
+    problem = DataflowProblem()
+    module = Module("m")
+    fn = build_partial_init(module)
+    with pytest.raises(NotImplementedError):
+        solve(problem, fn)

@@ -1,0 +1,236 @@
+"""Hypothesis property tests for the interval domain and VRP edge cases.
+
+The static safety suite leans on :class:`repro.analysis.intervals.Interval`
+for every claim it makes (gep-bounds, zero-divisor, the sanitizer's
+non-finite checks), so the domain operations must be *sound*: whatever a
+concrete execution can produce, the abstract result must contain.  These
+properties drive the awkward corners — NaN, ±inf, widening at overflow,
+empty ranges — that hand-picked unit tests historically missed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.intervals import Interval, join_all
+from repro.analysis.vrp import ValueRangePropagation
+from repro.ir import Module
+
+from helpers import build_affine_function, build_branchy_function
+from strategies import (
+    edge_floats,
+    finite_floats,
+    interval_pairs_with_points,
+    interval_with_point,
+    intervals,
+)
+
+
+# ---------------------------------------------------------------------------
+# Lattice operations
+# ---------------------------------------------------------------------------
+
+
+@given(interval_with_point(), interval_with_point())
+def test_join_contains_both_members(a, b):
+    iv_a, x = a
+    iv_b, y = b
+    joined = iv_a.join(iv_b)
+    assert joined.contains(x) and joined.contains(y)
+
+
+@given(intervals(), intervals())
+def test_join_commutes_and_absorbs_empty(a, b):
+    assert a.join(b) == b.join(a)
+    empty = Interval.bottom()
+    assert a.join(empty) == Interval(a.lo, a.hi, a.may_nan)
+
+
+@given(interval_with_point(), intervals())
+def test_intersect_keeps_common_members(a, other):
+    iv, x = a
+    assume(other.contains(x))
+    assert iv.intersect(other).contains(x)
+
+
+@given(interval_with_point(), interval_with_point(), st.floats(1.0, 1e6))
+def test_intersect_of_disjoint_is_empty(a, b, gap):
+    iv_a = a[0]
+    # Shift b strictly above a: guaranteed disjoint by construction.
+    iv_b = Interval(iv_a.hi + gap, iv_a.hi + gap + b[0].width())
+    assert iv_a.intersect(iv_b).is_empty_range()
+    assert iv_b.intersect(iv_a).is_empty_range()
+
+
+@given(intervals(), intervals())
+def test_nan_taint_is_monotone(a, b):
+    # NaN-taint never silently disappears.  (It may legitimately *appear*
+    # from clean inputs: 0 * inf and inf - inf both produce NaN.)
+    tainted = a.may_nan or b.may_nan
+    assert a.join(b).may_nan == tainted
+    if tainted and not a.is_empty_range() and not b.is_empty_range():
+        assert a.add(b).may_nan
+        assert a.mul(b).may_nan
+
+
+def test_nan_can_appear_from_clean_operands():
+    assert Interval.point(0.0).mul(Interval(0.0, math.inf)).may_nan
+    assert Interval(0.0, math.inf).sub(Interval(0.0, math.inf)).may_nan
+
+
+@given(edge_floats)
+def test_contains_never_raises_on_edge_floats(x):
+    for iv in (Interval.top(), Interval.bottom(), Interval(-1.0, 1.0), Interval.nan_only()):
+        result = iv.contains(x)
+        assert isinstance(result, bool)
+        if math.isnan(x):
+            assert result == iv.may_nan
+
+
+def test_nan_point_is_nan_only():
+    iv = Interval.point(float("nan"))
+    assert iv.may_nan and iv.is_empty_range()
+    assert not iv.is_bottom()
+    assert iv.contains(float("nan"))
+    assert not iv.contains(0.0)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic soundness: concrete results stay inside abstract results
+# ---------------------------------------------------------------------------
+
+
+@given(interval_pairs_with_points())
+def test_add_sub_mul_soundness(pair):
+    iv_a, x, iv_b, y = pair
+    assert iv_a.add(iv_b).contains(x + y)
+    assert iv_a.sub(iv_b).contains(x - y)
+    assert iv_a.mul(iv_b).contains(x * y)
+    assert (-iv_a).contains(-x)
+
+
+@given(interval_pairs_with_points())
+def test_div_soundness(pair):
+    iv_a, x, iv_b, y = pair
+    assume(y != 0.0)
+    assert iv_a.div(iv_b).contains(x / y)
+
+
+@given(interval_with_point())
+def test_unary_transfer_soundness(pair):
+    iv, x = pair
+    assert iv.fabs().contains(abs(x))
+    assert iv.tanh().contains(math.tanh(x))
+    if abs(x) < 700:
+        assert iv.exp().contains(math.exp(x))
+    if x > 0:
+        assert iv.log().contains(math.log(x))
+        assert iv.sqrt().contains(math.sqrt(x))
+
+
+@given(intervals(), intervals())
+def test_arithmetic_with_empty_is_empty(a, b):
+    assume(a.is_empty_range() or b.is_empty_range())
+    assert a.add(b).is_empty_range()
+    assert a.mul(b).is_empty_range()
+    assert a.sub(b).is_empty_range()
+
+
+def test_exp_overflow_saturates_to_infinity():
+    big = Interval(700.0, 1e308)
+    rng = big.exp()
+    assert rng.hi == math.inf and not rng.may_nan
+
+
+# ---------------------------------------------------------------------------
+# Widening: soundness and guaranteed termination at overflow
+# ---------------------------------------------------------------------------
+
+
+@given(intervals(allow_empty=False), intervals(allow_empty=False))
+def test_widen_is_an_upper_bound(new, previous):
+    widened = new.widen(previous)
+    assert widened.lo <= new.lo and widened.hi >= new.hi
+    if not previous.is_empty_range():
+        # Bounds that grew past the previous iterate jump straight to ±inf.
+        if new.lo < previous.lo:
+            assert widened.lo == -math.inf
+        if new.hi > previous.hi:
+            assert widened.hi == math.inf
+
+
+@given(st.floats(min_value=1.0, max_value=1e300))
+def test_widening_terminates_under_exponential_growth(step):
+    # Simulates an analysis whose concrete bounds grow without bound (up to
+    # and past float overflow): the widened chain must reach a fixpoint in
+    # O(1) steps, not chase the growth.
+    current = Interval(0.0, 1.0)
+    steps = 0
+    while True:
+        grown = Interval(current.lo, current.hi * step + 1.0)
+        widened = grown.widen(current)
+        if widened == current:
+            break
+        current = widened
+        steps += 1
+        assert steps <= 2
+    assert current.hi == math.inf
+    grown = Interval(current.lo - 1.0, current.hi)
+    assert grown.widen(current).lo == -math.inf
+
+
+@given(st.lists(intervals(), min_size=1, max_size=6))
+def test_join_all_bounds_every_member(ivs):
+    joined = join_all(ivs)
+    for iv in ivs:
+        if not iv.is_empty_range():
+            assert joined.lo <= iv.lo and joined.hi >= iv.hi
+        assert joined.may_nan or not iv.may_nan
+
+
+# ---------------------------------------------------------------------------
+# VRP end-to-end soundness on real IR
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_floats, finite_floats)
+def test_vrp_affine_contains_concrete_result(x, y):
+    module = Module("props")
+    fn = build_affine_function(module)
+    vrp = ValueRangePropagation(
+        fn,
+        arg_ranges={"x": Interval.point(x), "y": Interval.point(y)},
+        assume_normal_range=None,
+    ).run()
+    assert vrp.return_range.contains(3.0 * x + y - 2.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_floats, finite_floats)
+def test_vrp_branchy_contains_concrete_result(x, y):
+    module = Module("props")
+    fn = build_branchy_function(module)
+    vrp = ValueRangePropagation(
+        fn,
+        arg_ranges={"x": Interval.point(x), "y": Interval.point(y)},
+        assume_normal_range=None,
+    ).run()
+    concrete = x * 2.0 if x > y else y + 1.0
+    assert vrp.return_range.contains(concrete)
+
+
+def test_vrp_infinite_and_nan_arguments_stay_sound():
+    module = Module("props")
+    fn = build_affine_function(module)
+    vrp = ValueRangePropagation(
+        fn,
+        arg_ranges={"x": Interval.top(), "y": Interval.point(1.0)},
+        assume_normal_range=None,
+    ).run()
+    # inf * 3 can be inf, and TOP is NaN-tainted: the result must admit both.
+    assert vrp.return_range.contains(float("inf"))
+    assert vrp.return_range.may_nan
