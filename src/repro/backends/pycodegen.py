@@ -72,6 +72,11 @@ from ..passes.dominators import DominatorTree
 from ..passes.loopinfo import LoopInfo
 from . import runtime
 
+#: Version of the Python lowering.  Artifact-store keys include it so cached
+#: compiled sources are invalidated whenever the emitter's output changes
+#: (bump on any change that alters generated source or its runtime contract).
+CODEGEN_VERSION = 1
+
 
 _BINOP_FMT = {
     "fadd": "({a} + {b})",
@@ -1054,9 +1059,34 @@ class PythonCodeGenerator:
         lines.append(f"({names}) = _distill_module()")
         return "\n".join(lines)
 
-    def compile(self) -> Dict[str, object]:
-        """Compile the generated source and return the callables by IR name."""
+    def compile(self, extra_symbols: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        """Compile the generated source and return the callables by IR name.
+
+        ``extra_symbols`` pre-seeds the exec namespace.  The incremental
+        recompiler uses this to patch a live model: a *patch module* contains
+        declarations for unchanged functions, whose call sites emit bare
+        ``ir_<name>`` references that resolve as globals of this namespace —
+        seeding those names with the previously compiled callables links the
+        regenerated functions against the surviving ones.
+        """
         source = self.generate_source()
+        return self.exec_source(source, extra_symbols)
+
+    def exec_source(
+        self, source: str, extra_symbols: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """Exec previously generated source (e.g. from the artifact store)."""
+        namespace = self.exec_namespace(self.module.name, extra_symbols)
+        exec(compile(source, f"<distill:{self.module.name}>", "exec"), namespace)
+        return {
+            fn.name: namespace[self._py_name(fn)] for fn in self.module.defined_functions()
+        }
+
+    @staticmethod
+    def exec_namespace(
+        module_name: str, extra_symbols: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """The runtime bindings generated source is linked against."""
         namespace: Dict[str, object] = {
             "math": math,
             "_fdiv": _fdiv,
@@ -1067,10 +1097,9 @@ class PythonCodeGenerator:
             "_normal_from_state": prng.normal_from_state,
             "_san_trap": runtime.sanitizer_trap,
         }
-        exec(compile(source, f"<distill:{self.module.name}>", "exec"), namespace)
-        return {
-            fn.name: namespace[self._py_name(fn)] for fn in self.module.defined_functions()
-        }
+        if extra_symbols:
+            namespace.update(extra_symbols)
+        return namespace
 
     def _py_name(self, fn: Function) -> str:
         return f"{self.prefix}_{fn.name}".replace(".", "_")

@@ -8,11 +8,13 @@ FigureReport` rows into ``BENCH_<name>.json`` files with the schema
 
     {"bench": "fig8", "commit": "<hex|unknown>", "rows": [{...}, ...]}
 
-``BENCH_fig5a.json`` (predator-prey scaling) and ``BENCH_fig8.json``
-(dispatch-loop vs structured codegen) are committed at the repository root
-and regenerated by the CI perf-smoke job, which also sanity-asserts that the
-compiled engine beats the IR interpreter by a healthy factor before
-uploading the fresh JSON as artifacts.
+``BENCH_fig5a.json`` (predator-prey scaling), ``BENCH_fig8.json``
+(dispatch-loop vs structured codegen) and ``BENCH_fig7_scale.json`` (compile
+cost vs mechanism count + edit-recompile vs full compile) are committed at
+the repository root; the CI perf-smoke job regenerates the first two (and
+sanity-asserts that the compiled engine beats the IR interpreter by a
+healthy factor), while the compile-cost job regenerates ``fig7_scale`` and
+uploads all fresh JSON as artifacts.
 
 CLI::
 
@@ -30,7 +32,13 @@ import subprocess
 import sys
 from typing import Dict, List, Optional, Sequence
 
-from .harness import FigureReport, _time_call, figure5a_report, figure8_report
+from .harness import (
+    FigureReport,
+    _time_call,
+    figure5a_report,
+    figure7_scale_report,
+    figure8_report,
+)
 
 #: Schema version recorded in every payload (bump on breaking row changes).
 SCHEMA_VERSION = 1
@@ -111,8 +119,15 @@ def _build_fig8(quick: bool) -> FigureReport:
     return figure8_report(trials_scale=2.0, repeats=5)
 
 
+def _build_fig7_scale(quick: bool) -> FigureReport:
+    if quick:
+        return figure7_scale_report(sizes=(50, 100, 200), edit_point=200)
+    return figure7_scale_report(sizes=(50, 100, 200, 500), edit_point=200)
+
+
 BENCH_BUILDERS = {
     "fig5a": _build_fig5a,
+    "fig7_scale": _build_fig7_scale,
     "fig8": _build_fig8,
 }
 

@@ -25,7 +25,7 @@ speedups (Figure 5b).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -174,12 +174,28 @@ def emit_condition(
 
 
 class ModelCodeGenerator:
-    """Emit the full IR module for a composition."""
+    """Emit the full IR module for a composition.
 
-    def __init__(self, composition: Composition, info: SanitizationInfo, layout: StaticLayout):
+    ``only`` selects *selective* generation for incremental recompiles
+    (see :mod:`repro.core.patch`): node bodies are emitted only for the
+    named mechanisms, every other mechanism contributes just a
+    ``node_<name>`` declaration (same type, no blocks), and the scheduler
+    functions — which call every node and are cheap relative to node
+    bodies — are always regenerated.  The resulting *patch module* links
+    against the unchanged nodes of a previous compile at lowering time.
+    """
+
+    def __init__(
+        self,
+        composition: Composition,
+        info: SanitizationInfo,
+        layout: StaticLayout,
+        only: Optional[Iterable[str]] = None,
+    ):
         self.composition = composition
         self.info = info
         self.layout = layout
+        self.only = None if only is None else set(only)
         self.module = Module(f"distill_{composition.name}")
         self.module.add_struct(layout.params_struct)
         self.module.add_struct(layout.state_struct)
@@ -190,6 +206,9 @@ class ModelCodeGenerator:
     def generate(self) -> CompiledArtifacts:
         for name in self.layout.execution_order:
             mech = self.composition.mechanisms[name]
+            if self.only is not None and name not in self.only:
+                self._declare_node(name)
+                continue
             if isinstance(mech, GridSearchControlMechanism):
                 self._emit_control(mech)
             else:
@@ -199,6 +218,21 @@ class ModelCodeGenerator:
         self._emit_run_trial()
         self._emit_run_model()
         return CompiledArtifacts(self.module, self.layout, self.grid_searches)
+
+    def _declare_node(self, name: str) -> None:
+        """Declare ``node_<name>`` so schedulers can call an unchanged node.
+
+        Only the node entry point needs declaring: the scheduler functions
+        never reference a control's ``eval_``/``control_input_`` helpers
+        directly (those are reached through the node body or the parallel
+        engines' :class:`GridSearchInfo`, both of which an incremental
+        recompile carries over from the previous compile).
+        """
+        self.module.add_function(
+            f"node_{name}",
+            node_function_type(self.layout),
+            ["params", "state", "prev", "cur", "ext"],
+        )
 
     # -- control mechanisms ------------------------------------------------------------
     def _emit_control(self, control: GridSearchControlMechanism) -> None:

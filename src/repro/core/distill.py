@@ -65,6 +65,19 @@ class CompileStats:
     analysis_misses: int = 0
     analysis_invalidations: int = 0
     analysis_skipped_passes: int = 0
+    #: Artifact-store counters for this compile: ``artifact_hits`` counts
+    #: store entries that skipped work (a model-entry hit skips sanitize
+    #: through codegen entirely; an optimize-entry hit skips the pipeline),
+    #: ``artifact_misses`` counts lookups that fell through to a real
+    #: compile, ``artifact_writes`` counts entries published, and
+    #: ``artifact_patches`` counts functions replaced in-place by
+    #: incremental recompiles of this model.
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    artifact_writes: int = 0
+    artifact_patches: int = 0
+    #: Wall-clock spent in incremental recompiles of this model (cumulative).
+    recompile_seconds: float = 0.0
     #: Functions the structured emitter could not express and lowered through
     #: the legacy dispatch ladder, plus the relooper's reason per function
     #: (reported by the Figure 8 harness).
@@ -96,6 +109,7 @@ class CompiledModel:
         pipeline: Optional[PassManager] = None,
         opt_level: Optional[int] = None,
         flags: Optional[Dict[str, object]] = None,
+        seed: int = 0,
     ):
         self.composition = composition
         self.info = info
@@ -106,10 +120,24 @@ class CompiledModel:
         self.pipeline_text = pipeline.describe() if pipeline is not None else ""
         self.opt_level = opt_level
         self.flags = dict(flags or {})
+        self.seed = int(seed)
         self.stats = stats
         #: ``AnalysisManager.cache_info()`` of the compile that produced this
         #: model (filled in by :func:`compile_composition`).
         self.analysis_stats: Dict[str, object] = {}
+        #: The generated Python source of the compiled backend (stored so the
+        #: artifact store can replay it without re-lowering).
+        self.source: Optional[str] = None
+        #: Per-function *compile unit* keys of the pre-optimization module
+        #: (see :func:`repro.driver.artifacts.unit_fingerprints`); describes
+        #: the original full compile and is what the optimize-artifact entry
+        #: was keyed on.
+        self.unit_fingerprints: Dict[str, str] = {}
+        #: Per-function structural fingerprints of the pre-optimization
+        #: module.  The incremental recompiler compares freshly regenerated
+        #: functions against these to classify an edit as param-buffer-only
+        #: (identical IR) versus requiring a re-lower.
+        self.function_fingerprints: Dict[str, str] = {}
         self._compiled = compiled_functions
         self._engine_instances: Dict[str, object] = {}
         self._engine_lock = threading.Lock()
@@ -261,6 +289,48 @@ class CompiledModel:
         for instance in instances:
             instance.close()
 
+    # -- incremental recompilation ------------------------------------------------
+    def recompile(self, composition=None, changed=None, store=None):
+        """Re-lower only the functions affected by an edit, in place.
+
+        ``composition`` is an edited composition (defaults to this model's
+        own, for in-place edits made through :meth:`set_parameter` /
+        :meth:`set_projection_matrix`); ``changed`` optionally names the
+        edited mechanisms explicitly, skipping the structural diff.  When the
+        edit is layout-compatible, only the changed node functions and the
+        (cheap) scheduler functions are regenerated and patched into the
+        live artifact; otherwise this transparently falls back to a full
+        compile and adopts its result.  Either way ``self`` remains the
+        valid handle.  Returns a report dict (see
+        :func:`repro.core.patch.recompile_model`).
+        """
+        from .patch import recompile_model
+
+        return recompile_model(self, composition=composition, changed=changed, store=store)
+
+    def set_parameter(self, node: str, param: str, value) -> Dict[str, object]:
+        """Edit one function parameter of ``node`` and incrementally recompile."""
+        mech = self.composition.mechanisms[node]
+        if param not in mech.function.params:
+            raise KeyError(f"mechanism {node!r} has no parameter {param!r}")
+        mech.function.params[param] = value
+        return self.recompile(changed={node})
+
+    def set_projection_matrix(
+        self, sender: str, receiver: str, matrix, port: str = "input"
+    ) -> Dict[str, object]:
+        """Edit a projection's matrix and incrementally recompile the receiver."""
+        for projection in self.composition.projections:
+            if (
+                projection.sender.name == sender
+                and projection.receiver.name == receiver
+                and projection.port == port
+            ):
+                projection.matrix = matrix
+                # Only the receiver's node function bakes the matrix.
+                return self.recompile(changed={receiver})
+        raise KeyError(f"no projection {sender!r} -> {receiver!r}.{port}")
+
     # -- engine implementations --------------------------------------------------------------
     def _model_args(self, buffers, num_trials: int):
         return [
@@ -372,6 +442,7 @@ def compile_composition(
     verify: Union[str, bool, None] = None,
     flags: Optional[Dict[str, object]] = None,
     opt_level: Optional[int] = None,
+    store=None,
 ) -> CompiledModel:
     """Compile ``composition`` with Distill.
 
@@ -380,6 +451,17 @@ def compile_composition(
     scheduler, the optimisation ``pipeline`` (a textual description such as
     ``"default<O2>,licm"`` or a prebuilt :class:`PassManager`) and lowering
     to the execution engines.
+
+    ``store`` selects the content-addressed artifact store (see
+    :mod:`repro.driver.artifacts`): ``None`` consults the
+    ``REPRO_ARTIFACT_DIR`` environment variable, ``False`` disables the
+    store, a path or :class:`~repro.driver.artifacts.ArtifactStore` uses
+    that store.  On a model-entry hit the whole compile — sanitize, layout,
+    IR generation, optimisation and lowering — is replaced by decoding the
+    stored module and re-executing the stored Python source; on an
+    optimize-entry hit (same IR under a different model key, e.g. a sibling
+    model differing only in plain parameter values) only the optimisation
+    pipeline is skipped.
 
     ``verify`` is the module-verification policy (``"each"``, ``"boundary"``
     or ``"off"``; legacy booleans accepted).  With the default ``None``, a
@@ -402,13 +484,53 @@ def compile_composition(
     analysis per pass — used by the differential tests and benchmarks.
     """
     from ..analysis.manager import AnalysisManager
+    from ..driver.artifacts import (
+        model_artifact_key,
+        optimize_artifact_key,
+        resolve_store,
+        unit_fingerprints,
+    )
+    from ..driver.session import _pipeline_fingerprint
+    from ..ir.fingerprint import function_fingerprint
+    from ..ir.serialize import decode_module, encode_module
 
     pipeline = resolve_pipeline(pipeline, verify=verify)
+    store = resolve_store(store)
+
+    stats = CompileStats()
+
+    structured = bool((flags or {}).get("structured_codegen", True))
+    sanitize_mode = bool((flags or {}).get("sanitize", False))
+    if sanitize_mode and not structured:
+        raise ValueError(
+            'flags={"sanitize": True} requires the structured emitter; '
+            'it cannot be combined with flags={"structured_codegen": False}'
+        )
+
+    # Warm-path: a model-entry hit replays the entire compile from the store
+    # (decoded optimized IR + stored generated source) without running any of
+    # the stages below.
+    model_key = None
+    if store is not None:
+        model_key = model_artifact_key(composition, pipeline, seed, flags)
+        entry = store.get(model_key)
+        if entry is not None:
+            model = _model_from_store_entry(
+                entry,
+                composition=composition,
+                pipeline=pipeline,
+                opt_level=opt_level,
+                flags=flags,
+                seed=seed,
+                stats=stats,
+            )
+            if model is not None:
+                return model
+        stats.artifact_misses += 1
+
     analysis_manager = AnalysisManager(
         enabled=bool((flags or {}).get("analysis_cache", True))
     )
-
-    stats = CompileStats()
 
     start = time.perf_counter()
     info = sanitize(composition, seed=seed)
@@ -423,21 +545,62 @@ def compile_composition(
     stats.codegen_seconds = time.perf_counter() - start
     stats.instructions_before = artifacts.module.instruction_count()
 
-    # The pass manager verifies at the policy's boundaries: the freshly
-    # generated module is checked before the first pass runs, and the
-    # optimised module after the last one.
-    start = time.perf_counter()
-    pipeline.run(artifacts.module, analysis_manager)
-    stats.optimize_seconds = time.perf_counter() - start
-    stats.instructions_after = artifacts.module.instruction_count()
-    # Cache counters are snapshotted *before* lowering so the Figure 7 rows
-    # and the pinned analysis-manager tests keep describing the optimisation
-    # pipeline alone (lowering re-reads domtree/loopinfo from the same cache).
-    stats.analysis_hits = analysis_manager.hits
-    stats.analysis_misses = analysis_manager.misses
-    stats.analysis_invalidations = analysis_manager.invalidations
-    stats.analysis_skipped_passes = analysis_manager.skipped_passes
-    analysis_stats = analysis_manager.cache_info()
+    # Per-function compile units of the *pre-optimization* module: the raw
+    # structural fingerprints classify later edits (incremental recompiles),
+    # the transitive unit keys address the optimize artifact.  Models that
+    # differ only in plain parameter values (loaded from the params buffer,
+    # not baked) generate identical IR and therefore share optimize entries.
+    pipeline_fp = _pipeline_fingerprint(pipeline)
+    function_fps = {
+        name: function_fingerprint(fn)
+        for name, fn in artifacts.module.functions.items()
+    }
+    unit_fps = unit_fingerprints(artifacts.module, pipeline_fp, flags)
+
+    optimized_entry = None
+    opt_key = None
+    if store is not None:
+        opt_key = optimize_artifact_key(unit_fps)
+        optimized_entry = store.get(opt_key)
+
+    if optimized_entry is not None:
+        # Optimize-entry hit: swap in the stored optimized module and skip
+        # the pipeline (it was verified when first compiled).
+        start = time.perf_counter()
+        artifacts.module = decode_module(optimized_entry["module"])
+        stats.optimize_seconds = time.perf_counter() - start
+        stats.instructions_after = artifacts.module.instruction_count()
+        stats.artifact_hits += 1
+        analysis_stats = analysis_manager.cache_info()
+    else:
+        if store is not None:
+            stats.artifact_misses += 1
+        # The pass manager verifies at the policy's boundaries: the freshly
+        # generated module is checked before the first pass runs, and the
+        # optimised module after the last one.
+        start = time.perf_counter()
+        pipeline.run(artifacts.module, analysis_manager)
+        stats.optimize_seconds = time.perf_counter() - start
+        stats.instructions_after = artifacts.module.instruction_count()
+        # Cache counters are snapshotted *before* lowering so the Figure 7
+        # rows and the pinned analysis-manager tests keep describing the
+        # optimisation pipeline alone (lowering re-reads domtree/loopinfo
+        # from the same cache).
+        stats.analysis_hits = analysis_manager.hits
+        stats.analysis_misses = analysis_manager.misses
+        stats.analysis_invalidations = analysis_manager.invalidations
+        stats.analysis_skipped_passes = analysis_manager.skipped_passes
+        analysis_stats = analysis_manager.cache_info()
+        if store is not None:
+            store.put(
+                opt_key,
+                {
+                    "format": 1,
+                    "module": encode_module(artifacts.module),
+                    "instructions_after": stats.instructions_after,
+                },
+            )
+            stats.artifact_writes += 1
 
     # Lowering: the structured emitter reconstructs loops/conditionals from
     # the dominator-tree and loop-info analyses the pipeline already cached.
@@ -445,20 +608,14 @@ def compile_composition(
     # ladder (kept for the structured-vs-dispatch differential tests and the
     # Figure 8 report).
     start = time.perf_counter()
-    structured = bool((flags or {}).get("structured_codegen", True))
-    sanitize_mode = bool((flags or {}).get("sanitize", False))
-    if sanitize_mode and not structured:
-        raise ValueError(
-            'flags={"sanitize": True} requires the structured emitter; '
-            'it cannot be combined with flags={"structured_codegen": False}'
-        )
     generator = PythonCodeGenerator(
         artifacts.module,
         structured=structured,
         analysis_manager=analysis_manager if analysis_manager.enabled else None,
         sanitize=sanitize_mode,
     )
-    compiled_functions = generator.compile()
+    source = generator.generate_source()
+    compiled_functions = generator.exec_source(source)
     stats.lower_seconds = time.perf_counter() - start
     stats.dispatch_fallbacks = list(generator.dispatch_fallbacks)
     stats.dispatch_fallback_reasons = dict(generator.dispatch_fallback_reasons)
@@ -479,8 +636,93 @@ def compile_composition(
         pipeline=pipeline,
         opt_level=opt_level,
         flags=flags,
+        seed=seed,
     )
     model.analysis_stats = analysis_stats
+    model.source = source
+    model.unit_fingerprints = unit_fps
+    model.function_fingerprints = function_fps
+
+    if store is not None:
+        store.put(
+            model_key,
+            {
+                "format": 1,
+                "info": info,
+                "layout": layout,
+                "grid_searches": artifacts.grid_searches,
+                "module": encode_module(artifacts.module),
+                "source": source,
+                "unit_fingerprints": unit_fps,
+                "function_fingerprints": function_fps,
+                "instructions_before": stats.instructions_before,
+                "instructions_after": stats.instructions_after,
+                "dispatch_fallbacks": stats.dispatch_fallbacks,
+                "dispatch_fallback_reasons": stats.dispatch_fallback_reasons,
+            },
+        )
+        stats.artifact_writes += 1
+    return model
+
+
+def _model_from_store_entry(
+    entry,
+    composition: Composition,
+    pipeline: PassManager,
+    opt_level: Optional[int],
+    flags: Optional[Dict[str, object]],
+    seed: int,
+    stats: CompileStats,
+) -> Optional[CompiledModel]:
+    """Rebuild a :class:`CompiledModel` from a model-entry store payload.
+
+    Decodes the stored optimized module and re-executes the stored generated
+    Python source — no sanitize, layout, IR generation, optimisation or
+    source generation runs.  Returns ``None`` when the payload is from an
+    incompatible format (treated as a miss by the caller).
+    """
+    from ..ir.serialize import decode_module
+
+    if not isinstance(entry, dict) or entry.get("format") != 1:
+        return None
+    try:
+        start = time.perf_counter()
+        module = decode_module(entry["module"])
+        artifacts = CompiledArtifacts(
+            module=module,
+            layout=entry["layout"],
+            grid_searches=entry["grid_searches"],
+        )
+        generator = PythonCodeGenerator(
+            module,
+            structured=bool((flags or {}).get("structured_codegen", True)),
+            sanitize=bool((flags or {}).get("sanitize", False)),
+        )
+        compiled_functions = generator.exec_source(entry["source"])
+    except Exception:
+        return None
+    stats.lower_seconds = time.perf_counter() - start
+    stats.instructions_before = entry["instructions_before"]
+    stats.instructions_after = entry["instructions_after"]
+    stats.artifact_hits += 1
+    stats.dispatch_fallbacks = list(entry["dispatch_fallbacks"])
+    stats.dispatch_fallback_reasons = dict(entry["dispatch_fallback_reasons"])
+    pipeline.analysis_manager = None
+    model = CompiledModel(
+        composition,
+        entry["info"],
+        artifacts.layout,
+        artifacts,
+        stats,
+        compiled_functions,
+        pipeline=pipeline,
+        opt_level=opt_level,
+        flags=flags,
+        seed=seed,
+    )
+    model.source = entry["source"]
+    model.unit_fingerprints = dict(entry["unit_fingerprints"])
+    model.function_fingerprints = dict(entry["function_fingerprints"])
     return model
 
 

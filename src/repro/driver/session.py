@@ -140,9 +140,17 @@ def structural_fingerprint(composition: Composition) -> str:
 
 
 def _freeze_flags(flags: Optional[Dict[str, object]]) -> Tuple:
-    if not flags:
-        return ()
-    return tuple(sorted((str(k), _canonical(v)) for k, v in flags.items()))
+    """Canonical cache-key form of a compile ``flags`` mapping.
+
+    Delegates to :func:`repro.driver.artifacts.normalize_flags`: known flags
+    collapse to their *effective* boolean value (so ``{"analysis_cache":
+    True}`` — an explicit default — keys identically to no flags at all,
+    while ``{"sanitize": True}`` or ``{"analysis_cache": False}`` can never
+    alias the clean entry), and unknown flags are kept verbatim.
+    """
+    from .artifacts import normalize_flags
+
+    return normalize_flags(flags)
 
 
 def _pass_struct(pass_) -> object:
@@ -182,8 +190,13 @@ class Session:
     :class:`EngineInstance`.  Both are thread-safe.
     """
 
-    def __init__(self, verify: Union[str, bool] = "boundary"):
+    def __init__(self, verify: Union[str, bool] = "boundary", store=None):
         self.default_verify = coerce_verify_policy(verify)
+        #: Artifact-store selector forwarded to every compile: ``None``
+        #: consults ``REPRO_ARTIFACT_DIR``, ``False`` disables the store, a
+        #: path or :class:`~repro.driver.artifacts.ArtifactStore` uses that
+        #: store (see :func:`repro.driver.artifacts.resolve_store`).
+        self.store = store
         self._lock = threading.RLock()
         self._models: Dict[Tuple, object] = {}
         self._instances: Dict[Tuple, EngineInstance] = {}
@@ -241,7 +254,7 @@ class Session:
         # Compile outside the lock: compilation can take seconds and other
         # threads may be compiling unrelated models meanwhile.
         model = compile_composition(
-            composition, pipeline=pipeline, seed=seed, flags=flags
+            composition, pipeline=pipeline, seed=seed, flags=flags, store=self.store
         )
         with self._lock:
             winner = self._models.setdefault(key, model)
@@ -309,6 +322,32 @@ class Session:
         return instance.run_batch(
             inputs_batch, num_trials=num_trials, seed=seed, **options
         )
+
+    def recompile(self, model, composition=None, changed=None) -> Dict[str, object]:
+        """Incrementally recompile a cached model after an edit, re-keying it.
+
+        Delegates to :meth:`CompiledModel.recompile` (patch-in-place with a
+        full-compile fallback), then moves the model's cache entry to the
+        key of its post-edit composition: the pre-edit key must not serve a
+        model whose parameters have moved, and a later request for the
+        edited structure should hit.  Stale engine bindings are dropped (the
+        patch already closed them).
+        """
+        report = model.recompile(
+            composition=composition, changed=changed, store=self.store
+        )
+        with self._lock:
+            for key, cached in list(self._models.items()):
+                if cached is model:
+                    del self._models[key]
+            for key in list(self._instances):
+                if key[0] == id(model):
+                    del self._instances[key]
+            new_key = self._model_key(
+                model.composition, model.pipeline, model.seed, model.flags
+            )
+            self._models[new_key] = model
+        return report
 
     # -- static safety suite -------------------------------------------------------
     def lint(

@@ -152,6 +152,7 @@ def _narrowed_config(config: OracleConfig, divergence: Divergence) -> OracleConf
         check_reference=divergence.kind == "reference",
         check_analysis_cache=divergence.kind == "analysis-cache",
         check_sanitizer=divergence.kind == "sanitizer",
+        check_incremental=divergence.kind == "incremental",
     )
 
 
@@ -163,6 +164,7 @@ def run_campaign(
     workers: int = 2,
     check_reference: bool = True,
     check_sanitizer: bool = False,
+    check_incremental: bool = False,
     shrink: bool = True,
     out_dir: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
@@ -182,6 +184,7 @@ def run_campaign(
         workers=workers,
         check_reference=check_reference,
         check_sanitizer=check_sanitizer,
+        check_incremental=check_incremental,
     )
     report = CampaignReport(seed=seed, n_models=n_models)
     started = time.perf_counter()

@@ -64,6 +64,15 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help=(
+            "add the incremental-recompile oracle leg: perturb one parameter, "
+            "patch the live model via recompile(), and demand bitwise equality "
+            "with a cold full compile of the edited model on every engine"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-model progress lines"
     )
     args = parser.parse_args(argv)
@@ -76,6 +85,7 @@ def main(argv=None) -> int:
         workers=args.workers,
         check_reference=not args.no_reference,
         check_sanitizer=args.sanitizer,
+        check_incremental=args.incremental,
         shrink=not args.no_shrink,
         out_dir=args.out_dir,
         progress=None if args.quiet else lambda line: print(line, flush=True),

@@ -41,6 +41,8 @@ __all__ = [
     "ProjectionSpec",
     "ModelSpec",
     "generate_model_spec",
+    "generate_scale_spec",
+    "perturb_spec",
     "ELEMENTWISE_FUNCTIONS",
     "REDUCER_FUNCTIONS",
     "TIE_BIAS",
@@ -734,3 +736,232 @@ def generate_model_spec(seed: int) -> ModelSpec:
         num_trials=rng.randint(1, 3),
         run_seed=rng.randrange(0, 1 << 16),
     )
+
+
+# ---------------------------------------------------------------------------
+# Scaling workload (mega-models for the compile-time benchmarks)
+# ---------------------------------------------------------------------------
+
+
+def generate_scale_spec(
+    seed: int,
+    n_mechanisms: int = 200,
+    width: int = 8,
+    fan_in: int = 2,
+    feedback_rate: float = 0.05,
+    with_controls: int = 0,
+    max_passes: int = 3,
+) -> ModelSpec:
+    """Generate a layered mega-model for compile-time scaling measurements.
+
+    Where :func:`generate_model_spec` explores the *breadth* of the
+    compilable subset with a handful of mechanisms, this generator explores
+    its *depth*: ``n_mechanisms`` mechanisms arranged in layers of ``width``,
+    each fed by up to ``fan_in`` upstream mechanisms, with ``feedback_rate``
+    of the nodes also sending a back-edge (legal under the double-buffered
+    pass semantics).  ``with_controls`` appends that many small grid-search
+    controllers.  The same seed always yields the same spec, and the result
+    is an ordinary :class:`ModelSpec` — ``to_source()``/``build()`` and the
+    differential oracle work unchanged.
+
+    Used by ``BENCH_fig7_scale`` (compile time vs mechanism count, and
+    edit-recompile vs full-compile latency) and the CI compile-cost smoke
+    job's edit-recompile leg.
+    """
+    if n_mechanisms < 2:
+        raise ValueError("scale specs need at least 2 mechanisms")
+    rng = random.Random(seed ^ 0x5CA1E5EED)
+    width = max(1, int(width))
+
+    #: Deterministic elementwise choices dominate so sanitize (one
+    #: interpretive run of the whole model) stays cheap at depth.
+    deterministic = ("linear", "logistic", "relu", "tanh")
+
+    mechanisms: List[MechanismSpec] = []
+    for i in range(n_mechanisms):
+        is_input = i < width
+        size = rng.randint(1, 3)
+        if i % 7 == 3 and not is_input:
+            name = rng.choice(("linear_combination", "energy"))
+            kind = "objective"
+        elif i % 23 == 11 and not is_input:
+            name = "gaussian_noise"
+            kind = "processing"
+        else:
+            name = rng.choice(deterministic)
+            kind = "processing"
+        params = _function_params(rng, name)
+        mechanisms.append(
+            MechanismSpec(
+                name=f"n{i}",
+                kind=kind,
+                function=FunctionSpec(name, params),
+                ports=[("input", size)],
+                is_input=is_input,
+                is_output=i >= n_mechanisms - width,
+                monitor=rng.random() < 0.02,
+            )
+        )
+
+    sizes = {m.name: _output_size(m) for m in mechanisms}
+    names = [m.name for m in mechanisms]
+
+    projections: List[ProjectionSpec] = []
+    for i in range(width, n_mechanisms):
+        mech = mechanisms[i]
+        feeders = rng.sample(names[:i], min(fan_in, i, rng.randint(1, fan_in)))
+        port, port_size = mech.ports[0]
+        for sender in feeders:
+            projections.append(
+                _projection_between(
+                    rng, sender, sizes[sender], mech.name, port, port_size, False
+                )
+            )
+        if rng.random() < feedback_rate and i > width:
+            target = mechanisms[rng.randrange(width, i)]
+            t_port, t_size = target.ports[0]
+            projections.append(
+                _projection_between(
+                    rng, mech.name, sizes[mech.name], target.name, t_port, t_size, False
+                )
+            )
+        if rng.random() < 0.02:
+            mech.condition = ConditionSpec(
+                "EveryNPasses", [rng.randint(1, 2), 0]
+            )
+
+    control: Optional[ControlSpec] = None
+    extra_controls: List[ControlSpec] = []
+    for k in range(max(0, int(with_controls))):
+        ctl = _control_spec(rng, n_mechanisms + k, rng.randint(1, 2))
+        sender = rng.choice(names)
+        projections.append(
+            _projection_between(
+                rng, sender, sizes[sender], ctl.name, "input", ctl.input_size, False
+            )
+        )
+        if control is None:
+            control = ctl
+        else:
+            extra_controls.append(ctl)
+    if extra_controls:  # pragma: no cover - ModelSpec carries one control today
+        raise ValueError("generate_scale_spec supports at most one control")
+
+    input_width = sum(sizes[m.name] for m in mechanisms if m.is_input)
+    inputs = [[_round(rng, -1.0, 1.0) for _ in range(input_width)]]
+
+    return ModelSpec(
+        name=f"scale_{seed}_{n_mechanisms}",
+        seed=seed,
+        mechanisms=mechanisms,
+        projections=projections,
+        termination=ConditionSpec("AfterNPasses", [max_passes]),
+        max_passes=max_passes,
+        control=control,
+        inputs=inputs,
+        num_trials=1,
+        run_seed=rng.randrange(0, 1 << 16),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Edit perturbation (the incremental-recompile oracle leg)
+# ---------------------------------------------------------------------------
+
+
+def _scale_value(value: float) -> float:
+    """A nearby-but-different float (never 0 -> nonzero or sign flips)."""
+    return round(value * 1.25, 9)
+
+
+def perturb_spec(spec: ModelSpec, seed: int):
+    """A value-level edit of ``spec``: ``(edited_spec, changed_names)``.
+
+    Picks one editable site — a mechanism's nonzero float parameter, a
+    projection's matrix/scalar weight, a control step parameter or level
+    row, or the termination threshold — and scales it by 1.25.  Edits never
+    change shapes, structure or zero/nonzero-ness, so the edited model
+    compiles under the same static layout and the incremental recompiler
+    should take the patch path; the oracle's incremental leg asserts the
+    patched artifact is bitwise-equal to a cold compile of the edit.
+
+    Returns ``None`` when the spec offers no eligible edit site.
+    ``changed_names`` is informational (the oracle exercises the structural
+    diff, not explicit ``changed=`` sets).
+    """
+    import copy
+
+    rng = random.Random(seed ^ 0x0ED17)
+    edited = copy.deepcopy(spec)
+    candidates = []
+
+    for index, mech in enumerate(edited.mechanisms):
+        for key, value in mech.function.params.items():
+            if key == "non_negative":
+                continue  # a baked branch selector, not a magnitude
+            if isinstance(value, float) and value != 0.0:
+                candidates.append(("mech-param", index, key))
+            elif (
+                key in ("weights", "matrix")
+                and isinstance(value, list)
+                and any(any(v) if isinstance(v, list) else bool(v) for v in value)
+            ):
+                candidates.append(("mech-list", index, key))
+    for index, projection in enumerate(edited.projections):
+        if isinstance(projection.matrix, float) and projection.matrix != 0.0:
+            candidates.append(("proj-scalar", index, None))
+        elif isinstance(projection.matrix, list) and any(
+            v for row in projection.matrix for v in row
+        ):
+            candidates.append(("proj-matrix", index, None))
+    if edited.control is not None:
+        for s_index, step in enumerate(edited.control.steps):
+            for key, value in step.function.params.items():
+                if isinstance(value, float) and value != 0.0:
+                    candidates.append(("step-param", s_index, key))
+        for l_index, level in enumerate(edited.control.levels):
+            if any(level):
+                candidates.append(("ctl-level", l_index, None))
+    if edited.termination.kind == "ThresholdCrossed":
+        candidates.append(("termination", None, None))
+
+    if not candidates:
+        return None
+    kind, index, key = rng.choice(candidates)
+
+    if kind == "mech-param":
+        mech = edited.mechanisms[index]
+        mech.function.params[key] = _scale_value(mech.function.params[key])
+        changed = {mech.name}
+    elif kind == "mech-list":
+        mech = edited.mechanisms[index]
+        value = mech.function.params[key]
+        if value and isinstance(value[0], list):
+            mech.function.params[key] = [[_scale_value(v) for v in row] for row in value]
+        else:
+            mech.function.params[key] = [_scale_value(v) for v in value]
+        changed = {mech.name}
+    elif kind == "proj-scalar":
+        projection = edited.projections[index]
+        projection.matrix = _scale_value(projection.matrix)
+        changed = {projection.receiver}
+    elif kind == "proj-matrix":
+        projection = edited.projections[index]
+        projection.matrix = [
+            [_scale_value(v) for v in row] for row in projection.matrix
+        ]
+        changed = {projection.receiver}
+    elif kind == "step-param":
+        step = edited.control.steps[index]
+        step.function.params[key] = _scale_value(step.function.params[key])
+        changed = {edited.control.name}
+    elif kind == "ctl-level":
+        edited.control.levels[index] = [
+            _scale_value(v) for v in edited.control.levels[index]
+        ]
+        changed = {edited.control.name}
+    else:  # termination threshold
+        edited.termination.args[1] = _scale_value(edited.termination.args[1])
+        changed = set()
+
+    return edited, changed

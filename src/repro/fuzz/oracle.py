@@ -110,6 +110,14 @@ class OracleConfig:
     #: baseline buffers bitwise.  Off by default (the nightly campaign and
     #: ``python -m repro.fuzz --sanitizer`` enable it).
     check_sanitizer: bool = False
+    #: Perturb one parameter/matrix/threshold of the spec
+    #: (:func:`repro.fuzz.gen.perturb_spec`), apply the edit to a live model
+    #: via :meth:`CompiledModel.recompile` and demand buffers bitwise equal
+    #: to a *cold* full compile of the edited model on every engine — the
+    #: incremental-recompilation differential contract.  Off by default (the
+    #: nightly campaign and ``python -m repro.fuzz --incremental`` enable
+    #: it); only runs for spec-driven checks (:func:`check_spec`).
+    check_incremental: bool = False
 
     def resolved_engines(self) -> List[str]:
         return list(self.engines) if self.engines is not None else list(list_engines())
@@ -536,9 +544,117 @@ def _compare_reference(reference, compiled_results, rtol=1e-9, atol=1e-12) -> Op
     return None
 
 
+def _incremental_leg(spec: ModelSpec, config: OracleConfig, verdict: ModelVerdict) -> List[Divergence]:
+    """The edit-recompile differential: patched-in-place vs cold full compile.
+
+    Perturbs one value site of ``spec`` (never shapes/structure), compiles
+    the *original* model, applies the edit through
+    :meth:`CompiledModel.recompile` (structural-diff path — no explicit
+    ``changed=`` hints), cold-compiles the edited spec, and requires the raw
+    result/monitor/state buffers — final per-mechanism PRNG counters
+    included — to be bitwise identical on every engine.  Error symmetry
+    applies as in the engine legs: both paths raising is agreement.
+    """
+    from .gen import perturb_spec
+
+    perturbed = perturb_spec(spec, spec.seed)
+    if perturbed is None:
+        return []
+    edited_spec, changed = perturbed
+    pipeline_text = config.pipelines[0]
+    divergences: List[Divergence] = []
+    verdict.legs += 1
+
+    patched = cold = None
+    patched_error = cold_error = None
+    report: Dict[str, object] = {}
+    try:
+        try:
+            patched = compile_composition(spec.build(), pipeline=pipeline_text)
+            report = patched.recompile(composition=edited_spec.build())
+        except Exception as exc:  # noqa: BLE001 - the oracle reports, never raises
+            patched_error = f"{type(exc).__name__}: {exc}"
+        try:
+            cold = compile_composition(edited_spec.build(), pipeline=pipeline_text)
+        except Exception as exc:  # noqa: BLE001
+            cold_error = f"{type(exc).__name__}: {exc}"
+
+        context = (
+            f"(edit={sorted(changed)}, mode={report.get('mode', '?')}, "
+            f"relowered={report.get('relowered', '?')})"
+        )
+        if (patched is None) != (cold is None):
+            divergences.append(
+                Divergence(
+                    "incremental", pipeline_text, None,
+                    f"patched={patched_error or 'ok'} vs cold="
+                    f"{cold_error or 'ok'} {context}",
+                )
+            )
+            return divergences
+        if patched is None:
+            return divergences  # both raised: agreement
+
+        for engine in config.resolved_engines():
+            options = _engine_options(engine, config.workers)
+            verdict.legs += 1
+            try:
+                patched_buffers = raw_buffers(
+                    patched, edited_spec.inputs, edited_spec.num_trials,
+                    edited_spec.run_seed, engine, **options,
+                )
+                patched_run_error = None
+            except Exception as exc:  # noqa: BLE001
+                patched_buffers = None
+                patched_run_error = f"{type(exc).__name__}: {exc}"
+            try:
+                cold_buffers = raw_buffers(
+                    cold, edited_spec.inputs, edited_spec.num_trials,
+                    edited_spec.run_seed, engine, **options,
+                )
+                cold_run_error = None
+            except Exception as exc:  # noqa: BLE001
+                cold_buffers = None
+                cold_run_error = f"{type(exc).__name__}: {exc}"
+
+            if (patched_buffers is None) != (cold_buffers is None):
+                divergences.append(
+                    Divergence(
+                        "incremental", pipeline_text, engine,
+                        f"patched={patched_run_error or 'ok'} vs cold="
+                        f"{cold_run_error or 'ok'} {context}",
+                    )
+                )
+                continue
+            if patched_buffers is None:
+                continue
+            mismatch = buffers_equal(patched_buffers, cold_buffers)
+            if mismatch is not None:
+                counters = (
+                    f"; final PRNG counters patched="
+                    f"{_final_rng_counters(patched, patched_buffers[2])} vs cold="
+                    f"{_final_rng_counters(cold, cold_buffers[2])}"
+                    if mismatch.startswith("state")
+                    else ""
+                )
+                divergences.append(
+                    Divergence(
+                        "incremental", pipeline_text, engine,
+                        f"{mismatch}{counters} {context}",
+                    )
+                )
+    finally:
+        if patched is not None:
+            patched.close_engines()
+        if cold is not None:
+            cold.close_engines()
+    return divergences
+
+
 def check_spec(spec: ModelSpec, config: Optional[OracleConfig] = None) -> ModelVerdict:
     """Run the oracle over a generated :class:`ModelSpec`."""
-    return check_composition(
+    config = config or OracleConfig()
+    verdict = check_composition(
         spec.build,
         spec.inputs,
         spec.num_trials,
@@ -546,3 +662,8 @@ def check_spec(spec: ModelSpec, config: Optional[OracleConfig] = None) -> ModelV
         config=config,
         model_name=spec.name,
     )
+    if config.check_incremental and config.pipelines:
+        started = time.perf_counter()
+        verdict.divergences.extend(_incremental_leg(spec, config, verdict))
+        verdict.seconds += time.perf_counter() - started
+    return verdict

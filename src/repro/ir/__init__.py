@@ -15,6 +15,7 @@ models into.  It mirrors the pieces of LLVM that the paper relies on:
 """
 
 from .builder import IRBuilder
+from .fingerprint import function_fingerprint, module_fingerprint, type_signature
 from .instructions import (
     GEP,
     Alloca,
@@ -52,6 +53,7 @@ from .types import (
     array,
     pointer,
 )
+from .serialize import decode_module, encode_module
 from .values import (
     Argument,
     Constant,
@@ -108,6 +110,11 @@ __all__ = [
     "const_bool",
     "print_module",
     "print_function",
+    "function_fingerprint",
+    "module_fingerprint",
+    "type_signature",
+    "encode_module",
+    "decode_module",
     "verify_module",
     "verify_function",
     "VerificationError",

@@ -1,0 +1,323 @@
+"""The content-addressed artifact store and its keying (PR 7).
+
+Covers the pieces DESIGN.md "Compile units and the artifact store" promises:
+
+* flag normalization — non-default flags can never alias a clean cache
+  entry, default-valued spellings deliberately do;
+* key stability — artifact keys and function fingerprints are pure content
+  addresses: the live ``TYPE_MUTATION_EPOCH`` counter (bumped by every
+  compile while building its structs) must not leak into them;
+* the store itself — atomic publication under concurrent writers, corrupt
+  objects demoted to misses, mtime-ordered eviction, the ``repro.cache``
+  CLI and ``resolve_store``/``$REPRO_ARTIFACT_DIR`` resolution;
+* end-to-end reuse — a warm-process hit skips sanitize/optimize/codegen,
+  and models differing only in plain parameter values share one optimized
+  module entry while keeping distinct model entries.
+"""
+
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.driver.artifacts import (
+    STORE_ENV_VAR,
+    ArtifactStore,
+    artifact_salt,
+    model_artifact_key,
+    normalize_flags,
+    optimize_artifact_key,
+    resolve_store,
+    unit_fingerprints,
+)
+from repro.driver.pipeline import parse_pipeline
+from repro.core.distill import compile_composition
+from repro.fuzz.gen import generate_model_spec, generate_scale_spec
+from repro.ir import Module
+from repro.ir import types as ir_types
+from repro.ir.fingerprint import function_fingerprint
+
+from helpers import build_affine_function, build_struct_sum_function
+
+
+class TestNormalizeFlags:
+    def test_default_spellings_all_freeze_empty(self):
+        assert normalize_flags(None) == ()
+        assert normalize_flags({}) == ()
+        assert normalize_flags({"analysis_cache": True}) == ()
+        assert normalize_flags({"sanitize": False, "structured_codegen": True}) == ()
+
+    def test_non_default_values_are_kept(self):
+        assert normalize_flags({"sanitize": True}) == (("sanitize", True),)
+        assert normalize_flags({"analysis_cache": False}) == (
+            ("analysis_cache", False),
+        )
+        # Truthy spellings coerce to the effective boolean.
+        assert normalize_flags({"sanitize": 1}) == (("sanitize", True),)
+
+    def test_unknown_flags_pass_through_sorted(self):
+        frozen = normalize_flags({"zeta": 2, "alpha": "x"})
+        assert frozen == (("alpha", "x"), ("zeta", 2))
+
+    def test_distinct_configurations_never_collide(self):
+        # The satellite regression: {"sanitize": True} and
+        # {"analysis_cache": False} must each differ from the clean entry
+        # and from each other.
+        keys = {
+            normalize_flags(None),
+            normalize_flags({"sanitize": True}),
+            normalize_flags({"analysis_cache": False}),
+            normalize_flags({"sanitize": True, "analysis_cache": False}),
+        }
+        assert len(keys) == 4
+
+
+class TestKeyStability:
+    def test_salt_ignores_the_live_type_mutation_epoch(self):
+        before_salt = artifact_salt()
+        before_epoch = ir_types.TYPE_MUTATION_EPOCH
+        # Growing any struct bumps the epoch; the salt must not move.
+        ir_types.StructType("epoch_bump_probe").add_field("x", ir_types.F64)
+        assert ir_types.TYPE_MUTATION_EPOCH == before_epoch + 1
+        assert artifact_salt() == before_salt
+
+    def test_function_fingerprint_survives_epoch_bumps(self):
+        module = Module("fp_stability")
+        fn = build_struct_sum_function(module)
+        first = function_fingerprint(fn)
+        ir_types.StructType("unrelated").add_field("y", ir_types.F64)
+        assert function_fingerprint(fn) == first
+
+    def test_model_key_stable_across_compiles_in_one_process(self):
+        # The original bug: the epoch in the salt made the second key differ
+        # because the intervening compile had built structs.
+        spec = generate_model_spec(3)
+        pipeline = parse_pipeline("default<O2>")
+        first = model_artifact_key(spec.build(), pipeline, 0)
+        compile_composition(spec.build(), pipeline="default<O2>", store=False)
+        assert model_artifact_key(spec.build(), pipeline, 0) == first
+
+    def test_model_key_components(self):
+        spec = generate_model_spec(3)
+        pipeline = parse_pipeline("default<O2>")
+        base = model_artifact_key(spec.build(), pipeline, 0)
+        assert model_artifact_key(spec.build(), pipeline, 1) != base
+        assert (
+            model_artifact_key(spec.build(), pipeline, 0, flags={"sanitize": True})
+            != base
+        )
+        assert (
+            model_artifact_key(spec.build(), parse_pipeline("default<O0>"), 0) != base
+        )
+
+    def test_unit_fingerprints_round_trip_pickling(self):
+        module = Module("pickle_stability")
+        build_affine_function(module)
+        build_struct_sum_function(module)
+        original = unit_fingerprints(module, "default<O2>")
+        restored = pickle.loads(pickle.dumps(module))
+        assert unit_fingerprints(restored, "default<O2>") == original
+        assert optimize_artifact_key(
+            unit_fingerprints(restored, "default<O2>")
+        ) == optimize_artifact_key(original)
+
+    def test_unit_fingerprints_cover_callees_and_pipeline(self):
+        module = Module("unit_keys")
+        build_affine_function(module)
+        o2 = unit_fingerprints(module, "default<O2>")
+        o0 = unit_fingerprints(module, "default<O0>")
+        assert set(o2) == {"affine"}
+        assert o2["affine"] != o0["affine"]
+
+
+class TestArtifactStore:
+    def test_round_trip_and_counters(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.get("a" * 64) is None
+        store.put("a" * 64, {"payload": [1, 2, 3]})
+        assert store.get("a" * 64) == {"payload": [1, 2, 3]}
+        assert store.counters() == {"hits": 1, "misses": 1, "writes": 1, "errors": 0}
+
+    def test_corrupt_object_reads_as_miss_and_is_unlinked(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        key = "b" * 64
+        store.put(key, {"ok": True})
+        with open(store.path_for(key), "wb") as fh:
+            fh.write(b"\x80\x05 truncated garbage")
+        assert store.get(key) is None
+        assert not os.path.exists(store.path_for(key))
+        assert store.counters()["errors"] == 1
+
+    def test_concurrent_writers_and_readers_never_tear(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        key = "c" * 64
+        payload = {"rows": list(range(512))}
+        failures = []
+
+        def writer():
+            for _ in range(25):
+                store.put(key, payload)
+
+        def reader():
+            for _ in range(50):
+                got = store.get(key)
+                if got is not None and got != payload:
+                    failures.append(got)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        assert store.get(key) == payload
+        # No stray temp files left behind in the shard directory.
+        shard = os.path.dirname(store.path_for(key))
+        assert [n for n in os.listdir(shard) if n.startswith(".tmp-")] == []
+
+    def test_gc_evicts_oldest_first(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        keys = ["d" * 64, "e" * 64, "f" * 64]
+        for i, key in enumerate(keys):
+            store.put(key, {"index": i, "pad": "x" * 100})
+            os.utime(store.path_for(key), (1000 + i, 1000 + i))
+        one_size = os.path.getsize(store.path_for(keys[0]))
+        summary = store.gc(max_bytes=one_size)
+        assert summary["removed_files"] == 2
+        assert summary["kept_files"] == 1
+        assert store.get(keys[2]) is not None  # newest survives
+        assert store.get(keys[0]) is None
+
+    def test_gc_zero_drops_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put("9" * 64, {"x": 1})
+        summary = store.gc(max_bytes=0)
+        assert summary["kept_files"] == 0
+        assert store.stats()["files"] == 0
+
+
+class TestResolveStore:
+    def test_false_disables_even_with_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path))
+        assert resolve_store(False) is None
+
+    def test_none_consults_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        assert resolve_store(None) is None
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "env-store"))
+        store = resolve_store(None)
+        assert isinstance(store, ArtifactStore)
+        assert store.root == str(tmp_path / "env-store")
+
+    def test_path_and_instance(self, tmp_path):
+        store = resolve_store(tmp_path / "explicit")
+        assert isinstance(store, ArtifactStore)
+        assert resolve_store(store) is store
+
+
+class TestCacheCli:
+    def test_stats_and_gc(self, tmp_path, capsys):
+        from repro.cache import main
+
+        store = ArtifactStore(tmp_path / "store")
+        store.put("1" * 64, {"x": "y" * 200})
+        store.put("2" * 64, {"x": "z" * 200})
+
+        assert main(["--dir", str(store.root), "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "files:  2" in out
+
+        assert main(["--dir", str(store.root), "gc", "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 2 objects" in out
+        assert store.stats()["files"] == 0
+
+    def test_no_store_configured_is_an_error(self, monkeypatch):
+        from repro.cache import main
+
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        with pytest.raises(SystemExit):
+            main(["stats"])
+
+
+class TestEndToEndReuse:
+    def test_warm_hit_skips_sanitize_optimize_codegen(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        spec = generate_model_spec(5)
+
+        cold = compile_composition(spec.build(), pipeline="default<O2>", store=store)
+        assert cold.stats.artifact_hits == 0
+        assert cold.stats.artifact_writes >= 1
+
+        warm = compile_composition(spec.build(), pipeline="default<O2>", store=store)
+        assert warm.stats.artifact_hits == 1
+        assert warm.stats.artifact_misses == 0
+        assert warm.stats.sanitize_seconds == 0.0
+        assert warm.stats.optimize_seconds == 0.0
+        assert warm.stats.codegen_seconds == 0.0
+
+        from repro.fuzz.oracle import buffers_equal, raw_buffers
+
+        try:
+            a = raw_buffers(cold, spec.inputs, spec.num_trials, spec.run_seed, "compiled")
+            b = raw_buffers(warm, spec.inputs, spec.num_trials, spec.run_seed, "compiled")
+            assert buffers_equal(a, b) is None
+        finally:
+            cold.close_engines()
+            warm.close_engines()
+
+    def test_param_value_siblings_share_optimize_entry(self, tmp_path):
+        from repro.bench.harness import _scale_edit_specs
+
+        store = ArtifactStore(tmp_path / "store")
+        spec = generate_scale_spec(1, n_mechanisms=10)
+        (param_edit, target), _ = _scale_edit_specs(spec)
+
+        base = compile_composition(spec.build(), pipeline="default<O2>", store=store)
+        base.close_engines()
+        sibling = compile_composition(
+            param_edit.build(), pipeline="default<O2>", store=store
+        )
+        sibling.close_engines()
+        # Distinct model key (parameter values differ) but the plain
+        # parameter loads from the params buffer, so the pre-optimization IR
+        # — and with it the optimize entry — is shared.
+        assert sibling.stats.artifact_misses == 1
+        assert sibling.stats.artifact_hits == 1
+        # The pipeline never ran on the sibling (optimize_seconds books only
+        # the stored-module decode): no analysis activity at all, identical
+        # optimized instruction count.
+        assert sibling.stats.analysis_hits == 0
+        assert sibling.stats.analysis_misses == 0
+        assert base.stats.analysis_misses > 0
+        assert sibling.stats.instructions_after == base.stats.instructions_after
+        assert base.unit_fingerprints == sibling.unit_fingerprints
+        # The edit really changed the program: the edited parameter value
+        # landed in the params buffer, not the shared IR.
+        assert target is not None
+        assert base.layout.param_values != sibling.layout.param_values
+
+    def test_baked_matrix_edit_does_not_share_optimize_entry(self, tmp_path):
+        from repro.bench.harness import _scale_edit_specs
+
+        store = ArtifactStore(tmp_path / "store")
+        spec = generate_scale_spec(1, n_mechanisms=10)
+        _, (proj_edit, receiver) = _scale_edit_specs(spec)
+
+        base = compile_composition(spec.build(), pipeline="default<O2>", store=store)
+        base.close_engines()
+        sibling = compile_composition(
+            proj_edit.build(), pipeline="default<O2>", store=store
+        )
+        sibling.close_engines()
+        # Projection matrices are baked into the receiver's node function:
+        # its unit fingerprint moves, so neither the model entry nor the
+        # optimize entry can be reused.
+        assert sibling.stats.artifact_hits == 0
+        assert sibling.stats.artifact_misses == 2
+        assert (
+            base.unit_fingerprints[f"node_{receiver}"]
+            != sibling.unit_fingerprints[f"node_{receiver}"]
+        )

@@ -119,6 +119,44 @@ class TestCampaign:
         out = capsys.readouterr().out
         assert "2 models" in out
 
+    def test_incremental_leg_runs_and_is_green(self):
+        """The incremental-recompile leg: a perturbed model patched via
+        recompile() must match a cold full compile of the edit, bitwise,
+        on every engine."""
+        baseline = run_campaign(seed=0, n_models=3, shrink=False)
+        report = run_campaign(seed=0, n_models=3, shrink=False, check_incremental=True)
+        assert report.ok, report.format_table()
+        # The leg really ran: extra per-engine comparisons were counted.
+        assert report.legs > baseline.legs
+
+    def test_incremental_leg_detects_a_stale_patch(self, monkeypatch):
+        """If patching silently produced the *old* program, the leg must
+        report an `incremental` divergence."""
+        from repro.core import patch as patch_module
+        from repro.fuzz import OracleConfig, check_spec
+        from repro.fuzz.gen import generate_model_spec
+
+        real = patch_module.recompile_model
+
+        def stale_recompile(model, composition=None, changed=None, store=None):
+            # Swallow the edit: pretend nothing changed.
+            return real(model, composition=model.composition, changed=set(), store=store)
+
+        monkeypatch.setattr(patch_module, "recompile_model", stale_recompile)
+        config = OracleConfig(
+            pipelines=("default<O2>",),
+            engines=("compiled",),
+            check_reference=False,
+            check_analysis_cache=False,
+            check_incremental=True,
+        )
+        for seed in range(20):
+            verdict = check_spec(generate_model_spec(seed), config)
+            kinds = {d.kind for d in verdict.divergences}
+            if "incremental" in kinds:
+                return
+        raise AssertionError("no seed in 0..19 exposed the stale patch")
+
 
 # ---------------------------------------------------------------------------
 # Broken-pass detection and shrinking

@@ -1,0 +1,224 @@
+"""Incremental recompilation (`repro.core.patch`).
+
+The differential contract: whatever path an edit takes — params-only swap,
+per-unit patch, or full-compile fallback — the patched model must be bitwise
+equal (results, monitors, state buffers with their final PRNG counters) to a
+cold full compile of the edited composition.  The fuzz oracle's incremental
+leg enforces this generatively across all engines; these tests pin the path
+selection, the reports, the counters and the session re-keying on concrete
+models.
+"""
+
+import copy
+
+import pytest
+
+from repro.core.distill import compile_composition
+from repro.driver.session import Session
+from repro.fuzz.gen import generate_model_spec, generate_scale_spec
+from repro.fuzz.oracle import buffers_equal, raw_buffers
+from repro.models import predator_prey as pp
+
+#: Engines for the bitwise comparisons (mcpu excluded for test speed; the
+#: fuzz incremental leg covers the full engine registry nightly).
+ENGINES = ("compiled", "ir-interp", "per-node", "gpu-sim")
+
+INPUTS = pp.default_inputs(1)
+
+
+def compile_pp():
+    return compile_composition(
+        pp.build_predator_prey("s"), pipeline="default<O2>", store=False
+    )
+
+
+def assert_bitwise_equal(patched, cold):
+    try:
+        for engine in ENGINES:
+            a = raw_buffers(patched, INPUTS, 1, 0, engine)
+            b = raw_buffers(cold, INPUTS, 1, 0, engine)
+            mismatch = buffers_equal(a, b)
+            assert mismatch is None, f"{engine}: {mismatch}"
+    finally:
+        patched.close_engines()
+        cold.close_engines()
+
+
+def edited_matrix(composition, sender="player_loc", receiver="control"):
+    for projection in composition.projections:
+        if (
+            projection.sender.name == sender
+            and projection.receiver.name == receiver
+            and projection.port == "input"
+        ):
+            return projection.matrix * 1.25
+    raise AssertionError("projection not found")
+
+
+class TestEditPaths:
+    def test_parameter_edit_is_params_only(self):
+        model = compile_pp()
+        report = model.set_parameter("player_loc", "slope", 1.5)
+        assert report["mode"] == "params-only"
+        assert report["relowered"] == []
+        assert report["changed"] == ["player_loc"]
+        assert model.stats.artifact_patches == 0
+        assert model.stats.recompile_seconds > 0.0
+
+        cold_composition = pp.build_predator_prey("s")
+        cold_composition.mechanisms["player_loc"].function.params["slope"] = 1.5
+        cold = compile_composition(cold_composition, pipeline="default<O2>", store=False)
+        assert_bitwise_equal(model, cold)
+
+    def test_projection_matrix_edit_patches_the_receiver(self):
+        model = compile_pp()
+        matrix = edited_matrix(model.composition)
+        report = model.set_projection_matrix("player_loc", "control", matrix)
+        assert report["mode"] == "patched"
+        assert report["changed"] == ["control"]
+        # Only the receiver's compile units went stale.
+        assert report["relowered"]
+        assert all("control" in name for name in report["relowered"])
+        assert model.stats.artifact_patches == len(report["relowered"])
+
+        cold_composition = pp.build_predator_prey("s")
+        for projection in cold_composition.projections:
+            if (
+                projection.sender.name == "player_loc"
+                and projection.receiver.name == "control"
+            ):
+                projection.matrix = matrix
+        cold = compile_composition(cold_composition, pipeline="default<O2>", store=False)
+        assert_bitwise_equal(model, cold)
+
+    def test_structural_diff_discovers_the_edit_set(self):
+        model = compile_pp()
+        edited = pp.build_predator_prey("s")
+        for projection in edited.projections:
+            if (
+                projection.sender.name == "player_loc"
+                and projection.receiver.name == "control"
+            ):
+                projection.matrix = projection.matrix * 1.25
+        report = model.recompile(composition=edited)
+        assert report["mode"] == "patched"
+        assert report["changed"] == ["control"]
+        model.close_engines()
+
+    def test_unknown_changed_name_raises(self):
+        model = compile_pp()
+        with pytest.raises(KeyError, match="no_such_node"):
+            model.recompile(changed={"no_such_node"})
+        model.close_engines()
+
+    def test_unknown_parameter_and_projection_raise(self):
+        model = compile_pp()
+        with pytest.raises(KeyError):
+            model.set_parameter("player_loc", "no_such_param", 1.0)
+        with pytest.raises(KeyError):
+            model.set_projection_matrix("player_loc", "no_such_node", [[1.0]])
+        model.close_engines()
+
+
+class TestFullFallback:
+    def test_layout_incompatible_edit_falls_back_to_full(self):
+        spec = generate_model_spec(4)
+        model = compile_composition(spec.build(), pipeline="default<O2>", store=False)
+        edited_spec = copy.deepcopy(spec)
+        edited_spec.max_passes += 1  # moves the baked pass bound -> new layout
+        report = model.recompile(composition=edited_spec.build())
+        assert report["mode"] == "full"
+        assert report["reason"] == "layout incompatible"
+        # The handle stays valid and now runs the edited model.
+        cold = compile_composition(
+            edited_spec.build(), pipeline="default<O2>", store=False
+        )
+        try:
+            a = raw_buffers(model, spec.inputs, spec.num_trials, spec.run_seed, "compiled")
+            b = raw_buffers(cold, spec.inputs, spec.num_trials, spec.run_seed, "compiled")
+            assert buffers_equal(a, b) is None
+        finally:
+            model.close_engines()
+            cold.close_engines()
+
+    def test_mechanism_set_change_falls_back_to_full(self):
+        spec_a = generate_model_spec(4)
+        spec_b = generate_model_spec(6)
+        model = compile_composition(spec_a.build(), pipeline="default<O2>", store=False)
+        report = model.recompile(composition=spec_b.build())
+        assert report["mode"] == "full"
+        assert report["reason"] == "mechanism set changed"
+        model.close_engines()
+
+    def test_counters_accumulate_across_edits_and_fallbacks(self):
+        model = compile_pp()
+        model.set_parameter("player_loc", "slope", 1.5)
+        after_first = model.stats.recompile_seconds
+        matrix = edited_matrix(model.composition)
+        model.set_projection_matrix("player_loc", "control", matrix)
+        assert model.stats.recompile_seconds > after_first
+        assert model.stats.artifact_patches >= 1
+        patches_before_fallback = model.stats.artifact_patches
+        # Full fallback adopts a fresh model but keeps cumulative counters.
+        other = generate_model_spec(4)
+        report = model.recompile(composition=other.build())
+        assert report["mode"] == "full"
+        assert model.stats.artifact_patches == patches_before_fallback
+        assert model.stats.recompile_seconds > after_first
+        model.close_engines()
+
+
+class TestScaleSpecEdits:
+    def test_scale_model_edit_relowersers_one_unit(self):
+        from repro.bench.harness import _scale_edit_specs
+
+        spec = generate_scale_spec(2, n_mechanisms=16)
+        model = compile_composition(spec.build(), pipeline="default<O2>", store=False)
+        (param_edit, _), (proj_edit, receiver) = _scale_edit_specs(spec)
+
+        report = model.recompile(composition=param_edit.build())
+        assert report["mode"] == "params-only"
+
+        report = model.recompile(composition=proj_edit.build())
+        assert report["mode"] == "patched"
+        assert report["relowered"] == [f"node_{receiver}"]
+
+        cold = compile_composition(proj_edit.build(), pipeline="default<O2>", store=False)
+        try:
+            for engine in ("compiled", "ir-interp"):
+                a = raw_buffers(model, spec.inputs, spec.num_trials, spec.run_seed, engine)
+                b = raw_buffers(cold, spec.inputs, spec.num_trials, spec.run_seed, engine)
+                assert buffers_equal(a, b) is None
+        finally:
+            model.close_engines()
+            cold.close_engines()
+
+
+class TestSessionRecompile:
+    def test_session_recompile_rekeys_the_cache(self):
+        session = Session()
+        model = session.compile_model(pp.build_predator_prey("s"))
+        edited = pp.build_predator_prey("s")
+        edited.mechanisms["player_loc"].function.params["slope"] = 1.5
+        report = session.recompile(model, composition=edited)
+        assert report["mode"] == "params-only"
+
+        # The post-edit structure now hits the session cache ...
+        again = pp.build_predator_prey("s")
+        again.mechanisms["player_loc"].function.params["slope"] = 1.5
+        assert session.compile_model(again) is model
+        # ... and the pre-edit structure compiles fresh.
+        assert session.compile_model(pp.build_predator_prey("s")) is not model
+        model.close_engines()
+
+    def test_session_recompile_uses_session_store(self, tmp_path):
+        session = Session(store=tmp_path / "store")
+        model = session.compile_model(pp.build_predator_prey("s"))
+        assert model.stats.artifact_writes >= 1
+        # A structural edit that forces the full-compile fallback goes
+        # through the session's store (and publishes the fresh entries).
+        spec = generate_model_spec(4)
+        report = session.recompile(model, composition=spec.build())
+        assert report["mode"] == "full"
+        assert model.stats.artifact_writes >= 1
+        model.close_engines()

@@ -105,6 +105,26 @@ class TestSessionCaching:
         session.clear()
         assert session.cache_info() == {"hits": 0, "misses": 0, "models": 0, "instances": 0}
 
+    def test_non_default_flags_never_alias_the_clean_entry(self):
+        # Regression: flags used to freeze as raw dict items, so
+        # {"sanitize": True} could collide with a clean compile depending on
+        # spelling.  Normalization drops only *default-valued* flags.
+        session = Session()
+        clean = session.compile_model(build_stroop())
+        sanitized = session.compile_model(build_stroop(), flags={"sanitize": True})
+        cold = session.compile_model(
+            build_stroop(), flags={"analysis_cache": False}
+        )
+        assert sanitized is not clean
+        assert cold is not clean
+        assert cold is not sanitized
+        assert session.cache_info()["misses"] == 3
+
+        # Spelling a default explicitly compiles identically, so it *should*
+        # alias the clean entry.
+        assert session.compile_model(build_stroop(), flags={"analysis_cache": True}) is clean
+        assert session.compile_model(build_stroop(), flags={"sanitize": False}) is clean
+
 
 class TestCachedResultsIdentical:
     @pytest.mark.parametrize(
