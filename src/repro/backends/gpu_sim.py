@@ -179,14 +179,9 @@ class VectorizedKernelExecutor:
             )
         if name in ("rng_uniform", "rng_normal"):
             buffer, offset = value_of(instr.args[0])
-            keys = np.asarray(buffer[offset])
-            counters = np.asarray(buffer[offset + 1])
-            keys_u = np.broadcast_to(keys.astype(np.uint64), counters.shape) if counters.ndim else keys.astype(np.uint64)
-            if name == "rng_uniform":
-                values, new_counters = prng.uniform_array(keys_u, counters.astype(np.uint64))
-            else:
-                values, new_counters = prng.normal_array(keys_u, counters.astype(np.uint64))
-            buffer[offset + 1] = new_counters.astype(np.float64)
+            draw = prng.vectorized_uniform if name == "rng_uniform" else prng.vectorized_normal
+            values, new_counters = draw(buffer[offset], buffer[offset + 1])
+            buffer[offset + 1] = new_counters
             return values
         args = [np.asarray(value_of(a), dtype=float) for a in instr.args]
         vector_table = {

@@ -1,0 +1,576 @@
+"""Vectorized lane execution: numpy array programs over a batch axis.
+
+The paper's headline speedups come from compiling model evaluation to
+data-parallel kernels — one GPU thread per grid point with replicated
+per-thread state (§3.6, Figure 6).  This backend realises the same mapping
+for *batch elements*: ``run_batch`` elements become SIMT lanes, the
+structured codegen output is re-emitted so that every IR value is an
+``(n_lanes,)`` numpy array (see
+:class:`repro.backends.pycodegen.LanePythonCodeGenerator`), and one pass of
+the generated program advances the whole batch.  Per-operation cost is paid
+once per *kernel call* instead of once per lane, which is where the 10-100x
+over the scalar compiled engine comes from on wide batches.
+
+Execution model
+---------------
+
+* Every generated function takes a trailing lane mask ``_m`` (bool,
+  ``(n_lanes,)``) naming the lanes executing it.  Divergent control flow is
+  masked per structured region: conditionals run both arms under
+  complementary masks, loops iterate ``while mask.any()``, returns fold into
+  an ``_rv`` accumulator via ``np.where``.
+* Allocas share one ``(n_lanes, frame_size)`` array using the structured
+  frame planner's slot offsets; model buffers are stacked element rows of a
+  2-D float64 array.
+* The splitmix PRNG draws through
+  :func:`repro.cogframe.prng.vectorized_uniform` / ``vectorized_normal`` —
+  bit-identical per lane to the scalar inline emission, with counters
+  advanced only for active lanes.
+* Functions the relooper (or the lane lowerer) bails on run *per lane*
+  through the scalar compiled program (:func:`_per_lane`), recorded in
+  ``lane_fallbacks`` — correctness never depends on lane-lowerability.
+
+The module has two halves: the ``LANE_NAMESPACE`` runtime helpers that the
+generated lane source links against, and the ``lane`` execution engine that
+stacks ``run_batch`` elements onto the lane axis (with an optional
+mcpu-style persistent worker pool running lane chunks).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cogframe import prng
+from . import runtime
+from .pycodegen import _fdiv, _sdiv, _srem
+
+# ---------------------------------------------------------------------------
+# Runtime helpers linked into generated lane source
+# ---------------------------------------------------------------------------
+#
+# Generated lane code mixes ``(n_lanes,)`` arrays with lane-uniform Python
+# scalars (constants, values hoisted out of masked regions), so every helper
+# accepts either.  The array paths reproduce the *guarded* scalar semantics
+# of :mod:`repro.backends.runtime` bit-for-bit — the fuzz oracle's lane leg
+# compares buffers and PRNG counters against the scalar compiled engine.
+
+
+def _bmask(m, c) -> Tuple[np.ndarray, np.ndarray]:
+    """Split mask ``m`` into (true-arm, false-arm) lane masks for cond ``c``.
+
+    ``c`` may be a bool/int lane array or a lane-uniform scalar.  Coercing
+    through numpy avoids the Python ``~True == -2`` pitfall.
+    """
+    c = np.asarray(c)
+    if c.dtype != np.bool_:
+        c = c != 0
+    return m & c, m & ~c
+
+
+def _lfdiv(a, b):
+    """IEEE float division (matches ``_fdiv``: 0/0 and NaN/0 give NaN)."""
+    if not isinstance(a, np.ndarray) and not isinstance(b, np.ndarray):
+        return _fdiv(a, b)
+    with np.errstate(all="ignore"):
+        return np.divide(a, b)
+
+
+def _lfrem(a, b, m):
+    """Float remainder with ``math.fmod`` error semantics on active lanes.
+
+    ``math.fmod(x, 0)`` raises ``ValueError`` unless x is NaN; ``np.fmod``
+    quietly returns NaN — so the zero-divisor check must run explicitly,
+    ignoring inactive lanes (whose operands are garbage by design).
+    """
+    if not isinstance(a, np.ndarray) and not isinstance(b, np.ndarray):
+        if not m.any():
+            return 0.0
+        return math.fmod(a, b)
+    with np.errstate(all="ignore"):
+        bad = m & (np.asarray(b) == 0) & ~(np.asarray(a) != np.asarray(a))
+        if bad.any():
+            raise ValueError("math domain error")
+        return np.fmod(a, b)
+
+
+def _int_zero_check(b, m, message: str) -> None:
+    if bool(np.any(m & (np.asarray(b) == 0))):
+        raise ZeroDivisionError(message)
+
+
+def _lsdiv(a, b, m):
+    """Truncating signed division; zero check ignores inactive lanes."""
+    if not isinstance(a, np.ndarray) and not isinstance(b, np.ndarray):
+        if m.any():
+            return _sdiv(a, b)
+        return 0
+    _int_zero_check(b, m, "integer division by zero in IR execution")
+    a_arr = np.asarray(a)
+    b_arr = np.where(np.asarray(b) == 0, 1, b)  # inactive-lane garbage
+    q = np.abs(a_arr) // np.abs(b_arr)
+    return np.where((a_arr >= 0) == (b_arr >= 0), q, -q)
+
+
+def _lsrem(a, b, m):
+    """C-style signed remainder; zero check ignores inactive lanes."""
+    if not isinstance(a, np.ndarray) and not isinstance(b, np.ndarray):
+        if m.any():
+            return _srem(a, b)
+        return 0
+    _int_zero_check(b, m, "integer remainder by zero in IR execution")
+    a_arr = np.asarray(a)
+    b_arr = np.where(np.asarray(b) == 0, 1, b)
+    q = np.abs(a_arr) // np.abs(b_arr)
+    return a_arr - np.where((a_arr >= 0) == (b_arr >= 0), q, -q) * b_arr
+
+
+def _lsel(c, a, b):
+    """``select``: lane-wise when the condition diverges, direct otherwise."""
+    if isinstance(c, np.ndarray) and c.ndim:
+        return np.where(c != 0, a, b)
+    return a if c else b
+
+
+def _lfloat(x):
+    """``sitofp``."""
+    if isinstance(x, np.ndarray):
+        return x.astype(np.float64)
+    return float(x)
+
+
+def _lint(x):
+    """``fptosi`` with the scalar emitter's NaN guard (NaN converts to 0)."""
+    if isinstance(x, np.ndarray):
+        with np.errstate(all="ignore"):
+            return np.where(x != x, 0.0, x).astype(np.int64)
+    return 0 if x != x else int(x)
+
+
+def _ltrunc(x, bits_mask: int):
+    """``trunc`` to a narrower int width."""
+    if isinstance(x, np.ndarray):
+        return x.astype(np.int64) & bits_mask
+    return int(x) & bits_mask
+
+
+_ARANGE_CACHE: Dict[int, np.ndarray] = {}
+
+
+def _arange(n: int) -> np.ndarray:
+    cached = _ARANGE_CACHE.get(n)
+    if cached is None:
+        cached = _ARANGE_CACHE[n] = np.arange(n)
+    return cached
+
+
+def _lane_indices(buf: np.ndarray, off, m) -> np.ndarray:
+    """Validate a divergent slot-offset array against ``buf``'s row width.
+
+    Inactive lanes are clamped to slot 0, so the bounds check can run over
+    the full array without looking at garbage offsets.
+    """
+    idx = np.where(m, off, 0).astype(np.int64)
+    if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= buf.shape[1]):
+        raise IndexError(
+            f"lane slot offset out of range [0, {buf.shape[1]}) "
+            f"(min {int(idx.min())}, max {int(idx.max())})"
+        )
+    return idx
+
+
+def _lload(buf: np.ndarray, off, m) -> np.ndarray:
+    """Load one slot per lane; gathers when the offset diverges per lane.
+
+    Always returns a fresh array: basic slicing would alias the buffer and a
+    later masked store to the same slot would retroactively change the
+    loaded value (scalar loads copy).
+    """
+    if isinstance(off, np.ndarray) and off.ndim:
+        idx = _lane_indices(buf, off, m)
+        return buf[_arange(len(idx)), idx]
+    return buf[:, int(off)].copy()
+
+
+def _lstore(buf: np.ndarray, off, value, m) -> None:
+    """Store to one slot per lane, writing only active lanes."""
+    if isinstance(value, np.ndarray) and value.ndim:
+        value = value[m]
+    if isinstance(off, np.ndarray) and off.ndim:
+        idx = _lane_indices(buf, off, m)
+        buf[np.nonzero(m)[0], idx[m]] = value
+    else:
+        buf[m, int(off)] = value
+
+
+def _lrng_u(buf, off, buf1, off1, m) -> np.ndarray:
+    """``rng_uniform``: draw per lane, advance counters of active lanes."""
+    keys = _lload(buf, off, m)
+    counters = _lload(buf1, off1, m)
+    values, new_counters = prng.vectorized_uniform(keys, counters)
+    _lstore(buf1, off1, new_counters, m)
+    return values
+
+
+def _lrng_n(buf, off, buf1, off1, m) -> np.ndarray:
+    """``rng_normal``: draw per lane, advance counters of active lanes."""
+    keys = _lload(buf, off, m)
+    counters = _lload(buf1, off1, m)
+    values, new_counters = prng.vectorized_normal(keys, counters)
+    _lstore(buf1, off1, new_counters, m)
+    return values
+
+
+def _per_lane(scalar_fn, args, is_ptr, m):
+    """Dispatch each active lane to the scalar compiled program.
+
+    The universal fallback: functions the relooper or the lane lowerer
+    cannot express run lane-by-lane through the *same* scalar callable the
+    ``compiled`` engine uses, so results stay bitwise identical.  Pointer
+    args are ``(buffer, offset)`` with 2-D lane buffers; each lane's row is
+    extracted to a plain list (the scalar calling convention), mutated in
+    place, and written back.
+    """
+    n = len(m)
+    results: Dict[int, object] = {}
+    for i in np.nonzero(m)[0]:
+        i = int(i)
+        # One row list per underlying buffer so aliased pointer args share
+        # mutations, exactly as aliased scalar buffers would.
+        rows: Dict[int, Tuple[np.ndarray, list]] = {}
+        call_args = []
+        for arg, ptr in zip(args, is_ptr):
+            if ptr:
+                buf, off = arg
+                entry = rows.get(id(buf))
+                if entry is None:
+                    entry = (buf, buf[i].tolist())
+                    rows[id(buf)] = entry
+                if isinstance(off, np.ndarray) and off.ndim:
+                    off = off[i]
+                call_args.append((entry[1], int(off)))
+            elif isinstance(arg, np.ndarray) and arg.ndim:
+                call_args.append(arg[i].item())
+            else:
+                call_args.append(arg)
+        result = scalar_fn(*call_args)
+        for buf, row in rows.values():
+            buf[i, :] = row
+        if result is not None:
+            results[i] = result
+    int_like = results and all(
+        isinstance(v, (int, np.integer)) and not isinstance(v, bool)
+        for v in results.values()
+    )
+    out = np.zeros(n, dtype=np.int64 if int_like else np.float64)
+    for i, value in results.items():
+        out[i] = value
+    return out
+
+
+def _lane_pow(x, y):
+    """``pow`` with the guarded scalar semantics: ``math.pow`` raises
+    ``OverflowError``/``ValueError`` (finite overflow, ``0**-n``, …) where
+    ``np.power`` returns inf — the guard maps those cases to NaN, so patch
+    finite inputs whose numpy result is infinite."""
+    with np.errstate(all="ignore"):
+        r = np.power(x, y)
+        bad = np.isinf(r) & np.isfinite(np.asarray(x)) & np.isfinite(np.asarray(y))
+        if bad.ndim:
+            return np.where(bad, np.nan, r)
+        return float("nan") if bad else r
+
+
+def _guarded(fn):
+    def impl(*args):
+        with np.errstate(all="ignore"):
+            return fn(*args)
+
+    return impl
+
+
+#: Vectorised intrinsic implementations, element-wise equal to the guarded
+#: scalar table in :data:`repro.backends.runtime.INTRINSIC_IMPLS` (verified
+#: by the conformance tests; ``pow`` needs an explicit patch, the rest of
+#: numpy's ufuncs already match the guards — e.g. ``np.log(0.) == -inf``,
+#: ``np.sqrt(-1.) == nan``, ``np.fmin(nan, x) == x``).  Calls to intrinsics
+#: not in this table bail the function to the per-lane fallback.
+LANE_INTRINSICS = {
+    "exp": _guarded(np.exp),
+    "log": _guarded(np.log),
+    "log1p": _guarded(np.log1p),
+    "sqrt": _guarded(np.sqrt),
+    "sin": _guarded(np.sin),
+    "cos": _guarded(np.cos),
+    "tanh": _guarded(np.tanh),
+    "fabs": _guarded(np.abs),
+    "floor": _guarded(np.floor),
+    "ceil": _guarded(np.ceil),
+    "pow": _lane_pow,
+    "fmin": _guarded(np.fmin),
+    "fmax": _guarded(np.fmax),
+    "copysign": _guarded(np.copysign),
+}
+
+
+#: The exec namespace generated lane source links against (the lane analogue
+#: of :meth:`PythonCodeGenerator.exec_namespace`).
+LANE_NAMESPACE: Dict[str, object] = {
+    "_np": np,
+    "_w": np.where,
+    "_bmask": _bmask,
+    "_lfdiv": _lfdiv,
+    "_lfrem": _lfrem,
+    "_lsdiv": _lsdiv,
+    "_lsrem": _lsrem,
+    "_lsel": _lsel,
+    "_lfloat": _lfloat,
+    "_lint": _lint,
+    "_ltrunc": _ltrunc,
+    "_lload": _lload,
+    "_lstore": _lstore,
+    "_lrng_u": _lrng_u,
+    "_lrng_n": _lrng_n,
+    "_per_lane": _per_lane,
+    "_lane_intrinsics": LANE_INTRINSICS,
+}
+
+
+# ---------------------------------------------------------------------------
+# Worker-side machinery for lane-chunk execution (persistent process pool)
+# ---------------------------------------------------------------------------
+
+_WORKER_RUN = None
+
+
+def _lane_worker_init(payload) -> None:
+    """Rebuild the lane program (and its scalar fallbacks) in a worker."""
+    from .pycodegen import PythonCodeGenerator
+
+    global _WORKER_RUN
+    lane_source, scalar_source, scalar_links, module_name, run_py_name = payload
+    scalar_ns = PythonCodeGenerator.exec_namespace(module_name)
+    exec(compile(scalar_source, f"<distill:{module_name}>", "exec"), scalar_ns)
+    namespace: Dict[str, object] = dict(LANE_NAMESPACE)
+    namespace["math"] = math
+    for lane_sym, scalar_py_name in scalar_links.items():
+        namespace[lane_sym] = scalar_ns[scalar_py_name]
+    exec(compile(lane_source, f"<distill-lane:{module_name}>", "exec"), namespace)
+    _WORKER_RUN = namespace[run_py_name]
+
+
+def _lane_worker_run(task):
+    """Run one lane chunk; return the chunk's mutated buffers."""
+    params, state, prev, cur, inputs, results, monitor, trials, rows = task
+    m = np.ones(len(trials), dtype=bool)
+    with np.errstate(all="ignore"):
+        _WORKER_RUN(
+            (params, 0),
+            (state, 0),
+            (prev, 0),
+            (cur, 0),
+            (inputs, 0),
+            (results, 0),
+            (monitor, 0),
+            trials,
+            rows,
+            m,
+        )
+    return state, prev, cur, results, monitor
+
+
+def _close_pool(holder: List[Optional[mp.pool.Pool]]) -> None:
+    pool = holder[0]
+    holder[0] = None
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+# ---------------------------------------------------------------------------
+# Engine registration (see repro.driver.engines)
+# ---------------------------------------------------------------------------
+
+from ..driver.engines import EngineCapabilities, EngineInstance, register_engine  # noqa: E402
+
+_BUFFER_KEYS = ("params", "state", "prev", "cur", "inputs", "results", "monitor")
+
+
+class _LaneInstance(EngineInstance):
+    """A lane binding: lazily lane-compiles the model, stacks batches."""
+
+    def __init__(self, engine_name: str, model):
+        super().__init__(engine_name, model)
+        self._run_fn = None
+        self._lane_source: Optional[str] = None
+        self._run_py_name: Optional[str] = None
+        self._scalar_links: Dict[str, str] = {}
+        #: Functions emitted as per-lane scalar-dispatch wrappers (the lane
+        #: analogue of ``CompileStats.dispatch_fallbacks``).
+        self.lane_fallbacks: List[str] = []
+        self.lane_fallback_reasons: Dict[str, str] = {}
+        self.pool_starts = 0
+        self._pool_holder: List[Optional[mp.pool.Pool]] = [None]
+        self._pool_workers: Optional[int] = None
+        self._finalizer = weakref.finalize(self, _close_pool, self._pool_holder)
+
+    # -- lane compilation ------------------------------------------------
+    def _ensure_compiled(self):
+        if self._run_fn is None:
+            from .pycodegen import LanePythonCodeGenerator
+
+            generator = LanePythonCodeGenerator(self.model.module)
+            source = generator.generate_source()
+            extra = {
+                symbol: self.model._compiled[ir_name]
+                for symbol, ir_name in generator.scalar_symbols.items()
+            }
+            fns = generator.exec_source(source, extra)
+            self.lane_fallbacks = list(generator.lane_fallbacks)
+            self.lane_fallback_reasons = dict(generator.lane_fallback_reasons)
+            self._lane_source = source
+            self._run_py_name = generator._py_name(
+                self.model.module.functions["run_model"]
+            )
+            self._scalar_links = {
+                symbol: f"ir_{ir_name}".replace(".", "_")
+                for symbol, ir_name in generator.scalar_symbols.items()
+            }
+            self._run_fn = fns["run_model"]
+        return self._run_fn
+
+    # -- buffer stacking -------------------------------------------------
+    def _stack(self, elements) -> Dict[str, np.ndarray]:
+        n = len(elements)
+        stacked: Dict[str, np.ndarray] = {}
+        for key in _BUFFER_KEYS:
+            lanes = [buffers[key] for buffers, _ in elements]
+            width = max(len(lane) for lane in lanes)
+            arr = np.zeros((n, width))
+            for i, lane in enumerate(lanes):
+                arr[i, : len(lane)] = lane
+            stacked[key] = arr
+        stacked["num_trials"] = np.array(
+            [trials for _, trials in elements], dtype=np.int64
+        )
+        stacked["rows"] = np.array(
+            [buffers["rows"] for buffers, _ in elements], dtype=np.int64
+        )
+        return stacked
+
+    @staticmethod
+    def _unstack(stacked, elements) -> None:
+        for i, (buffers, _) in enumerate(elements):
+            for key in _BUFFER_KEYS:
+                lane = buffers[key]
+                lane[:] = stacked[key][i, : len(lane)].tolist()
+
+    # -- execution -------------------------------------------------------
+    def execute(self, buffers, num_trials, **options):
+        self.execute_batch([(buffers, num_trials)], **options)
+
+    def execute_batch(self, elements, **options):
+        if not elements:
+            return
+        run = self._ensure_compiled()
+        stacked = self._stack(elements)
+        workers = options.get("workers")
+        n_lanes = len(elements)
+        if workers and int(workers) > 1 and n_lanes >= 2 and self.model.source:
+            self._execute_pooled(stacked, int(workers))
+        else:
+            m = np.ones(n_lanes, dtype=bool)
+            with np.errstate(all="ignore"):
+                run(
+                    (stacked["params"], 0),
+                    (stacked["state"], 0),
+                    (stacked["prev"], 0),
+                    (stacked["cur"], 0),
+                    (stacked["inputs"], 0),
+                    (stacked["results"], 0),
+                    (stacked["monitor"], 0),
+                    stacked["num_trials"],
+                    stacked["rows"],
+                    m,
+                )
+        self._unstack(stacked, elements)
+
+    # -- worker pool (lane chunks) ---------------------------------------
+    def _ensure_pool(self, workers: int) -> mp.pool.Pool:
+        pool = self._pool_holder[0]
+        if pool is not None and self._pool_workers == workers:
+            return pool
+        if pool is not None:
+            _close_pool(self._pool_holder)
+        payload = (
+            self._lane_source,
+            self.model.source,
+            self._scalar_links,
+            self.model.module.name,
+            self._run_py_name,
+        )
+        context = mp.get_context("spawn" if os.name == "nt" else "fork")
+        pool = context.Pool(
+            processes=workers, initializer=_lane_worker_init, initargs=(payload,)
+        )
+        self._pool_holder[0] = pool
+        self._pool_workers = workers
+        self.pool_starts += 1
+        return pool
+
+    def _execute_pooled(self, stacked, workers: int) -> None:
+        n_lanes = len(stacked["num_trials"])
+        workers = min(workers, n_lanes)
+        pool = self._ensure_pool(workers)
+        chunk = (n_lanes + workers - 1) // workers
+        spans = [
+            (start, min(start + chunk, n_lanes))
+            for start in range(0, n_lanes, chunk)
+        ]
+        tasks = [
+            tuple(
+                stacked[key][start:stop]
+                for key in _BUFFER_KEYS + ("num_trials", "rows")
+            )
+            for start, stop in spans
+        ]
+        for (start, stop), (state, prev, cur, results, monitor) in zip(
+            spans, pool.map(_lane_worker_run, tasks)
+        ):
+            stacked["state"][start:stop] = state
+            stacked["prev"][start:stop] = prev
+            stacked["cur"][start:stop] = cur
+            stacked["results"][start:stop] = results
+            stacked["monitor"][start:stop] = monitor
+
+    def close(self) -> None:
+        _close_pool(self._pool_holder)
+        self._pool_workers = None
+
+
+@register_engine
+class LaneEngine:
+    """Batch elements as SIMT lanes over numpy array programs (``lane``)."""
+
+    name = "lane"
+
+    def capabilities(self) -> EngineCapabilities:
+        return EngineCapabilities(
+            name=self.name,
+            description=(
+                "structured codegen re-emitted as numpy array programs over a "
+                "lane axis: run_batch elements execute in lockstep under "
+                "divergence masks (DISTILL-GPU's per-thread mapping, applied "
+                "to batches); bitwise identical to the scalar compiled engine"
+            ),
+            parallel=True,
+            supports_workers=True,
+        )
+
+    def prepare(self, model) -> EngineInstance:
+        return _LaneInstance(self.name, model)

@@ -905,6 +905,286 @@ class _StructuredFunction:
         return [p for p in preds if not loop.contains(p)]
 
 
+class _LaneFunction(_StructuredFunction):
+    """Masked (SIMT) variant of the structured emitter for the lane backend.
+
+    Reuses the relooper, frame planner and pointer planner of
+    :class:`_StructuredFunction` unchanged, but renders every structured
+    region under an explicit *lane mask*: an ``(n_lanes,)`` bool array naming
+    which lanes are executing the region.  Control transfers become mask
+    algebra instead of Python control flow:
+
+    * a conditional splits the current mask into complementary arm masks and
+      runs both arms (each skipped entirely when no lane takes it);
+    * ``continue``/``break``/fall-through-to-merge accumulate the jumping
+      lanes into the target region's entry-mask accumulator;
+    * a loop iterates ``while`` any lane's mask is live;
+    * ``return`` folds the returning lanes' value into an ``_rv`` accumulator
+      (they drop out of every mask naturally — no further accumulation).
+
+    SSA temps are computed full-width (inactive lanes produce garbage that is
+    never observed: every *use* executes under a mask that is a subset of the
+    def's region mask within the same loop iteration).  The one place that
+    invariant breaks is a value defined inside a loop and read after it — a
+    later iteration recomputes the variable full-width, clobbering lanes that
+    already left.  Those *live-outs* are therefore captured per lane at each
+    break site (``v__xN = where(break_mask, v, v__xN)``) and rebound after
+    the loop.  Capture sites always read a well-defined current-iteration
+    value: a def used past the loop must dominate the loop's single exit
+    target, hence every break-site block.
+    """
+
+    def __init__(self, gen: "PythonCodeGenerator", fn: Function):
+        super().__init__(gen, fn)
+        self.cur_mask = "_m"
+        self._loop_counter = 0
+        self._cond_counter = 0
+        #: id(loop header) -> runtime local names live-out of that loop.
+        self.loop_liveouts: Dict[int, List[str]] = {}
+        self._plan_liveouts()
+
+    # ------------------------------------------------------------------
+    # Loop live-out planning
+    # ------------------------------------------------------------------
+    def _plan_liveouts(self) -> None:
+        gen = self.gen
+        for loop in self.loopinfo.loops:
+            member_ids = {id(b) for b in loop.blocks}
+            outs: List[str] = []
+            seen: set[str] = set()
+            for block in loop.blocks:
+                if id(block) not in self._reachable_ids:
+                    continue
+                for instr in block.instructions:
+                    if instr.type.is_void or isinstance(instr, Alloca):
+                        continue
+                    if isinstance(instr, GEP):
+                        # Only a dynamic GEP materialises a runtime local.
+                        if id(instr) not in self.gep_code:
+                            continue
+                        local = f"{gen._name(instr)}_off"
+                    else:
+                        local = gen._name(instr)
+                    if local in seen:
+                        continue
+                    if self._used_outside(instr, member_ids):
+                        seen.add(local)
+                        outs.append(local)
+            self.loop_liveouts[id(loop.header)] = outs
+
+    def _used_outside(self, instr, member_ids: set) -> bool:
+        for user in instr.uses:
+            if isinstance(user, Phi):
+                blocks = [b for v, b in user.incoming() if v is instr]
+            else:
+                blocks = [user.parent] if user.parent is not None else []
+            for block in blocks:
+                if id(block) in self._reachable_ids and id(block) not in member_ids:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Per-call prologue (lane layout: 2-D frame, no sanitizer)
+    # ------------------------------------------------------------------
+    def prologue(self) -> List[str]:
+        lines = ["_zf = _np.zeros(len(_m), dtype=bool)"]
+        if self.frame_size:
+            lines.append(f"_frame = _np.zeros((len(_m), {self.frame_size}))")
+        for (base, const), name in sorted(self.hoisted.items(), key=lambda kv: kv[1]):
+            op = f"+ {const}" if const > 0 else f"- {-const}"
+            lines.append(f"{name} = {base} {op}")
+        for (buf, base, const), name in sorted(
+            self._pointer_tuples.items(), key=lambda kv: kv[1]
+        ):
+            off = self._offset_expr(_Ptr(buf, base, const))
+            lines.append(f"{name} = ({buf}, {off})")
+        return lines
+
+    def emit_alloca(self, instr: Alloca) -> List[str]:
+        plan = self.alloca_plans[id(instr)]
+        if not plan.zero_at_site:
+            return []  # the frame is zero-filled at function entry
+        if plan.size == 1:
+            return [f"_frame[{self.cur_mask}, {plan.start}] = 0.0"]
+        return [
+            f"_frame[{self.cur_mask}, {plan.start}:{plan.start + plan.size}] = 0.0"
+        ]
+
+    # ------------------------------------------------------------------
+    # The masked relooper
+    # ------------------------------------------------------------------
+    def emit(self) -> List[str]:
+        lines = self._emit_chain(self.fn.entry_block, (), 0, "_m")
+        if len(self.emitted) != len(self.reachable):
+            raise _Bailout(
+                f"structured emission missed blocks in @{self.fn.name}"
+            )
+        return lines
+
+    def _emit_chain(
+        self, block: BasicBlock, ctx: tuple, depth: int, mask: str
+    ) -> List[str]:
+        if depth > self._MAX_DEPTH:
+            raise _Bailout(f"region nesting too deep in @{self.fn.name}")
+        if id(block) in self.emitted:
+            raise _Bailout(f"block {block.name} reached twice in @{self.fn.name}")
+        self.emitted.add(id(block))
+        loop = self.loops_by_header.get(id(block))
+        if loop is not None:
+            follow = self.loop_follow[id(block)]
+            index = self._loop_counter
+            self._loop_counter += 1
+            live, brk, cont = f"_lm{index}", f"_bm{index}", f"_cm{index}"
+            outs = self.loop_liveouts.get(id(block), [])
+            # Int inits: np.where promotes to float on the first capture of a
+            # float value, while a float init would poison int live-outs.
+            lines = [f"{name}__x{index} = 0" for name in outs]
+            lines += [f"{live} = {mask}", f"{brk} = _zf"]
+            inner_ctx = ctx + ((self._LOOP, block, follow, cont, brk, index),)
+            body = [f"{cont} = _zf"]
+            body += self._emit_block_code(block, inner_ctx, depth + 1, live)
+            body.append(f"{live} = {cont}")
+            lines.append(f"while {live}.any():")
+            lines.extend(f"    {line}" for line in body)
+            lines.extend(f"{name} = {name}__x{index}" for name in outs)
+            if follow is not None:
+                jump = self._try_goto(follow, ctx, [], brk)
+                if jump is not None:
+                    lines.extend(jump)
+                else:
+                    lines.extend(self._emit_chain(follow, ctx, depth + 1, brk))
+            return lines
+        return self._emit_block_code(block, ctx, depth + 1, mask)
+
+    def _emit_block_code(
+        self, block: BasicBlock, ctx: tuple, depth: int, mask: str
+    ) -> List[str]:
+        gen = self.gen
+        self.cur_mask = mask
+        lines: List[str] = []
+        term = None
+        for instr in block.instructions:
+            if isinstance(instr, Phi):
+                continue
+            if instr.is_terminator:
+                term = instr
+                break
+            lines.extend(gen._emit_instruction(instr, self))
+        if term is None:
+            raise _Bailout(f"block {block.name} has no terminator")
+        if isinstance(term, Return):
+            if term.value is not None:
+                lines.append(f"_rv = _w({mask}, {gen._name(term.value)}, _rv)")
+            # Returned lanes simply join no accumulator and die out.
+            return lines
+        if isinstance(term, Branch):
+            lines.extend(self._realize_edge(block, term.target, ctx, depth, mask))
+            return lines
+        if isinstance(term, CondBranch):
+            lines.extend(self._emit_cond(block, term, ctx, depth, mask))
+            return lines
+        raise _Bailout(f"unsupported terminator {term.opcode}")
+
+    def _emit_cond(
+        self, block: BasicBlock, term: CondBranch, ctx: tuple, depth: int, mask: str
+    ) -> List[str]:
+        deferred = self._deferred_ids(ctx)
+        merges = [
+            child
+            for child in self.domtree.children.get(block, [])
+            if id(child) in self._reachable_ids
+            and id(child) not in self.emitted
+            and id(child) not in deferred
+            and len(self._forward_preds(child)) >= 2
+        ]
+        merges.sort(key=lambda b: self.rpo_index[id(b)])
+        acc = {id(m): f"_fm{self.rpo_index[id(m)]}" for m in merges}
+        arm_ctx = ctx + tuple(
+            (self._FOLLOW, m, acc[id(m)]) for m in reversed(merges)
+        )
+        index = self._cond_counter
+        self._cond_counter += 1
+        tmask, fmask = f"_tm{index}", f"_em{index}"
+
+        lines: List[str] = [f"{acc[id(m)]} = _zf" for m in merges]
+        cond = self.gen._name(term.condition)
+        lines.append(f"{tmask}, {fmask} = _bmask({mask}, {cond})")
+        true_lines = self._realize_edge(block, term.true_block, arm_ctx, depth, tmask)
+        false_lines = self._realize_edge(block, term.false_block, arm_ctx, depth, fmask)
+        # Each arm is skipped wholesale when no lane takes it — safe because
+        # everything dominated by an arm entry is emitted textually inside
+        # the arm, so a skipped arm can't strand a later (unguarded) use.
+        if true_lines:
+            lines.append(f"if {tmask}.any():")
+            lines.extend(f"    {line}" for line in true_lines)
+        if false_lines:
+            lines.append(f"if {fmask}.any():")
+            lines.extend(f"    {line}" for line in false_lines)
+        for i, merge in enumerate(merges):
+            rest = ctx + tuple(
+                (self._FOLLOW, m, acc[id(m)]) for m in reversed(merges[i + 1 :])
+            )
+            lines.extend(self._emit_chain(merge, rest, depth + 1, acc[id(merge)]))
+        return lines
+
+    def _realize_edge(
+        self, source: BasicBlock, target: BasicBlock, ctx: tuple, depth: int, mask: str
+    ) -> List[str]:
+        copies = self._lane_phi_copies(source, target, mask)
+        jump = self._try_goto(target, ctx, copies, mask)
+        if jump is not None:
+            return jump
+        forward = self._forward_preds(target)
+        if id(target) in self.emitted or len(forward) != 1 or forward[0] is not source:
+            raise _Bailout(
+                f"edge {source.name} -> {target.name} in @{self.fn.name} is "
+                f"not expressible structurally"
+            )
+        return copies + self._emit_chain(target, ctx, depth + 1, mask)
+
+    def _try_goto(
+        self, target: BasicBlock, ctx: tuple, copies: List[str], mask: str
+    ) -> Optional[List[str]]:
+        allow_fallthrough = True
+        for entry in reversed(ctx):
+            if entry[0] == self._FOLLOW:
+                if allow_fallthrough and entry[1] is target:
+                    accumulator = entry[2]
+                    return copies + [f"{accumulator} = {accumulator} | {mask}"]
+                allow_fallthrough = False
+            else:  # loop
+                _, header, follow, cont, brk, index = entry
+                if header is target:
+                    return copies + [f"{cont} = {cont} | {mask}"]
+                if follow is target:
+                    captures = [
+                        f"{name}__x{index} = _w({mask}, {name}, {name}__x{index})"
+                        for name in self.loop_liveouts.get(id(header), [])
+                    ]
+                    return copies + captures + [f"{brk} = {brk} | {mask}"]
+                return None
+        return None
+
+    def _lane_phi_copies(
+        self, source: BasicBlock, target: BasicBlock, mask: str
+    ) -> List[str]:
+        gen = self.gen
+        targets: List[str] = []
+        sources: List[str] = []
+        for phi in target.phis():
+            incoming = phi.incoming_for_block(source)
+            if incoming is None:
+                continue
+            phi_name = gen._name(phi)
+            value_name = gen._name(incoming)
+            if phi_name != value_name:
+                targets.append(phi_name)
+                sources.append(f"_w({mask}, {value_name}, {phi_name})")
+        if not targets:
+            return []
+        return [f"{', '.join(targets)} = {', '.join(sources)}"]
+
+
 class PythonCodeGenerator:
     """Translates every defined function of a module into Python source.
 
@@ -1457,6 +1737,221 @@ class PythonCodeGenerator:
             lines.append("continue")
             return lines
         raise NotImplementedError(f"terminator {instr.opcode}")
+
+
+#: Lane-mode binops that lower to plain elementwise expressions.  Division
+#: and remainder need helpers (IEEE semantics / masked zero checks), so they
+#: are handled explicitly in :meth:`LanePythonCodeGenerator._emit_instruction`.
+_LANE_INLINE_BINOPS = frozenset(
+    ("fadd", "fsub", "fmul", "add", "sub", "mul", "and", "or", "xor", "shl", "ashr")
+)
+
+
+class LanePythonCodeGenerator(PythonCodeGenerator):
+    """Lane-emission mode: lower structured codegen to numpy array programs.
+
+    Every IR value becomes an ``(n_lanes,)`` array (or a lane-uniform Python
+    scalar, e.g. a constant), every generated function takes a trailing lane
+    mask ``_m``, allocas share one ``(n_lanes, frame_size)`` array using the
+    structured planner's slot offsets, and the splitmix PRNG draws through
+    :func:`repro.cogframe.prng.vectorized_uniform` / ``vectorized_normal`` —
+    bit-identical per lane to the scalar inline emission.
+
+    Functions the relooper bails on (irreducible CFGs, multi-exit loops …)
+    are emitted as per-lane wrappers that dispatch each active lane to the
+    scalar compiled program, recorded in :attr:`lane_fallbacks` — the lane
+    engine's analogue of ``dispatch_fallbacks``.
+    """
+
+    def __init__(self, module: Module, prefix: str = "lane", analysis_manager=None):
+        super().__init__(
+            module,
+            prefix=prefix,
+            structured=True,
+            analysis_manager=analysis_manager,
+            sanitize=False,
+        )
+        #: Functions emitted as per-lane scalar-dispatch wrappers.
+        self.lane_fallbacks: List[str] = []
+        #: function name -> the relooper/lowering bail reason.
+        self.lane_fallback_reasons: Dict[str, str] = {}
+        #: exec-namespace symbol -> IR function name of the scalar callable
+        #: the symbol must be bound to (fed from ``CompiledModel._compiled``).
+        self.scalar_symbols: Dict[str, str] = {}
+
+    # -- linking -------------------------------------------------------
+    def exec_namespace(
+        self, module_name: str, extra_symbols: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        from . import lane as lane_runtime
+
+        namespace: Dict[str, object] = dict(lane_runtime.LANE_NAMESPACE)
+        namespace["math"] = math
+        if extra_symbols:
+            namespace.update(extra_symbols)
+        return namespace
+
+    # -- per function --------------------------------------------------
+    def _emit_function(self, fn: Function) -> List[str]:
+        try:
+            return self._emit_function_lane(fn)
+        except _Bailout as exc:
+            self.lane_fallbacks.append(fn.name)
+            self.lane_fallback_reasons[fn.name] = str(exc)
+            return self._emit_function_per_lane(fn)
+
+    def _emit_function_lane(self, fn: Function) -> List[str]:
+        emitter = _LaneFunction(self, fn)
+        body = emitter.emit()
+        arg_names = [self._name(arg) for arg in fn.args]
+        lines = [f"def {self._py_name(fn)}({', '.join(arg_names + ['_m'])}):"]
+        prologue: List[str] = []
+        for arg in fn.args:
+            if arg.type.is_pointer:
+                name = self._name(arg)
+                prologue.append(f"{name}_buf, {name}_off = {name}")
+        prologue.extend(emitter.prologue())
+        # Phi locals must exist before their first masked np.where update
+        # (lanes outside the update mask read the previous binding).
+        for block in fn.blocks:
+            if id(block) not in emitter._reachable_ids:
+                continue
+            for phi in block.phis():
+                init = "0.0" if phi.type.is_float else "0"
+                prologue.append(f"{self._name(phi)} = {init}")
+        returns_float = any(
+            isinstance(instr, Return)
+            and instr.value is not None
+            and instr.value.type.is_float
+            for instr in fn.instructions()
+        )
+        if not fn.return_type.is_void:
+            prologue.append("_rv = 0.0" if returns_float else "_rv = 0")
+            body = body + ["return _rv"]
+        lines.extend(f"    {line}" for line in prologue + body)
+        return lines
+
+    def _emit_function_per_lane(self, fn: Function) -> List[str]:
+        """Fallback wrapper: dispatch each active lane to the scalar program."""
+        arg_names = [self._name(arg) for arg in fn.args]
+        ptr_flags = tuple(bool(arg.type.is_pointer) for arg in fn.args)
+        scalar_sym = f"_scalar_{fn.name}".replace(".", "_")
+        self.scalar_symbols[scalar_sym] = fn.name
+        packed = ", ".join(arg_names)
+        if len(arg_names) == 1:
+            packed += ","
+        return [
+            f"def {self._py_name(fn)}({', '.join(arg_names + ['_m'])}):",
+            f"    return _per_lane({scalar_sym}, ({packed}), {ptr_flags!r}, _m)",
+        ]
+
+    # -- per instruction ------------------------------------------------
+    def _emit_instruction(self, instr, ptrs) -> List[str]:
+        name = self._name(instr)
+        mask = ptrs.cur_mask
+        if isinstance(instr, BinaryOp):
+            a, b = self._name(instr.lhs), self._name(instr.rhs)
+            op = instr.opcode
+            if op in _LANE_INLINE_BINOPS:
+                return [f"{name} = " + _BINOP_FMT[op].format(a=a, b=b)]
+            if op == "fdiv":
+                return [f"{name} = _lfdiv({a}, {b})"]
+            if op == "frem":
+                # math.fmod(x, 0) raises; the check must ignore inactive lanes.
+                return [f"{name} = _lfrem({a}, {b}, {mask})"]
+            # sdiv/srem: the zero check must ignore inactive lanes.
+            return [f"{name} = _l{op}({a}, {b}, {mask})"]
+        if isinstance(instr, FCmp):
+            a, b = self._name(instr.lhs), self._name(instr.rhs)
+            if instr.predicate in _FCMP_FMT:
+                # Elementwise numpy comparisons are already False for NaN.
+                return [f"{name} = " + _FCMP_FMT[instr.predicate].format(a=a, b=b)]
+            combine = "&" if instr.predicate == "ord" else "|"
+            eq = "==" if instr.predicate == "ord" else "!="
+            return [f"{name} = (({a} {eq} {a}) {combine} ({b} {eq} {b}))"]
+        if isinstance(instr, ICmp):
+            expr = _ICMP_FMT[instr.predicate].format(
+                a=self._name(instr.lhs), b=self._name(instr.rhs)
+            )
+            return [f"{name} = {expr}"]
+        if isinstance(instr, Select):
+            return [
+                f"{name} = _lsel({self._name(instr.condition)}, "
+                f"{self._name(instr.true_value)}, {self._name(instr.false_value)})"
+            ]
+        if isinstance(instr, Cast):
+            return [self._emit_lane_cast(instr, name)]
+        if isinstance(instr, Alloca):
+            return ptrs.emit_alloca(instr)
+        if isinstance(instr, Load):
+            ptr = ptrs.ptrs[id(instr.pointer)]
+            buf, off = ptrs.pointer_ref(instr.pointer)
+            if ptr.base is None:
+                # .copy(): basic slicing aliases the buffer, and a later
+                # masked store to the slot must not rewrite loaded values.
+                return [f"{name} = {buf}[:, {off}].copy()"]
+            # An arg-relative or GEP-relative offset may be a lane array at
+            # run time (callers pass divergent pointer offsets): gather.
+            # A dynamic GEP offset may be a lane array: gather per lane.
+            return [f"{name} = _lload({buf}, {off}, {mask})"]
+        if isinstance(instr, Store):
+            buf, off = ptrs.pointer_ref(instr.pointer)
+            return [f"_lstore({buf}, {off}, {self._name(instr.value)}, {mask})"]
+        if isinstance(instr, GEP):
+            return ptrs.emit_gep(instr)
+        if isinstance(instr, Call):
+            return self._emit_lane_call(instr, name, ptrs, mask)
+        raise _Bailout(f"cannot lane-lower {instr.opcode}")
+
+    def _emit_lane_cast(self, instr: Cast, name: str) -> str:
+        source = self._name(instr.value)
+        if instr.opcode == "sitofp":
+            return f"{name} = _lfloat({source})"
+        if instr.opcode == "fptosi":
+            return f"{name} = _lint({source})"
+        if instr.opcode in ("zext", "sext"):
+            # i1 sources may be bool arrays; ``+ 0`` promotes them to int
+            # lanes exactly as Python bools promote in the scalar emitter.
+            if getattr(instr.value.type, "width", None) == 1:
+                return f"{name} = ({source} + 0)"
+            return f"{name} = {source}"
+        if instr.opcode in ("bitcast", "fpext", "fptrunc"):
+            return f"{name} = {source}"
+        if instr.opcode == "trunc":
+            mask = (1 << instr.type.width) - 1
+            return f"{name} = _ltrunc({source}, {mask})"
+        raise _Bailout(f"cast {instr.opcode}")
+
+    def _emit_lane_call(self, instr: Call, name: str, ptrs, mask: str) -> List[str]:
+        callee = instr.callee
+        if callee.intrinsic_name is not None:
+            intrinsic = callee.intrinsic_name
+            if intrinsic in ("rng_uniform", "rng_normal"):
+                buf, off = ptrs.pointer_ref(instr.args[0])
+                buf1, off1 = ptrs.pointer_ref_plus1(instr.args[0])
+                helper = "_lrng_u" if intrinsic == "rng_uniform" else "_lrng_n"
+                call = f"{helper}({buf}, {off}, {buf1}, {off1}, {mask})"
+            else:
+                from . import lane as lane_runtime
+
+                if intrinsic not in lane_runtime.LANE_INTRINSICS:
+                    raise _Bailout(f"no lane lowering for intrinsic {intrinsic}")
+                target = self._alias(
+                    f"_li_{intrinsic}", f"_lane_intrinsics[{intrinsic!r}]"
+                )
+                args = ", ".join(self._name(arg) for arg in instr.args)
+                call = f"{target}({args})"
+            if instr.type.is_void:
+                return [call]
+            return [f"{name} = {call}"]
+        arg_exprs = [
+            ptrs.call_arg(arg) if arg.type.is_pointer else self._name(arg)
+            for arg in instr.args
+        ]
+        call = f"{self._py_name(callee)}({', '.join(arg_exprs + [mask])})"
+        if instr.type.is_void:
+            return [call]
+        return [f"{name} = {call}"]
 
 
 def compile_module_to_python(module: Module, structured: bool = True) -> Dict[str, object]:

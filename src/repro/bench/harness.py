@@ -202,13 +202,19 @@ def figure5a_report(
         compiled_time = _time_call(
             lambda: compiled.run(inputs, num_trials=1, seed=0, engine="compiled")
         )
+        speedup = (
+            (reference_time / compiled_time)
+            if reference_time == reference_time
+            else float("nan")
+        )
         report.add(
             variant=variant.upper(),
             levels_per_entity=levels,
             evaluations=evaluations,
             reference_s=reference_time,
             distill_s=compiled_time,
-            speedup=(reference_time / compiled_time) if reference_time == reference_time else float("nan"),
+            speedup=speedup,
+            regression=bool(speedup < 1.0),
         )
     if include_xl:
         levels = xl_levels
@@ -226,19 +232,36 @@ def figure5a_report(
             serial_time = _time_call(
                 lambda: compiled.run(inputs, num_trials=1, seed=0, engine="compiled")
             )
+        xl_speedup = (
+            (estimated_reference / compiled_time)
+            if estimated_reference == estimated_reference
+            else float("nan")
+        )
         report.add(
             variant="XL",
             levels_per_entity=levels,
             evaluations=evaluations,
             reference_s=estimated_reference,
             distill_s=serial_time if serial_time == serial_time else compiled_time,
-            speedup=(estimated_reference / compiled_time)
-            if estimated_reference == estimated_reference
-            else float("nan"),
+            speedup=xl_speedup,
+            regression=bool(xl_speedup < 1.0),
         )
         report.note(
             "XL reference time is extrapolated from the measured per-evaluation cost "
             "(the paper's CPython XL run did not finish within 24 hours either)."
+        )
+    regressed = [row["variant"] for row in report.rows if row.get("regression")]
+    if regressed:
+        winners = [
+            row["variant"]
+            for row in report.rows
+            if not row.get("regression") and row["speedup"] == row["speedup"]
+        ]
+        report.note(
+            f"compilation overhead dominates the smallest grids: {', '.join(regressed)} "
+            f"run slower compiled than interpreted (speedup < 1), and the crossover "
+            f"sits between {regressed[-1]} and {winners[0] if winners else '?'} — "
+            "distill wins as the evaluation count grows, not uniformly."
         )
     return report
 
@@ -276,6 +299,88 @@ def figure5b_report(cycles: int = 100, trials: int = 20) -> FigureReport:
             normalised=seconds / reference,
             speedup=reference / seconds,
             paper_speedup=paper_speedup,
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Figure 5b (lanes) — batched execution: scalar compiled vs the lane engine
+# ---------------------------------------------------------------------------
+
+#: Workload table for :func:`figure5b_lane_report`.  Each entry is
+#: ``(name, build, inputs, lanes, trials, gate)``; ``gate=True`` rows are the
+#: loop-heavy grid-search workloads the CI speedup floor is asserted over,
+#: the rest are context (settling-style models vectorise less profitably).
+def _fig5b_lane_workloads(quick: bool):
+    from ..models import necker
+
+    pp_inputs = pp_model.default_inputs(1)
+    if quick:
+        return [
+            ("predator_prey_m", lambda: pp_model.build_predator_prey("m"), pp_inputs, 1024, 2, True),
+            ("predator_prey_l", lambda: pp_model.build_predator_prey("l"), pp_inputs, 512, 2, True),
+        ]
+    return [
+        ("predator_prey_m", lambda: pp_model.build_predator_prey("m"), pp_inputs, 1024, 2, True),
+        ("predator_prey_l", lambda: pp_model.build_predator_prey("l"), pp_inputs, 1024, 2, True),
+        ("predator_prey_l", lambda: pp_model.build_predator_prey("l"), pp_inputs, 8, 2, False),
+        ("necker_cube_s", necker.build_necker_cube_s, necker.default_inputs(3), 1024, 2, False),
+    ]
+
+
+def figure5b_lane_report(quick: bool = False) -> FigureReport:
+    """Batched ``run_batch``: scalar compiled vs the vectorised lane engine.
+
+    A repro-only extension of Figure 5: every batch element becomes one SIMT
+    lane of a numpy array program (see DESIGN.md, "Lane backend"), so the
+    speedup over the scalar compiled engine grows with the batch size.  The
+    8-lane predator-prey row documents the other side of the crossover — at
+    small batches the masked whole-batch sweeps cost more than they save, and
+    the row is flagged ``regression`` exactly like Figure 5a's S variant.
+    """
+    report = FigureReport(
+        "Figure 5b (lanes)",
+        "Batched grid-search execution: scalar compiled vs the lane engine",
+    )
+    for name, build, inputs, lanes, trials, gate in _fig5b_lane_workloads(quick):
+        compiled = SESSION.compile_model(build())
+        scalar = compiled.engine_instance("compiled")
+        lane = compiled.engine_instance("lane")
+        batch = [inputs] * lanes
+        seeds = list(range(lanes))
+        # Warm both engines (lane codegen is lazy; timing measures execution).
+        scalar.run_batch(batch[:2], num_trials=trials, seed=seeds[:2])
+        lane.run_batch(batch[:2], num_trials=trials, seed=seeds[:2])
+        scalar_s = _time_call(
+            lambda: scalar.run_batch(batch, num_trials=trials, seed=seeds)
+        )
+        lane_s = _time_call(
+            lambda: lane.run_batch(batch, num_trials=trials, seed=seeds)
+        )
+        speedup = scalar_s / lane_s
+        report.add(
+            workload=name,
+            lanes=lanes,
+            trials=trials,
+            compiled_s=scalar_s,
+            lane_s=lane_s,
+            speedup=speedup,
+            lane_fallbacks=len(lane.lane_fallbacks),
+            gate=gate,
+            regression=bool(speedup < 1.0),
+        )
+    report.note(
+        "Lanes are batch elements: the lane engine stacks every element's "
+        "buffers into (n_lanes, slots) arrays and runs the masked array "
+        "program once; rows with gate=true carry the CI speedup floor."
+    )
+    regressed = [
+        f"{row['workload']}@{row['lanes']}" for row in report.rows if row["regression"]
+    ]
+    if regressed:
+        report.note(
+            f"regression rows ({', '.join(regressed)}): below the batch-size "
+            "crossover the masked sweeps cost more than the per-element loop."
         )
     return report
 
@@ -955,6 +1060,7 @@ def all_reports(quick: bool = True) -> List[FigureReport]:
         figure4_report(trials_scale=0.5 if quick else 1.0),
         figure5a_report(variants=("s", "m", "l"), include_xl=not quick, xl_levels=40 if quick else 100),
         figure5b_report(trials=10 if quick else 20),
+        figure5b_lane_report(quick=quick),
         figure5c_report(levels_per_entity=12 if quick else 20),
         figure6_report(),
         figure7_report(trials=2 if quick else 4),

@@ -8,18 +8,20 @@ FigureReport` rows into ``BENCH_<name>.json`` files with the schema
 
     {"bench": "fig8", "commit": "<hex|unknown>", "rows": [{...}, ...]}
 
-``BENCH_fig5a.json`` (predator-prey scaling), ``BENCH_fig8.json``
-(dispatch-loop vs structured codegen) and ``BENCH_fig7_scale.json`` (compile
-cost vs mechanism count + edit-recompile vs full compile) are committed at
-the repository root; the CI perf-smoke job regenerates the first two (and
-sanity-asserts that the compiled engine beats the IR interpreter by a
-healthy factor), while the compile-cost job regenerates ``fig7_scale`` and
-uploads all fresh JSON as artifacts.
+``BENCH_fig5a.json`` (predator-prey scaling), ``BENCH_fig5b_lanes.json``
+(batched scalar-vs-lane execution), ``BENCH_fig8.json`` (dispatch-loop vs
+structured codegen) and ``BENCH_fig7_scale.json`` (compile cost vs mechanism
+count + edit-recompile vs full compile) are committed at the repository
+root; the CI perf-smoke job regenerates the first three (and sanity-asserts
+that the compiled engine beats the IR interpreter and the lane engine beats
+scalar compiled by healthy factors), while the compile-cost job regenerates
+``fig7_scale`` and uploads all fresh JSON as artifacts.
 
 CLI::
 
     python -m repro.bench.json_out --out-dir . [--quick] \
-        [--assert-compiled-vs-interp 3.0] [--benches fig5a,fig8]
+        [--assert-compiled-vs-interp 3.0] [--assert-lane-vs-compiled 5.0] \
+        [--benches fig5a,fig5b_lanes,fig8]
 """
 
 from __future__ import annotations
@@ -36,6 +38,7 @@ from .harness import (
     FigureReport,
     _time_call,
     figure5a_report,
+    figure5b_lane_report,
     figure7_scale_report,
     figure8_report,
 )
@@ -125,11 +128,38 @@ def _build_fig7_scale(quick: bool) -> FigureReport:
     return figure7_scale_report(sizes=(50, 100, 200, 500), edit_point=200)
 
 
+def _build_fig5b_lanes(quick: bool) -> FigureReport:
+    return figure5b_lane_report(quick=quick)
+
+
 BENCH_BUILDERS = {
     "fig5a": _build_fig5a,
+    "fig5b_lanes": _build_fig5b_lanes,
     "fig7_scale": _build_fig7_scale,
     "fig8": _build_fig8,
 }
+
+
+def check_lane_floor(report: FigureReport, factor: float) -> None:
+    """Raise ``AssertionError`` when a gated lane row misses ``factor``.
+
+    Only ``gate=True`` rows (the loop-heavy grid-search workloads) carry the
+    floor; context rows — including the deliberate below-crossover regression
+    row — are exempt.
+    """
+    gated = [row for row in report.rows if row.get("gate")]
+    if not gated:
+        raise AssertionError("lane floor check found no gated rows")
+    offenders = [row for row in gated if row["speedup"] < factor]
+    if offenders:
+        detail = ", ".join(
+            f"{row['workload']}@{row['lanes']}={row['speedup']:.2f}x"
+            for row in offenders
+        )
+        raise AssertionError(
+            f"perf smoke failed: lane beat scalar compiled by less than "
+            f"{factor}x on {detail}"
+        )
 
 
 def measure_compiled_vs_interp(
@@ -216,19 +246,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also run the 2-model compiled-vs-ir-interp sanity check and fail "
         "below FACTOR (writes BENCH_perf_smoke.json)",
     )
+    parser.add_argument(
+        "--assert-lane-vs-compiled",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="fail when a gated fig5b_lanes row beats scalar compiled by less "
+        "than FACTOR (requires fig5b_lanes in --benches)",
+    )
     args = parser.parse_args(argv)
 
     os.makedirs(args.out_dir, exist_ok=True)
     commit = current_commit()
+    lane_report: Optional[FigureReport] = None
     for bench in [b.strip() for b in args.benches.split(",") if b.strip()]:
         builder = BENCH_BUILDERS.get(bench)
         if builder is None:
             parser.error(f"unknown bench {bench!r}; known: {sorted(BENCH_BUILDERS)}")
         report = builder(args.quick)
+        if bench == "fig5b_lanes":
+            lane_report = report
         path = os.path.join(args.out_dir, f"BENCH_{bench}.json")
         write_bench_json(path, bench, report, commit=commit)
         print(report.format_table())
         print(f"wrote {path}")
+
+    if args.assert_lane_vs_compiled is not None:
+        # The JSON is already on disk: a failing floor still uploads evidence.
+        if lane_report is None:
+            parser.error("--assert-lane-vs-compiled requires fig5b_lanes in --benches")
+        check_lane_floor(lane_report, args.assert_lane_vs_compiled)
 
     if args.assert_compiled_vs_interp is not None:
         # Measure, persist the rows, *then* assert: a failing run must still

@@ -197,6 +197,7 @@ _BUILTIN_BACKEND_MODULES = (
     "repro.backends.pycodegen",
     "repro.backends.multicore",
     "repro.backends.gpu_sim",
+    "repro.backends.lane",
 )
 
 _BUILTINS_LOADED = False

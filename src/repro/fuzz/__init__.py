@@ -153,6 +153,7 @@ def _narrowed_config(config: OracleConfig, divergence: Divergence) -> OracleConf
         check_analysis_cache=divergence.kind == "analysis-cache",
         check_sanitizer=divergence.kind == "sanitizer",
         check_incremental=divergence.kind == "incremental",
+        check_lane=divergence.kind == "lane",
     )
 
 
@@ -165,6 +166,7 @@ def run_campaign(
     check_reference: bool = True,
     check_sanitizer: bool = False,
     check_incremental: bool = False,
+    check_lane: bool = False,
     shrink: bool = True,
     out_dir: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
@@ -185,6 +187,7 @@ def run_campaign(
         check_reference=check_reference,
         check_sanitizer=check_sanitizer,
         check_incremental=check_incremental,
+        check_lane=check_lane,
     )
     report = CampaignReport(seed=seed, n_models=n_models)
     started = time.perf_counter()

@@ -73,6 +73,16 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--lane",
+        action="store_true",
+        help=(
+            "add the batched-lane oracle leg: a small run_batch on the lane "
+            "engine must reproduce the scalar compiled engine's per-element "
+            "buffers (bitwise, ulp-toleranced only for rng_normal values) "
+            "and final PRNG counters"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-model progress lines"
     )
     args = parser.parse_args(argv)
@@ -86,6 +96,7 @@ def main(argv=None) -> int:
         check_reference=not args.no_reference,
         check_sanitizer=args.sanitizer,
         check_incremental=args.incremental,
+        check_lane=args.lane,
         shrink=not args.no_shrink,
         out_dir=args.out_dir,
         progress=None if args.quiet else lambda line: print(line, flush=True),

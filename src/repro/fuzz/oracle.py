@@ -24,6 +24,11 @@ For one model the oracle runs a matrix of *legs* and demands agreement:
   the semantic baseline; compiled outputs and pass counts must match it to
   the suite-wide tolerance (``rtol=1e-9``, ``atol=1e-12``; engines share one
   IR module so only this leg is toleranced, everything else is bitwise).
+* **lane conformance** (``--lane``) — a small ``run_batch`` (one lane per
+  element, distinct seeds) on the vectorised lane engine must reproduce the
+  scalar ``compiled`` engine's per-element buffers: bitwise, except for a
+  documented ulp-level fallback (:data:`LANE_RTOL`) absorbing numpy-vs-libm
+  transcendental rounding inside ``rng_normal``; PRNG counters stay bitwise.
 
 Buffers are compared NaN-aware (two NaNs at the same slot agree): engines
 must diverge from each other, not merely from IEEE comfort.
@@ -44,6 +49,7 @@ from .gen import ModelSpec
 
 __all__ = [
     "DEFAULT_PIPELINES",
+    "LANE_RTOL",
     "Divergence",
     "ModelVerdict",
     "OracleConfig",
@@ -63,7 +69,7 @@ BASELINE_ENGINE = "compiled"
 class Divergence:
     """One observed disagreement between oracle legs."""
 
-    kind: str  # "analysis-cache" | "engine" | "engine-error" | "pipeline" | "reference" | "compile-error" | "codegen" | "sanitizer"
+    kind: str  # "analysis-cache" | "engine" | "engine-error" | "pipeline" | "reference" | "compile-error" | "codegen" | "sanitizer" | "lane"
     pipeline: str
     engine: Optional[str] = None
     detail: str = ""
@@ -118,9 +124,26 @@ class OracleConfig:
     #: nightly campaign and ``python -m repro.fuzz --incremental`` enable
     #: it); only runs for spec-driven checks (:func:`check_spec`).
     check_incremental: bool = False
+    #: Execute a small ``run_batch`` (one lane per batch element, distinct
+    #: seeds) on the lane engine and demand per-element result/monitor/state
+    #: buffers equal to running the same elements on the scalar ``compiled``
+    #: engine — bitwise, with the documented :data:`LANE_RTOL` fallback for
+    #: float values (numpy's transcendental kernels, e.g. ``np.log`` inside
+    #: ``rng_normal``, may differ from libm's in the final ulp); final
+    #: per-mechanism PRNG counters must stay bitwise.  Off by default (the
+    #: nightly campaign and ``python -m repro.fuzz --lane`` enable it).
+    check_lane: bool = False
 
     def resolved_engines(self) -> List[str]:
-        return list(self.engines) if self.engines is not None else list(list_engines())
+        if self.engines is not None:
+            return list(self.engines)
+        # The lane engine is deliberately absent from the default (bitwise)
+        # engine matrix: its ``rng_normal`` values may differ from the scalar
+        # engines' in the final ulp (numpy vs libm transcendental kernels),
+        # so it is checked by its own ``check_lane`` leg under the documented
+        # :data:`LANE_RTOL` instead.  Passing ``engines=[..., "lane"]``
+        # explicitly still opts it into the bitwise legs.
+        return [name for name in list_engines() if name != "lane"]
 
 
 # ---------------------------------------------------------------------------
@@ -266,6 +289,118 @@ def _sanitizer_leg(
                 Divergence(
                     "sanitizer", pipeline_text, None,
                     f"instrumented buffers differ from baseline: {mismatch}",
+                )
+            )
+    return divergences
+
+
+# ---------------------------------------------------------------------------
+# The batched-lane differential leg
+# ---------------------------------------------------------------------------
+
+#: Relative tolerance of the lane leg's *fallback* comparison.  The lane
+#: engine evaluates ``rng_normal`` through numpy ufuncs whose transcendental
+#: kernels (``np.log``) may differ from libm's (``math.log``) in the final
+#: ulp, so normal draws — and any value computed from them — can sit a few
+#: ulps away from the scalar engine's.  Bitwise equality is always tried
+#: first; integers, uniforms and PRNG counters therefore stay exact, and the
+#: tolerance only absorbs last-ulp transcendental rounding (DESIGN.md, "Lane
+#: backend: tolerance policy").
+LANE_RTOL = 1e-14
+
+#: Batch elements (= lanes) the lane leg runs; each gets a distinct seed so
+#: the comparison also covers per-lane PRNG key derivation.
+LANE_LEG_BATCH = 3
+
+
+def _lane_buffers_equal(a, b) -> Optional[str]:
+    """Like :func:`buffers_equal` with the documented ulp fallback."""
+    for name, left, right in zip(("results", "monitor", "state"), a, b):
+        la = np.asarray(left, dtype=float)
+        ra = np.asarray(right, dtype=float)
+        if np.array_equal(la, ra, equal_nan=True):
+            continue
+        if np.allclose(la, ra, rtol=LANE_RTOL, atol=0.0, equal_nan=True):
+            continue
+        index = next(
+            (
+                i
+                for i, (x, y) in enumerate(zip(left, right))
+                if x != y and not (math.isnan(x) and math.isnan(y))
+            ),
+            -1,
+        )
+        return (
+            f"{name} buffers differ at slot {index} beyond rtol={LANE_RTOL}: "
+            f"{left[index] if index >= 0 else '?'} vs "
+            f"{right[index] if index >= 0 else '?'}"
+        )
+    return None
+
+
+def _lane_leg(
+    cached, inputs, num_trials, run_seed, pipeline_text, verdict
+) -> List[Divergence]:
+    """The batched-lane differential: ``run_batch`` lane vs scalar compiled.
+
+    Allocates :data:`LANE_LEG_BATCH` elements with consecutive seeds and
+    executes them as one batch on both engines (every element is one lane of
+    the lane engine's array program).  Per element, the raw result/monitor/
+    state buffers must agree under :func:`_lane_buffers_equal` and the final
+    per-mechanism PRNG counters must agree bitwise.  Error symmetry applies:
+    both engines raising is agreement.
+    """
+    divergences: List[Divergence] = []
+    verdict.legs += 1
+    seeds = [run_seed + i for i in range(LANE_LEG_BATCH)]
+
+    def batch_buffers(engine):
+        elements = [
+            (cached.allocate_buffers(inputs, num_trials, element_seed), num_trials)
+            for element_seed in seeds
+        ]
+        cached.engine_instance(engine).execute_batch(elements)
+        return [
+            (list(buffers["results"]), list(buffers["monitor"]), list(buffers["state"]))
+            for buffers, _ in elements
+        ]
+
+    baseline = lane = None
+    baseline_error = lane_error = None
+    try:
+        baseline = batch_buffers(BASELINE_ENGINE)
+    except Exception as exc:  # noqa: BLE001 - the oracle reports, never raises
+        baseline_error = f"{type(exc).__name__}: {exc}"
+    try:
+        lane = batch_buffers("lane")
+    except Exception as exc:  # noqa: BLE001
+        lane_error = f"{type(exc).__name__}: {exc}"
+
+    if (baseline is None) != (lane is None):
+        divergences.append(
+            Divergence(
+                "lane", pipeline_text, "lane",
+                f"run_batch: {BASELINE_ENGINE}={baseline_error or 'ok'} vs "
+                f"lane={lane_error or 'ok'}",
+            )
+        )
+        return divergences
+    if baseline is None:
+        return divergences  # both raised: agreement
+
+    for element, (base, cand) in enumerate(zip(baseline, lane)):
+        mismatch = _lane_buffers_equal(base, cand)
+        base_counters = _final_rng_counters(cached, base[2])
+        cand_counters = _final_rng_counters(cached, cand[2])
+        if mismatch is None and base_counters != cand_counters:
+            mismatch = "final PRNG counters differ"
+        if mismatch is not None:
+            divergences.append(
+                Divergence(
+                    "lane", pipeline_text, "lane",
+                    f"batch element {element} (seed {seeds[element]}): {mismatch}"
+                    f"; final PRNG counters {BASELINE_ENGINE}={base_counters} "
+                    f"vs lane={cand_counters}",
                 )
             )
     return divergences
@@ -443,6 +578,13 @@ def check_composition(
                         _sanitizer_leg(
                             build, inputs, num_trials, run_seed,
                             pipeline_text, baseline, baseline_error, verdict,
+                        )
+                    )
+                if config.check_lane:
+                    verdict.divergences.extend(
+                        _lane_leg(
+                            cached, inputs, num_trials, run_seed,
+                            pipeline_text, verdict,
                         )
                     )
             else:

@@ -157,6 +157,49 @@ class TestCampaign:
                 return
         raise AssertionError("no seed in 0..19 exposed the stale patch")
 
+    def test_lane_leg_runs_and_is_green(self):
+        """The batched-lane leg: a 3-element run_batch on the lane engine
+        must reproduce the scalar compiled engine's per-element buffers and
+        final PRNG counters."""
+        baseline = run_campaign(seed=0, n_models=3, shrink=False)
+        report = run_campaign(seed=0, n_models=3, shrink=False, check_lane=True)
+        assert report.ok, report.format_table()
+        assert report.legs > baseline.legs  # the leg really ran
+
+    def test_lane_leg_detects_a_corrupted_buffer(self, monkeypatch):
+        """A lane engine that corrupts one result slot beyond the documented
+        ulp tolerance must produce a `lane` divergence."""
+        from repro.backends import lane as lane_module
+
+        real = lane_module._LaneInstance.execute_batch
+
+        def corrupting(self, elements, **options):
+            real(self, elements, **options)
+            if elements:
+                buffers, _ = elements[0]
+                if len(buffers["results"]):
+                    buffers["results"][0] += 1.0
+
+        monkeypatch.setattr(lane_module._LaneInstance, "execute_batch", corrupting)
+        config = OracleConfig(
+            pipelines=("default<O2>",),
+            engines=("compiled",),
+            check_reference=False,
+            check_analysis_cache=False,
+            check_lane=True,
+        )
+        verdict = check_spec(generate_model_spec(0), config)
+        kinds = {d.kind for d in verdict.divergences}
+        assert kinds == {"lane"}, verdict.divergences
+
+    def test_lane_cli_flag(self, capsys):
+        from repro.fuzz.__main__ import main
+
+        assert main(
+            ["--seed", "0", "--n-models", "1", "--quiet", "--no-shrink", "--lane"]
+        ) == 0
+        assert "1 models" in capsys.readouterr().out
+
 
 # ---------------------------------------------------------------------------
 # Broken-pass detection and shrinking
