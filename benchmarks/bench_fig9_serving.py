@@ -1,0 +1,119 @@
+"""Figure 9 — serving daemon: cold compile vs warm session vs coalesced load.
+
+Load generator for the serving daemon (``python -m repro.serve``): the same
+request stream answered three ways — a fresh ``compile_composition`` per
+request (the per-process baseline), sequential requests against one warm
+daemon session, and concurrent threaded clients whose same-key requests
+coalesce into shared ``run_batch`` dispatches.
+
+The CI serving-smoke job runs this module plus the JSON emitter::
+
+    python -m pytest -q benchmarks/bench_fig9_serving.py
+    python -m repro.bench.json_out --benches fig9_serving --quick \
+        --out-dir bench-json --assert-served-warm-vs-cold 5.0
+
+``BENCH_fig9_serving.json`` at the repo root holds the full-size rows; the
+acceptance floor is served-warm p50 >= 5x faster than the cold per-request
+compile on both gated workloads, with a nonzero coalesce rate under load.
+"""
+
+import threading
+
+from repro.bench.harness import figure9_serving_report
+from repro.bench.json_out import check_serving_floor
+from repro.serve import ServeClient, ServeConfig, Server, wait_for_server
+
+#: The acceptance bar: a warm daemon request must beat paying a fresh
+#: compile per request by at least this factor at p50.
+SERVED_WARM_FLOOR = 5.0
+
+MODEL = "necker_cube_s"
+
+
+def _daemon(tmp_path, **config_kwargs):
+    server = Server(
+        str(tmp_path / "bench.sock"),
+        artifact_dir=str(tmp_path / "artifacts"),
+        config=ServeConfig(coalesce_window=0.002, **config_kwargs),
+    )
+    server.start()
+    wait_for_server(server.address)
+    return server
+
+
+def bench_served_warm_request(benchmark, tmp_path):
+    """One warm round trip: socket framing + queue + cached-engine dispatch."""
+    from repro.models import get_model
+
+    inputs = get_model(MODEL).inputs()
+    with _daemon(tmp_path) as server:
+        with ServeClient(server.address, timeout=600.0) as client:
+            client.run(MODEL, inputs, num_trials=1, seed=0)  # warm the session
+            benchmark(lambda: client.run(MODEL, inputs, num_trials=1, seed=0))
+
+
+def test_figure9_serving_report(print_report):
+    """The committed-JSON rows, quick variant, with the CI floors applied."""
+    report = figure9_serving_report(quick=True)
+    print_report(report)
+    check_serving_floor(report, SERVED_WARM_FLOOR)
+    modes = {(row["workload"], row["mode"]) for row in report.rows}
+    for workload in ("necker_cube_s", "botvinick_stroop"):
+        for mode in ("cold", "served-warm", "served-coalesced"):
+            assert (workload, mode) in modes
+
+
+def test_threaded_load_coalesces_and_hits_artifacts(tmp_path, print_report):
+    """Direct load generation: concurrent clients against a store-backed daemon.
+
+    Asserts the two signals the serving-smoke CI job gates on: same-key
+    requests really coalesced (rate > 0), and a second daemon booted on the
+    same artifact directory serves its compile from the store (warm hit).
+    """
+    from repro.models import get_model
+
+    inputs = get_model(MODEL).inputs()
+    clients, requests_each = 4, 6
+
+    with _daemon(tmp_path) as server:
+        errors = []
+
+        def load(worker):
+            try:
+                with ServeClient(server.address, timeout=600.0) as client:
+                    for request in range(requests_each):
+                        client.run(
+                            MODEL,
+                            inputs,
+                            num_trials=1,
+                            seed=worker * requests_each + request,
+                        )
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=load, args=(i,)) for i in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600.0)
+        assert not errors, errors
+        stats = server.stats()
+    assert stats["requests"]["completed"] == clients * requests_each
+    assert stats["requests"]["failed"] == 0
+    assert stats["coalesce"]["rate"] > 0.0, stats["coalesce"]
+    assert stats["artifacts"]["writes"] > 0
+
+    # A fresh daemon on the same artifact directory: the first compile is a
+    # warm store hit instead of a cold distill+optimize+codegen run.
+    second_root = tmp_path / "second"
+    second_root.mkdir()
+    server = Server(
+        str(second_root / "bench.sock"), artifact_dir=str(tmp_path / "artifacts")
+    )
+    with server:
+        wait_for_server(server.address)
+        with ServeClient(server.address, timeout=600.0) as client:
+            compiled = client.compile(MODEL)
+            warm_stats = client.stats()
+    assert compiled["artifacts"]["hits"] > 0
+    assert warm_stats["artifacts"]["hits"] > 0

@@ -1,0 +1,85 @@
+"""Serving-daemon quickstart: boot `python -m repro.serve`, send requests.
+
+Boots the daemon as a subprocess on a unix socket, then demonstrates the
+client surface: a compile request (warming the daemon's session + artifact
+store), warm run requests, a batch request, the stats endpoint, and the
+latency difference between the first (cold) and later (warm) requests —
+the amortisation the daemon exists for.
+
+Run with:  python examples/serve_client.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.serve import ServeClient, wait_for_server
+
+MODEL = "necker_cube_s"
+
+
+def main() -> None:
+    tmp = tempfile.mkdtemp(prefix="repro-serve-")
+    sock = os.path.join(tmp, "repro.sock")
+
+    # Boot the daemon exactly as a shell would.  --artifact-dir persists
+    # compiled artifacts, so even a *restarted* daemon skips cold compiles.
+    daemon = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve",
+            "--socket",
+            sock,
+            "--artifact-dir",
+            os.path.join(tmp, "artifacts"),
+        ]
+    )
+    try:
+        wait_for_server(sock, timeout=60.0)
+        with ServeClient(sock) as client:
+            from repro.models import get_model
+
+            inputs = get_model(MODEL).inputs()
+
+            # First request pays the compile once, inside the daemon.
+            start = time.perf_counter()
+            client.run(MODEL, inputs, num_trials=2, seed=0)
+            cold_ms = (time.perf_counter() - start) * 1e3
+
+            # Every later request — from this client or any other process
+            # pointing at the same socket — reuses the warm session.
+            start = time.perf_counter()
+            result = client.run(MODEL, inputs, num_trials=2, seed=1)
+            warm_ms = (time.perf_counter() - start) * 1e3
+
+            # run_batch: per-element trials/seeds through one dispatch.
+            batch = client.run_batch(
+                MODEL, [inputs, inputs], num_trials=[1, 3], seed=[7, 8]
+            )
+
+            stats = client.stats()
+            print("=== serve client ===")
+            print(f"first request (compiles) : {cold_ms:8.2f} ms")
+            print(f"warm request             : {warm_ms:8.2f} ms")
+            print(f"amortisation             : {cold_ms / warm_ms:8.1f}x")
+            print(f"batch trials per element : {[len(r.trials) for r in batch]}")
+            print(
+                "session cache            : "
+                f"{stats['session']['hits']} hit(s), {stats['session']['misses']} miss(es)"
+            )
+            print(f"served p50               : {stats['latency_ms']['p50_ms']:.2f} ms")
+            print("final outputs (trial 0)  :", result.trials[0].outputs)
+
+            client.shutdown()
+        daemon.wait(timeout=60.0)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=30.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,9 @@ The package is organised as follows:
   Predator-Prey, Botvinick Stroop, Extended Stroop, Multitasking).
 * :mod:`repro.bench` — the benchmark harness regenerating the paper's
   figures through a shared compilation session.
+* :mod:`repro.serve` — the serving daemon: a coalescing request front-end
+  over a warm session and persistent engine bindings
+  (``python -m repro.serve --socket ...``).
 """
 
 from .driver.engines import (
@@ -65,11 +68,11 @@ __version__ = "1.2.0"
 
 
 def __getattr__(name: str):
-    # repro.fuzz / repro.lint pull in the whole driver/backends stack; load
-    # them lazily so `import repro` stays light while
-    # `repro.fuzz.run_campaign(...)` and `repro.lint.run_lint(...)` work
-    # without an explicit submodule import.
-    if name in ("fuzz", "lint"):
+    # repro.fuzz / repro.lint / repro.serve pull in the whole
+    # driver/backends stack; load them lazily so `import repro` stays light
+    # while `repro.fuzz.run_campaign(...)`, `repro.lint.run_lint(...)` and
+    # `repro.serve.Server(...)` work without an explicit submodule import.
+    if name in ("fuzz", "lint", "serve"):
         import importlib
 
         module = importlib.import_module(f".{name}", __name__)
@@ -81,6 +84,7 @@ __all__ = [
     "__version__",
     "fuzz",
     "lint",
+    "serve",
     "compile",
     "Session",
     "default_session",

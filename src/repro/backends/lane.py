@@ -414,6 +414,8 @@ class _LaneInstance(EngineInstance):
         #: analogue of ``CompileStats.dispatch_fallbacks``).
         self.lane_fallbacks: List[str] = []
         self.lane_fallback_reasons: Dict[str, str] = {}
+        #: Trials folded onto the lane axis so far (see :meth:`_fold_trials`).
+        self.trials_folded = 0
         self.pool_starts = 0
         self._pool_holder: List[Optional[mp.pool.Pool]] = [None]
         self._pool_workers: Optional[int] = None
@@ -470,6 +472,78 @@ class _LaneInstance(EngineInstance):
                 lane = buffers[key]
                 lane[:] = stacked[key][i, : len(lane)].tolist()
 
+    # -- trial folding ---------------------------------------------------
+    def _fold_trials(self, elements):
+        """Split multi-trial elements into one single-trial lane per trial.
+
+        Within one element, trial ``t`` is sequentially dependent on trial
+        ``t-1`` only through the PRNG counters — every other state slot is in
+        ``state_reset_entries`` and overwritten at ``run_trial`` entry, and
+        the double buffers are zeroed.  A model with no PRNG state
+        (``layout.rng_offsets`` empty) therefore has fully independent
+        trials, and they can ride the lane axis instead of looping as
+        ``num_trials`` sequential masked sweeps.  Each sub-lane runs exactly
+        one trial against its own input row; :meth:`_merge_folded` maps the
+        sub-lanes' records back to the element's per-trial slots (and the
+        last trial's state/double buffers back to the element's), so folded
+        buffers are bitwise identical to the unfolded run.
+
+        Returns ``(expanded_elements, merge_plans)``; models with RNG (or
+        all-single-trial batches) pass through untouched.
+        """
+        layout = self.model.layout
+        if layout.rng_offsets or all(trials <= 1 for _, trials in elements):
+            return list(elements), []
+        record_size = layout.result_record_size()
+        monitor_size = layout.monitor_record_size()
+        input_width = max(layout.input_size, 1)
+        expanded: List[Tuple[Dict[str, object], int]] = []
+        merges = []
+        for buffers, trials in elements:
+            rows = buffers["rows"]
+            if trials <= 1 or rows <= 0:
+                expanded.append((buffers, trials))
+                continue
+            subs = []
+            for t in range(trials):
+                row = t % rows
+                subs.append(
+                    {
+                        "params": list(buffers["params"]),
+                        "state": list(buffers["state"]),
+                        "prev": list(buffers["prev"]),
+                        "cur": list(buffers["cur"]),
+                        "inputs": buffers["inputs"][
+                            row * input_width : (row + 1) * input_width
+                        ],
+                        "results": [0.0] * max(record_size, 1),
+                        "monitor": [0.0] * max(monitor_size, 1),
+                        "rows": 1,
+                    }
+                )
+            expanded.extend((sub, 1) for sub in subs)
+            merges.append((buffers, subs))
+            self.trials_folded += trials
+        return expanded, merges
+
+    def _merge_folded(self, buffers, subs) -> None:
+        layout = self.model.layout
+        record_size = layout.result_record_size()
+        monitor_size = layout.monitor_record_size()
+        for t, sub in enumerate(subs):
+            if record_size:
+                buffers["results"][t * record_size : (t + 1) * record_size] = sub[
+                    "results"
+                ][:record_size]
+            if monitor_size:
+                buffers["monitor"][t * monitor_size : (t + 1) * monitor_size] = sub[
+                    "monitor"
+                ][:monitor_size]
+        # The element's post-run state is the last trial's.
+        last = subs[-1]
+        for key in ("state", "prev", "cur"):
+            buffers[key][:] = last[key]
+
     # -- execution -------------------------------------------------------
     def execute(self, buffers, num_trials, **options):
         self.execute_batch([(buffers, num_trials)], **options)
@@ -478,6 +552,10 @@ class _LaneInstance(EngineInstance):
         if not elements:
             return
         run = self._ensure_compiled()
+        if options.get("fold_trials", True):
+            elements, merges = self._fold_trials(elements)
+        else:
+            elements, merges = list(elements), []
         stacked = self._stack(elements)
         workers = options.get("workers")
         n_lanes = len(elements)
@@ -499,6 +577,8 @@ class _LaneInstance(EngineInstance):
                     m,
                 )
         self._unstack(stacked, elements)
+        for buffers, subs in merges:
+            self._merge_folded(buffers, subs)
 
     # -- worker pool (lane chunks) ---------------------------------------
     def _ensure_pool(self, workers: int) -> mp.pool.Pool:

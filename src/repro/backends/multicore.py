@@ -188,6 +188,17 @@ class MulticoreGridEvaluator:
             pool.close()
             pool.join()
 
+    def terminate(self) -> None:
+        """Forcibly tear the pool down without waiting for in-flight work.
+
+        ``close`` waits for outstanding tasks and joins the pool's result
+        handler — which never returns while a task is *lost* (a worker
+        killed mid-chunk leaves its map permanently unfinished).  Recovery
+        paths (the serving daemon's retry) therefore terminate: abandoned
+        maps stay abandoned and the next evaluation starts a fresh pool.
+        """
+        _close_pool(self._pool_holder)
+
     def __enter__(self) -> "MulticoreGridEvaluator":
         self.ensure_pool()
         return self
@@ -315,6 +326,13 @@ class _MulticoreInstance(EngineInstance):
     def close(self) -> None:
         if self._evaluator is not None:
             self._evaluator.close()
+            self._evaluator = None
+
+    def reset(self) -> None:
+        """Hard-reset after a suspected worker-pool failure (terminate, not
+        close: a pool holding a lost task never finishes a graceful join)."""
+        if self._evaluator is not None:
+            self._evaluator.terminate()
             self._evaluator = None
 
 

@@ -17,6 +17,7 @@ DESIGN.md, "Sessions and caching".
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -1009,6 +1010,191 @@ def figure8_report(
         "frame buffer, pools constants/intrinsic bindings into closure cells "
         "and inlines the counter-based PRNG; the dispatch rows rerun the same "
         "IR through the legacy emitter."
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — serving daemon: cold compile vs warm session vs coalesced load
+# ---------------------------------------------------------------------------
+
+#: Workloads for :func:`figure9_serving_report`.  ``gate=True`` rows carry the
+#: CI floor (served-warm p50 must beat the cold per-request compile by the
+#: asserted factor); both suite models here are compile-dominated at one
+#: trial, which is exactly the shape the warm daemon amortises.
+FIG9_WORKLOADS = (
+    ("necker_cube_s", 1, True),
+    ("botvinick_stroop", 1, True),
+)
+
+
+def _percentile_ms(latencies: Sequence[float], q: float) -> float:
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[index] * 1000.0
+
+
+def figure9_serving_report(
+    quick: bool = False,
+    load_clients: int = 4,
+    coalesce_window_ms: float = 2.0,
+) -> FigureReport:
+    """Serving daemon: cold per-request compile vs warm daemon vs coalesced load.
+
+    A repro-only extension of the evaluation: three ways to answer the same
+    stream of run requests.  ``cold`` pays a fresh ``compile_composition``
+    per request (the per-process baseline the daemon replaces — measured
+    in-process, i.e. *without* interpreter start-up, which only flatters the
+    baseline); ``served-warm`` sends sequential requests to a daemon whose
+    session already holds the compiled model; ``served-coalesced`` drives the
+    daemon with ``load_clients`` concurrent threads so same-key requests
+    coalesce into shared ``run_batch`` dispatches (a small linger window
+    makes the batching deterministic enough to benchmark).  Correctness of
+    the coalesced path is pinned bitwise by tests/test_serve.py; this report
+    only measures it.
+    """
+    import tempfile
+    import threading
+
+    from ..serve import ServeClient, ServeConfig, Server, wait_for_server
+
+    cold_repeats = 2 if quick else 3
+    warm_requests = 12 if quick else 40
+    load_requests = 5 if quick else 12  # per client
+
+    report = FigureReport(
+        "Figure 9", "Serving daemon: cold compile vs warm session vs coalesced load"
+    )
+    tmp = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    sock = os.path.join(tmp, "bench.sock")
+    server = Server(
+        sock,
+        artifact_dir=False,
+        config=ServeConfig(
+            max_queue=256,
+            max_coalesce=64,
+            coalesce_window=coalesce_window_ms / 1000.0,
+        ),
+    )
+    server.start()
+    try:
+        wait_for_server(sock)
+        for name, trials, gate in FIG9_WORKLOADS:
+            entry = get_model(name)
+            inputs = entry.inputs()
+
+            cold = []
+            for repeat in range(cold_repeats):
+                start = time.perf_counter()
+                compiled = compile_composition(
+                    entry.build(), pipeline="default<O2>", store=False
+                )
+                compiled.run(inputs, num_trials=trials, seed=repeat, engine="compiled")
+                cold.append(time.perf_counter() - start)
+                compiled.close_engines()
+            cold_p50 = _percentile_ms(cold, 0.5)
+            report.add(
+                workload=name,
+                mode="cold",
+                requests=len(cold),
+                clients=1,
+                p50_ms=cold_p50,
+                p99_ms=_percentile_ms(cold, 0.99),
+                req_per_s=len(cold) / sum(cold),
+                coalesce_rate=0.0,
+                speedup_vs_cold=1.0,
+                gate=gate,
+            )
+
+            with ServeClient(sock, timeout=600.0) as client:
+                client.run(name, inputs, num_trials=trials, seed=0)  # warm the session
+                warm = []
+                warm_started = time.perf_counter()
+                for seed in range(warm_requests):
+                    start = time.perf_counter()
+                    client.run(name, inputs, num_trials=trials, seed=seed)
+                    warm.append(time.perf_counter() - start)
+                warm_elapsed = time.perf_counter() - warm_started
+            warm_p50 = _percentile_ms(warm, 0.5)
+            report.add(
+                workload=name,
+                mode="served-warm",
+                requests=warm_requests,
+                clients=1,
+                p50_ms=warm_p50,
+                p99_ms=_percentile_ms(warm, 0.99),
+                req_per_s=warm_requests / warm_elapsed,
+                coalesce_rate=0.0,
+                speedup_vs_cold=cold_p50 / warm_p50,
+                gate=gate,
+            )
+
+            before = server.stats()
+            latencies_lock = threading.Lock()
+            load_latencies: List[float] = []
+            errors: List[BaseException] = []
+
+            def load_client(worker: int):
+                try:
+                    with ServeClient(sock, timeout=600.0) as client:
+                        for request in range(load_requests):
+                            start = time.perf_counter()
+                            client.run(
+                                name,
+                                inputs,
+                                num_trials=trials,
+                                seed=worker * load_requests + request,
+                            )
+                            elapsed = time.perf_counter() - start
+                            with latencies_lock:
+                                load_latencies.append(elapsed)
+                except BaseException as exc:  # surfaced after join
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=load_client, args=(worker,))
+                for worker in range(load_clients)
+            ]
+            load_started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            load_elapsed = time.perf_counter() - load_started
+            if errors:
+                raise errors[0]
+            after = server.stats()
+            completed = (
+                after["requests"]["completed"] - before["requests"]["completed"]
+            )
+            coalesced = (
+                after["coalesce"]["coalesced_requests"]
+                - before["coalesce"]["coalesced_requests"]
+            )
+            load_p50 = _percentile_ms(load_latencies, 0.5)
+            report.add(
+                workload=name,
+                mode="served-coalesced",
+                requests=len(load_latencies),
+                clients=load_clients,
+                p50_ms=load_p50,
+                p99_ms=_percentile_ms(load_latencies, 0.99),
+                req_per_s=len(load_latencies) / load_elapsed,
+                coalesce_rate=(coalesced / completed) if completed else 0.0,
+                speedup_vs_cold=cold_p50 / load_p50,
+                gate=gate,
+            )
+    finally:
+        server.shutdown(drain=False)
+    report.note(
+        "cold = fresh compile_composition + run per request (store disabled), the "
+        "per-process baseline minus interpreter start-up; served rows include the "
+        "full socket round trip against one warm daemon session."
+    )
+    report.note(
+        f"served-coalesced drives {load_clients} concurrent clients with a "
+        f"{coalesce_window_ms:g} ms linger window; coalesce_rate is the fraction "
+        "of completed requests that shared another request's dispatch."
     )
     return report
 

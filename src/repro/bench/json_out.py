@@ -10,12 +10,15 @@ FigureReport` rows into ``BENCH_<name>.json`` files with the schema
 
 ``BENCH_fig5a.json`` (predator-prey scaling), ``BENCH_fig5b_lanes.json``
 (batched scalar-vs-lane execution), ``BENCH_fig8.json`` (dispatch-loop vs
-structured codegen) and ``BENCH_fig7_scale.json`` (compile cost vs mechanism
-count + edit-recompile vs full compile) are committed at the repository
-root; the CI perf-smoke job regenerates the first three (and sanity-asserts
-that the compiled engine beats the IR interpreter and the lane engine beats
-scalar compiled by healthy factors), while the compile-cost job regenerates
-``fig7_scale`` and uploads all fresh JSON as artifacts.
+structured codegen), ``BENCH_fig7_scale.json`` (compile cost vs mechanism
+count + edit-recompile vs full compile) and ``BENCH_fig9_serving.json``
+(serving daemon: cold compile vs warm session vs coalesced load) are
+committed at the repository root; the CI perf-smoke job regenerates the
+first three (and sanity-asserts that the compiled engine beats the IR
+interpreter and the lane engine beats scalar compiled by healthy factors),
+the compile-cost job regenerates ``fig7_scale``, and the serving-smoke job
+regenerates ``fig9_serving`` with the served-warm >= 5x cold floor; every
+job uploads its fresh JSON as artifacts.
 
 CLI::
 
@@ -41,6 +44,7 @@ from .harness import (
     figure5b_lane_report,
     figure7_scale_report,
     figure8_report,
+    figure9_serving_report,
 )
 
 #: Schema version recorded in every payload (bump on breaking row changes).
@@ -132,11 +136,16 @@ def _build_fig5b_lanes(quick: bool) -> FigureReport:
     return figure5b_lane_report(quick=quick)
 
 
+def _build_fig9_serving(quick: bool) -> FigureReport:
+    return figure9_serving_report(quick=quick)
+
+
 BENCH_BUILDERS = {
     "fig5a": _build_fig5a,
     "fig5b_lanes": _build_fig5b_lanes,
     "fig7_scale": _build_fig7_scale,
     "fig8": _build_fig8,
+    "fig9_serving": _build_fig9_serving,
 }
 
 
@@ -159,6 +168,42 @@ def check_lane_floor(report: FigureReport, factor: float) -> None:
         raise AssertionError(
             f"perf smoke failed: lane beat scalar compiled by less than "
             f"{factor}x on {detail}"
+        )
+
+
+def check_serving_floor(report: FigureReport, factor: float) -> None:
+    """Raise ``AssertionError`` when a gated served-warm row misses ``factor``.
+
+    The floor is the serving daemon's reason to exist: on ``gate=True``
+    workloads a warm-session request must beat the cold per-request compile
+    baseline by at least ``factor`` at p50.  The coalesced rows additionally
+    must have seen real coalescing (rate > 0) — a zero rate means the load
+    generator never produced concurrent same-key requests and the bench
+    measured nothing.
+    """
+    warm = [
+        row for row in report.rows if row.get("gate") and row["mode"] == "served-warm"
+    ]
+    if not warm:
+        raise AssertionError("serving floor check found no gated served-warm rows")
+    offenders = [row for row in warm if row["speedup_vs_cold"] < factor]
+    if offenders:
+        detail = ", ".join(
+            f"{row['workload']}={row['speedup_vs_cold']:.2f}x" for row in offenders
+        )
+        raise AssertionError(
+            f"perf smoke failed: served-warm p50 beat the cold per-request "
+            f"compile by less than {factor}x on {detail}"
+        )
+    stale = [
+        row
+        for row in report.rows
+        if row["mode"] == "served-coalesced" and not row["coalesce_rate"] > 0.0
+    ]
+    if stale:
+        detail = ", ".join(str(row["workload"]) for row in stale)
+        raise AssertionError(
+            f"perf smoke failed: no coalescing observed under load on {detail}"
         )
 
 
@@ -254,11 +299,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="fail when a gated fig5b_lanes row beats scalar compiled by less "
         "than FACTOR (requires fig5b_lanes in --benches)",
     )
+    parser.add_argument(
+        "--assert-served-warm-vs-cold",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="fail when a gated fig9_serving served-warm row beats the cold "
+        "per-request compile by less than FACTOR at p50, or when the "
+        "coalesced load saw no coalescing (requires fig9_serving in --benches)",
+    )
     args = parser.parse_args(argv)
 
     os.makedirs(args.out_dir, exist_ok=True)
     commit = current_commit()
     lane_report: Optional[FigureReport] = None
+    serving_report: Optional[FigureReport] = None
     for bench in [b.strip() for b in args.benches.split(",") if b.strip()]:
         builder = BENCH_BUILDERS.get(bench)
         if builder is None:
@@ -266,6 +321,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report = builder(args.quick)
         if bench == "fig5b_lanes":
             lane_report = report
+        if bench == "fig9_serving":
+            serving_report = report
         path = os.path.join(args.out_dir, f"BENCH_{bench}.json")
         write_bench_json(path, bench, report, commit=commit)
         print(report.format_table())
@@ -276,6 +333,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if lane_report is None:
             parser.error("--assert-lane-vs-compiled requires fig5b_lanes in --benches")
         check_lane_floor(lane_report, args.assert_lane_vs_compiled)
+
+    if args.assert_served_warm_vs_cold is not None:
+        if serving_report is None:
+            parser.error(
+                "--assert-served-warm-vs-cold requires fig9_serving in --benches"
+            )
+        check_serving_floor(serving_report, args.assert_served_warm_vs_cold)
 
     if args.assert_compiled_vs_interp is not None:
         # Measure, persist the rows, *then* assert: a failing run must still

@@ -35,6 +35,39 @@ class EngineError(ReproError):
     """An execution engine failed or was misconfigured."""
 
 
+class ServeError(ReproError):
+    """The serving daemon rejected or failed a request.
+
+    Structured wire errors (:mod:`repro.serve.protocol`) map onto this
+    family on the client side; ``code`` carries the wire error code.
+    """
+
+    code = "serve_error"
+
+    def __init__(self, message: str, code: str = None):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+
+class ServerBusy(ServeError):
+    """The daemon's bounded admission queue is full (backpressure)."""
+
+    code = "server_busy"
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline expired before it was dispatched."""
+
+    code = "deadline_exceeded"
+
+
+class ServerUnavailable(ServeError):
+    """The daemon is draining for shutdown or the connection is gone."""
+
+    code = "shutting_down"
+
+
 class StaleAnalysisError(CompilationError):
     """A pass declared an analysis preserved that its mutations invalidated.
 

@@ -1,0 +1,17 @@
+"""Serving daemon: a coalescing request front-end over warm sessions.
+
+``python -m repro.serve --socket /tmp/repro.sock`` boots the daemon; see
+:mod:`repro.serve.server` for the admission/coalescing/drain contracts and
+:mod:`repro.serve.client` for the synchronous client.
+"""
+
+from .client import ServeClient, wait_for_server
+from .server import DispatchTimeout, ServeConfig, Server
+
+__all__ = [
+    "DispatchTimeout",
+    "ServeClient",
+    "ServeConfig",
+    "Server",
+    "wait_for_server",
+]

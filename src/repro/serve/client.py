@@ -1,0 +1,224 @@
+"""Synchronous client for the serving daemon.
+
+One :class:`ServeClient` owns one socket and issues one request at a time
+(it is NOT thread-safe — give each worker thread its own client, which is
+also what exercises the daemon's coalescing).  Wire errors surface as the
+typed :mod:`repro.errors` serve exceptions::
+
+    from repro.serve import ServeClient
+    from repro.errors import ServerBusy
+
+    with ServeClient("/tmp/repro.sock") as client:
+        results = client.run("stroop_botvinick", inputs, num_trials=8)
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..cogframe.runner import RunResults
+from ..errors import DeadlineExceeded, ServeError, ServerBusy, ServerUnavailable
+from . import protocol
+
+__all__ = ["ServeClient", "wait_for_server"]
+
+Address = Union[str, Tuple[str, int]]
+
+_ERROR_TYPES = {
+    "server_busy": ServerBusy,
+    "deadline_exceeded": DeadlineExceeded,
+    "shutting_down": ServerUnavailable,
+}
+
+
+def _connect(address: Address, timeout: Optional[float]) -> socket.socket:
+    if isinstance(address, str):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(address)
+    else:
+        sock = socket.create_connection(tuple(address), timeout=timeout)
+    return sock
+
+
+class ServeClient:
+    """A connected client.  ``timeout`` bounds every socket wait (seconds)."""
+
+    def __init__(self, address: Address, timeout: Optional[float] = 120.0):
+        self.address = address
+        self.timeout = timeout
+        self._sock = _connect(address, timeout)
+        self._reader = protocol.MessageReader(self._sock)
+        self._ids = itertools.count(1)
+
+    # -- plumbing ----------------------------------------------------------------
+    def _call(self, payload: Dict[str, object]) -> Dict[str, object]:
+        msg_id = next(self._ids)
+        payload = dict(payload, id=msg_id)
+        try:
+            protocol.send_message(self._sock, payload)
+            while True:
+                response = self._reader.read()
+                if response is None:
+                    raise ServerUnavailable("server closed the connection")
+                if response.get("id") == msg_id:
+                    break
+                # Response to an abandoned earlier request; skip it.
+        except (OSError, EOFError) as exc:
+            raise ServerUnavailable(f"lost connection to server: {exc}") from exc
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        code = error.get("code", "serve_error")
+        message = error.get("message", "request failed")
+        error_type = _ERROR_TYPES.get(code, ServeError)
+        raise error_type(message, code=code)
+
+    # -- operations --------------------------------------------------------------
+    def run(
+        self,
+        model: str,
+        inputs,
+        num_trials: Optional[int] = None,
+        seed: int = 0,
+        target: Optional[str] = None,
+        pipeline: Optional[str] = None,
+        compile_seed: int = 0,
+        flags: Optional[Dict[str, object]] = None,
+        deadline_ms: Optional[float] = None,
+        **options,
+    ) -> RunResults:
+        """Execute one request; returns a :class:`RunResults` bitwise equal
+        to the same solo in-process run.  ``results.coalesced`` reports how
+        many requests shared the engine dispatch (1 = solo)."""
+        payload = self._run_payload(
+            "run", model, target, pipeline, compile_seed, flags, deadline_ms, options
+        )
+        payload["inputs"] = protocol.jsonable(inputs)
+        if num_trials is not None:
+            payload["num_trials"] = num_trials
+        payload["seed"] = seed
+        response = self._call(payload)
+        results = protocol.results_from_wire(response["results"])
+        results.coalesced = response.get("coalesced", 1)
+        return results
+
+    def run_batch(
+        self,
+        model: str,
+        inputs_batch,
+        num_trials=None,
+        seed=0,
+        target: Optional[str] = None,
+        pipeline: Optional[str] = None,
+        compile_seed: int = 0,
+        flags: Optional[Dict[str, object]] = None,
+        deadline_ms: Optional[float] = None,
+        **options,
+    ) -> List[RunResults]:
+        """Batch counterpart of :meth:`run`; ``num_trials``/``seed`` may be
+        scalars or per-element lists, exactly like ``Session.run_batch``."""
+        payload = self._run_payload(
+            "run_batch", model, target, pipeline, compile_seed, flags, deadline_ms, options
+        )
+        payload["inputs_batch"] = [
+            protocol.jsonable(inputs) for inputs in inputs_batch
+        ]
+        if num_trials is not None:
+            payload["num_trials"] = num_trials
+        payload["seed"] = seed
+        response = self._call(payload)
+        results = [protocol.results_from_wire(wire) for wire in response["results"]]
+        coalesced = response.get("coalesced", 1)
+        for result in results:
+            result.coalesced = coalesced
+        return results
+
+    def compile(
+        self,
+        model: str,
+        target: Optional[str] = None,
+        pipeline: Optional[str] = None,
+        compile_seed: int = 0,
+        flags: Optional[Dict[str, object]] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Warm the daemon's compile cache; returns compile/artifact stats."""
+        payload = self._run_payload(
+            "compile", model, target, pipeline, compile_seed, flags, deadline_ms, {}
+        )
+        return self._call(payload)["compile"]
+
+    def stats(self) -> Dict[str, object]:
+        return self._call({"op": "stats"})["stats"]
+
+    def ping(self) -> bool:
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain and exit (in-flight work completes)."""
+        self._call({"op": "shutdown"})
+
+    def _run_payload(
+        self, op, model, target, pipeline, compile_seed, flags, deadline_ms, options
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {"op": op, "model": model}
+        if target is not None:
+            payload["target"] = target
+        if pipeline is not None:
+            payload["pipeline"] = pipeline
+        if compile_seed:
+            payload["compile_seed"] = compile_seed
+        if flags is not None:
+            payload["flags"] = flags
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if options:
+            payload["options"] = options
+        return payload
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def wait_for_server(
+    address: Address, timeout: float = 10.0, interval: float = 0.05
+) -> None:
+    """Block until a daemon answers ``ping`` at ``address`` (boot-wait).
+
+    Raises :class:`ServerUnavailable` if nothing answers within ``timeout``
+    seconds.  Used by the benchmark load generator and the CI smoke job to
+    wait out a freshly forked daemon's import/bind window.
+    """
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            probe = ServeClient(address, timeout=min(timeout, 5.0))
+        except (OSError, ServeError) as exc:
+            last_error = exc
+        else:
+            try:
+                if probe.ping():
+                    return
+            except ServeError as exc:
+                last_error = exc
+            finally:
+                probe.close()
+        time.sleep(interval)
+    raise ServerUnavailable(
+        f"no server answered at {address!r} within {timeout:.1f}s: {last_error}"
+    )

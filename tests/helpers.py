@@ -1,6 +1,8 @@
-"""Shared helpers for the test suite: small IR program builders."""
+"""Shared helpers for the test suite: small IR and model builders."""
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.ir import (
     F64,
@@ -11,6 +13,31 @@ from repro.ir import (
     Module,
     StructType,
 )
+
+
+def build_deterministic_cascade(passes: int = 8):
+    """A small RNG-free model (transfer functions only) with feedback.
+
+    Every state slot of an RNG-free model is reset at trial entry, so its
+    trials are independent — the precondition for folding ``num_trials``
+    onto the lane axis.  Also the serving suite's fast custom model (the
+    registry models all carry RNG state).
+    """
+    from repro.cogframe import AfterNPasses, Composition, ProcessingMechanism
+    from repro.cogframe.functions import Linear, Logistic
+
+    comp = Composition("det_cascade")
+    src = ProcessingMechanism("src", Linear(slope=1.1, intercept=0.05), size=2)
+    comp.add_node(src, is_input=True)
+    mid = ProcessingMechanism("mid", Logistic(gain=1.7, bias=0.2), size=2)
+    comp.add_node(mid, monitor=True)
+    out = ProcessingMechanism("out", Linear(slope=0.9, intercept=-0.1), size=2)
+    comp.add_node(out, is_output=True, monitor=True)
+    comp.add_projection(src, mid)
+    comp.add_projection(mid, out)
+    comp.add_projection(out, mid, matrix=np.array([[0.3, -0.2], [0.1, 0.4]]))
+    comp.set_termination(AfterNPasses(passes), max_passes=passes)
+    return comp
 
 
 def build_affine_function(module: Module, name: str = "affine"):

@@ -26,6 +26,7 @@ __all__ = [
     "interval_pairs_with_points",
     "model_specs",
     "pipeline_texts",
+    "serve_request_plans",
 ]
 
 # ---------------------------------------------------------------------------
@@ -95,6 +96,53 @@ def interval_pairs_with_points(draw):
     iv_a, x = draw(interval_with_point())
     iv_b, y = draw(interval_with_point())
     return iv_a, x, iv_b, y
+
+
+# ---------------------------------------------------------------------------
+# Serving-daemon request plans
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def serve_request_plans(draw, max_requests: int = 6, input_size: int = 2):
+    """Request plans plus an arbitrary partition into dispatch batches.
+
+    Returns ``(plans, groups)``: ``plans`` is a list of per-request
+    ``(input_rows, num_trials, seed)`` triples, ``groups`` a list of
+    ``(lo, hi)`` index spans covering the plans.  The serving property tests
+    assert that each request's results depend only on its own triple — never
+    on which batch the coalescing dispatcher happened to put it in, which is
+    exactly the partition this strategy randomises.
+    """
+    count = draw(st.integers(min_value=1, max_value=max_requests))
+    row = st.lists(
+        st.floats(-2.0, 2.0, allow_nan=False), min_size=input_size, max_size=input_size
+    )
+    plans = [
+        (
+            draw(st.lists(row, min_size=1, max_size=3)),
+            draw(st.integers(min_value=1, max_value=4)),
+            draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        )
+        for _ in range(count)
+    ]
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=max(count - 1, 1)),
+                unique=True,
+                max_size=count - 1,
+            )
+        )
+        if count > 1
+        else []
+    )
+    groups = []
+    previous = 0
+    for cut in cuts + [count]:
+        groups.append((previous, cut))
+        previous = cut
+    return plans, groups
 
 
 # ---------------------------------------------------------------------------

@@ -275,3 +275,78 @@ class TestLaneFallbackAndPool:
             assert lane.pool_starts == 1  # one pool across pooled calls
         finally:
             compiled.close_engines()
+
+
+# ---------------------------------------------------------------------------
+# Trial folding: num_trials rides the lane axis on RNG-free models
+# ---------------------------------------------------------------------------
+
+
+from helpers import build_deterministic_cascade  # noqa: E402 - shared model builder
+
+
+class TestTrialFolding:
+    INPUTS = [[0.4, -0.7], [1.2, 0.3]]  # two rows -> trials cycle rows
+
+    def test_folded_trials_bitwise_vs_scalar_and_unfolded(self):
+        compiled = compile_composition(build_deterministic_cascade(), pipeline="default<O2>")
+        try:
+            assert not compiled.layout.rng_offsets
+            scalar = compiled.engine_instance("compiled")
+            lane = compiled.engine_instance("lane")
+            batch = [self.INPUTS] * 3
+            base = run_batch_outputs(scalar, batch, 5, [0, 1, 2])
+            folded = run_batch_outputs(lane, batch, 5, [0, 1, 2])
+            assert lane.trials_folded == 15  # 3 elements x 5 trials
+            unfolded = run_batch_outputs(lane, batch, 5, [0, 1, 2], fold_trials=False)
+            assert lane.trials_folded == 15  # opt-out leaves the counter alone
+            assert_batches_bitwise(base, folded)
+            assert_batches_bitwise(folded, unfolded)
+        finally:
+            compiled.close_engines()
+
+    def test_folded_buffers_bitwise_including_state(self):
+        """The split-merge must reproduce the whole buffer set — per-trial
+        result records, monitor records and the *last* trial's state/double
+        buffers — not just the extracted outputs."""
+        compiled = compile_composition(build_deterministic_cascade(), pipeline="default<O2>")
+        try:
+            elements = {}
+            for engine in ("compiled", "lane"):
+                elems = [
+                    (compiled.allocate_buffers(self.INPUTS, 4, seed), 4)
+                    for seed in (0, 1)
+                ]
+                compiled.engine_instance(engine).execute_batch(elems)
+                elements[engine] = elems
+            for (base, _), (cand, _) in zip(elements["compiled"], elements["lane"]):
+                for key in ("results", "monitor", "state", "prev", "cur"):
+                    np.testing.assert_array_equal(base[key], cand[key], err_msg=key)
+        finally:
+            compiled.close_engines()
+
+    def test_single_run_folds_too(self):
+        compiled = compile_composition(build_deterministic_cascade(), pipeline="default<O2>")
+        try:
+            lane = compiled.engine_instance("lane")
+            vec = lane.run(self.INPUTS, num_trials=6, seed=3)
+            assert lane.trials_folded == 6
+            base = compiled.engine_instance("compiled").run(self.INPUTS, num_trials=6, seed=3)
+            for bt, vt in zip(base.trials, vec.trials):
+                assert bt.passes == vt.passes
+                for node in bt.outputs:
+                    np.testing.assert_array_equal(bt.outputs[node], vt.outputs[node])
+        finally:
+            compiled.close_engines()
+
+    def test_rng_models_never_fold(self):
+        """Trials of an RNG model are sequentially dependent through the
+        PRNG counters; the fold must refuse and fall back to the masked
+        trial loop (still bitwise vs scalar, covered above)."""
+        compiled = compile_composition(pp.build_predator_prey("s"), pipeline="default<O2>")
+        try:
+            lane = compiled.engine_instance("lane")
+            lane.run_batch([PP_INPUTS] * 2, num_trials=3, seed=[0, 1])
+            assert lane.trials_folded == 0
+        finally:
+            compiled.close_engines()

@@ -1,0 +1,130 @@
+"""Property tests for the serving daemon's coalescing substrate.
+
+The daemon's correctness rests on one invariant: a request's
+``(inputs, num_trials, seed) -> results`` mapping is a pure function,
+independent of how the coalescing dispatcher batches it with other
+requests.  Hypothesis drives that invariant directly at the engine layer —
+random request plans, random partitions into ``run_batch`` dispatches, every
+element compared bitwise against its solo ``run`` — on both an RNG-free
+model and an RNG-bearing one (where per-element run seeds must thread
+through the shared dispatch untangled).
+
+A second property pins the wire protocol: ``RunResults`` survive the
+JSON round trip bitwise, including ±inf, -0.0 and denormals.  NaNs keep
+their positions but JSON's single ``NaN`` token canonicalizes payload
+bits — the engines only ever emit canonical NaNs, so nothing served can
+tell the difference.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+
+from helpers import build_deterministic_cascade
+from repro.cogframe.runner import RunResults, TrialResult
+from repro.driver.session import Session
+from repro.models import get_model
+from repro.serve import protocol
+from strategies import edge_floats, serve_request_plans
+
+from hypothesis import strategies as st
+
+from test_serve import assert_results_bitwise
+
+# One warm session for the whole module: the property re-runs solo requests
+# many times, which is exactly what the compile cache is for.
+_SESSION = Session(store=False)
+_INSTANCES = {}
+
+
+def instance_for(name: str):
+    if name not in _INSTANCES:
+        if name == "det_cascade":
+            composition = build_deterministic_cascade()
+        else:
+            composition = get_model(name).build()
+        _INSTANCES[name] = _SESSION.compile(composition)
+    return _INSTANCES[name]
+
+
+def check_partition_invariance(model: str, plans, groups) -> None:
+    instance = instance_for(model)
+    solo = [
+        instance.run(inputs, num_trials=trials, seed=seed)
+        for inputs, trials, seed in plans
+    ]
+    for lo, hi in groups:
+        group = plans[lo:hi]
+        batched = instance.run_batch(
+            [inputs for inputs, _, _ in group],
+            num_trials=[trials for _, trials, _ in group],
+            seed=[seed for _, _, seed in group],
+        )
+        for offset, results in enumerate(batched):
+            assert_results_bitwise(results, solo[lo + offset])
+
+
+@given(plan=serve_request_plans())
+@settings(max_examples=20, deadline=None)
+def test_batching_invariant_rng_free(plan):
+    plans, groups = plan
+    check_partition_invariance("det_cascade", plans, groups)
+
+
+@given(plan=serve_request_plans(max_requests=4, input_size=3))
+@settings(max_examples=10, deadline=None)
+def test_batching_invariant_with_rng(plan):
+    """Per-element run seeds stay untangled inside shared dispatches."""
+    plans, groups = plan
+    check_partition_invariance("necker_cube_s", plans, groups)
+
+
+# ---------------------------------------------------------------------------
+# Wire-protocol round trip
+# ---------------------------------------------------------------------------
+
+
+def assert_bits_equal(rebuilt, original) -> None:
+    """Bit-pattern equality, modulo JSON's NaN-payload canonicalization."""
+    rebuilt = np.asarray(rebuilt, dtype=float)
+    original = np.asarray(original, dtype=float)
+    assert rebuilt.shape == original.shape
+    nans = np.isnan(original)
+    assert np.array_equal(np.isnan(rebuilt), nans)
+    # Everything that isn't NaN must round-trip exactly: -0.0 keeps its
+    # sign bit, denormals and 1e308 keep every mantissa bit.
+    assert np.where(nans, 0.0, rebuilt).tobytes() == np.where(nans, 0.0, original).tobytes()
+
+
+@given(
+    values=st.lists(edge_floats, min_size=1, max_size=6),
+    passes=st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_results_survive_wire_round_trip_bitwise(values, passes):
+    original = RunResults(
+        model_name="wire_probe",
+        trials=[
+            TrialResult(
+                outputs={"out": np.array(values, dtype=float)},
+                passes=passes,
+                monitored={"out": [np.array(values, dtype=float)]},
+            )
+        ],
+        wall_seconds=0.25,
+        engine="compiled",
+    )
+    wire = json.loads(json.dumps(protocol.results_to_wire(original)))
+    rebuilt = protocol.results_from_wire(wire)
+    assert rebuilt.model_name == original.model_name
+    assert rebuilt.engine == original.engine
+    for rebuilt_trial, original_trial in zip(rebuilt.trials, original.trials):
+        assert rebuilt_trial.passes == original_trial.passes
+        for name, value in original_trial.outputs.items():
+            assert_bits_equal(rebuilt_trial.outputs[name], value)
+        for name, steps in original_trial.monitored.items():
+            for rebuilt_step, step in zip(rebuilt_trial.monitored[name], steps):
+                assert_bits_equal(rebuilt_step, step)
