@@ -1,0 +1,78 @@
+"""Figure 10 — pipeline autotuner: default<O2> vs the equivalence-proven winner.
+
+The autotuner (``Session.autotune`` / ``python -m repro.tune``) generates
+candidate pipelines from the incumbent's per-pass changed/no-op profile,
+proves each candidate bitwise-equivalent on representative inputs, races the
+survivors with min-of-k timing and persists the winner keyed on
+(structural hash, engine, objective) so ``pipeline="auto"`` resolves it with
+zero search cost.
+
+The CI autotune-smoke job runs this module plus the JSON emitter::
+
+    python -m pytest -q benchmarks/bench_fig10_autotune.py
+    python -m repro.bench.json_out --benches fig10_autotune --quick \
+        --out-dir bench-json --assert-autotune
+
+``BENCH_fig10_autotune.json`` at the repo root holds the full-size rows; the
+acceptance floor is unconditional — the tuned objective must be <= the
+default<O2> objective on every gated workload (a fruitless search returns
+the incumbent, never something slower), with every raced candidate proven
+equivalent.
+"""
+
+from repro.bench.harness import figure10_autotune_report
+from repro.bench.json_out import check_autotune_floor
+from repro.driver.autotune import AutotuneConfig, run_autotune
+from repro.models import get_model
+
+#: The two quick-budget smoke models (small enough for CI wall clock).
+SMOKE_MODELS = ("necker_cube_s", "predator_prey_s")
+
+
+def _tune(name, budget=6, repeats=2):
+    entry = get_model(name)
+    return run_autotune(
+        entry.build(),
+        entry.inputs(),
+        num_trials=entry.num_trials,
+        config=AutotuneConfig(budget=budget, repeats=repeats, warmup=0),
+        store=False,
+    )
+
+
+def bench_autotune_search(benchmark):
+    """One full quick-budget search: generate + prove + race + pick."""
+    benchmark.pedantic(lambda: _tune(SMOKE_MODELS[0]), rounds=1, iterations=1)
+
+
+def test_autotune_beats_default_on_smoke_models():
+    """The acceptance claim: on >= 2 registered models the tuned pipeline's
+    objective is <= default<O2>'s (or the winner *is* the incumbent), with
+    every raced candidate carrying the incumbent's equivalence proof hash."""
+    for name in SMOKE_MODELS:
+        result = _tune(name)
+        assert result.objective <= result.incumbent_objective or (
+            result.winner == result.incumbent
+        ), f"{name}: tuned {result.objective} vs default {result.incumbent_objective}"
+        raced = [r for r in result.records if r.status in ("winner", "equivalent", "incumbent")]
+        incumbent_proof = next(
+            r.proof for r in result.records if r.status == "incumbent"
+        )
+        assert incumbent_proof
+        for record in raced:
+            assert record.equivalent
+            assert record.proof == incumbent_proof
+        assert result.searched >= 1
+
+
+def test_figure10_autotune_report(print_report):
+    """The committed-JSON rows, quick variant, with the CI floor applied."""
+    report = figure10_autotune_report(quick=True)
+    print_report(report)
+    check_autotune_floor(report)
+    workloads = [row["workload"] for row in report.rows]
+    # Registered suite + the two generated scale specs.
+    assert "necker_cube_s" in workloads
+    assert sum(1 for w in workloads if w.startswith("scale_")) == 2
+    for row in report.rows:
+        assert row["proven_equivalent"] >= 1  # the incumbent at minimum

@@ -64,7 +64,19 @@ from .driver.registry import (
 )
 from .driver.session import Session, compile, default_session, structural_fingerprint
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
+
+
+def autotune(composition, budget=None, **kwargs):
+    """Autotune the pass pipeline for a model through the default session.
+
+    ``repro.autotune("botvinick_stroop", budget=8)`` searches candidate
+    pipelines (each proven bitwise-equivalent before being raced) and
+    persists the winner so ``repro.compile(model, pipeline="auto")`` — or the
+    serving daemon — picks it up with zero search cost.  See
+    :meth:`repro.Session.autotune`.
+    """
+    return default_session().autotune(composition, budget=budget, **kwargs)
 
 
 def __getattr__(name: str):
@@ -86,6 +98,7 @@ __all__ = [
     "lint",
     "serve",
     "compile",
+    "autotune",
     "Session",
     "default_session",
     "structural_fingerprint",

@@ -416,6 +416,14 @@ class _LaneInstance(EngineInstance):
         self.lane_fallback_reasons: Dict[str, str] = {}
         #: Trials folded onto the lane axis so far (see :meth:`_fold_trials`).
         self.trials_folded = 0
+        #: Trials of RNG models folded speculatively with extrapolated PRNG
+        #: counters and verified after the fact (see
+        #: :meth:`_execute_rng_folded`).
+        self.rng_trials_folded = 0
+        #: Elements whose counter extrapolation failed verification and were
+        #: re-run as sequential masked trial loops.
+        self.rng_fold_fallbacks = 0
+        self._rng_fold_safe_cached: Optional[bool] = None
         self.pool_starts = 0
         self._pool_holder: List[Optional[mp.pool.Pool]] = [None]
         self._pool_workers: Optional[int] = None
@@ -473,6 +481,30 @@ class _LaneInstance(EngineInstance):
                 lane[:] = stacked[key][i, : len(lane)].tolist()
 
     # -- trial folding ---------------------------------------------------
+    def _make_sub(self, buffers, trial: int):
+        """A single-trial sub-lane simulating ``trial`` of an element.
+
+        State/double buffers start as copies of the element's (every
+        non-PRNG state slot is in ``state_reset_entries`` and rewritten at
+        trial entry anyway); the input row is the one trial ``trial`` would
+        consume (``trial % rows``).
+        """
+        layout = self.model.layout
+        input_width = max(layout.input_size, 1)
+        row = trial % buffers["rows"]
+        return {
+            "params": list(buffers["params"]),
+            "state": list(buffers["state"]),
+            "prev": list(buffers["prev"]),
+            "cur": list(buffers["cur"]),
+            "inputs": buffers["inputs"][
+                row * input_width : (row + 1) * input_width
+            ],
+            "results": [0.0] * max(layout.result_record_size(), 1),
+            "monitor": [0.0] * max(layout.monitor_record_size(), 1),
+            "rows": 1,
+        }
+
     def _fold_trials(self, elements):
         """Split multi-trial elements into one single-trial lane per trial.
 
@@ -494,33 +526,13 @@ class _LaneInstance(EngineInstance):
         layout = self.model.layout
         if layout.rng_offsets or all(trials <= 1 for _, trials in elements):
             return list(elements), []
-        record_size = layout.result_record_size()
-        monitor_size = layout.monitor_record_size()
-        input_width = max(layout.input_size, 1)
         expanded: List[Tuple[Dict[str, object], int]] = []
         merges = []
         for buffers, trials in elements:
-            rows = buffers["rows"]
-            if trials <= 1 or rows <= 0:
+            if trials <= 1 or buffers["rows"] <= 0:
                 expanded.append((buffers, trials))
                 continue
-            subs = []
-            for t in range(trials):
-                row = t % rows
-                subs.append(
-                    {
-                        "params": list(buffers["params"]),
-                        "state": list(buffers["state"]),
-                        "prev": list(buffers["prev"]),
-                        "cur": list(buffers["cur"]),
-                        "inputs": buffers["inputs"][
-                            row * input_width : (row + 1) * input_width
-                        ],
-                        "results": [0.0] * max(record_size, 1),
-                        "monitor": [0.0] * max(monitor_size, 1),
-                        "rows": 1,
-                    }
-                )
+            subs = [self._make_sub(buffers, t) for t in range(trials)]
             expanded.extend((sub, 1) for sub in subs)
             merges.append((buffers, subs))
             self.trials_folded += trials
@@ -551,11 +563,26 @@ class _LaneInstance(EngineInstance):
     def execute_batch(self, elements, **options):
         if not elements:
             return
+        self._ensure_compiled()
+        if not options.get("fold_trials", True):
+            self._run_stacked(list(elements), options)
+            return
+        if self.model.layout.rng_offsets:
+            if self._rng_fold_safe() and any(
+                trials >= 2 and buffers["rows"] > 0 for buffers, trials in elements
+            ):
+                self._execute_rng_folded(list(elements), options)
+            else:
+                self._run_stacked(list(elements), options)
+            return
+        elements, merges = self._fold_trials(elements)
+        self._run_stacked(elements, options)
+        for buffers, subs in merges:
+            self._merge_folded(buffers, subs)
+
+    def _run_stacked(self, elements, options) -> None:
+        """One lockstep sweep: stack the elements, run, unstack in place."""
         run = self._ensure_compiled()
-        if options.get("fold_trials", True):
-            elements, merges = self._fold_trials(elements)
-        else:
-            elements, merges = list(elements), []
         stacked = self._stack(elements)
         workers = options.get("workers")
         n_lanes = len(elements)
@@ -577,8 +604,106 @@ class _LaneInstance(EngineInstance):
                     m,
                 )
         self._unstack(stacked, elements)
-        for buffers, subs in merges:
-            self._merge_folded(buffers, subs)
+
+    def _rng_fold_safe(self) -> bool:
+        """Whether speculative RNG trial folding is *semantically* possible.
+
+        Ordinary mechanisms address every draw through their stateful
+        ``(key, counter)`` slots, so extrapolating the counter reproduces a
+        later trial exactly.  A :class:`GridSearchControlMechanism` is the one
+        exception: its grid-evaluation draws are addressed by
+        ``eval_epoch = trial_idx * max_passes + pass_idx`` (so simulated
+        candidates get fresh noise each epoch), and a sub-lane always runs as
+        ``trial_idx = 0``.  Counter verification cannot catch that — the
+        *stateful* counters still line up while the epoch-addressed draws
+        diverge — so control-bearing models are excluded statically and run
+        the classic sequential trial loop.
+        """
+        if self._rng_fold_safe_cached is None:
+            self._rng_fold_safe_cached = not any(
+                name.endswith("__eval_epoch")
+                for name, _ in self.model.layout.state_struct.fields
+            )
+        return self._rng_fold_safe_cached
+
+    def _execute_rng_folded(self, elements, options) -> None:
+        """Fold RNG-model trials onto the lane axis *speculatively*.
+
+        Trial ``t`` depends on trial ``t-1`` only through the per-mechanism
+        PRNG ``(key, counter)`` slots: the key is constant across trials and
+        the draws themselves are counter-addressed and stateless, so knowing
+        trial ``t``'s *starting counters* is enough to simulate it exactly.
+        The sweep therefore runs trial 0 first (sweep 1), measures each
+        mechanism's counter delta ``d``, launches trials ``1..N-1`` as lanes
+        whose counters are extrapolated to ``start + t*d`` (sweep 2), and
+        then verifies the speculation: lane ``t`` must finish with counters
+        ``start + (t+1)*d``.  By induction a verified element is bitwise
+        identical to the sequential trial loop — lane 1 started exactly where
+        trial 0 ended, so it *is* trial 1; its verified end is trial 2's
+        start, and so on.  Any mismatch (a model whose per-trial draw count
+        varies, e.g. through draw-dependent control flow) discards the
+        element's folded lanes untouched-buffers-intact and re-runs it as the
+        classic sequential masked trial loop (``rng_fold_fallbacks``).
+
+        Two sweeps replace ``N`` sequential masked sweeps; elements below the
+        fold threshold ride along in sweep 1 unchanged.
+        """
+        rng_offsets = self.model.layout.rng_offsets
+        sweep1: List[Tuple[Dict[str, object], int]] = []
+        plans = []
+        for buffers, trials in elements:
+            if trials < 2 or buffers["rows"] <= 0:
+                sweep1.append((buffers, trials))
+                continue
+            probe = self._make_sub(buffers, 0)
+            start = {
+                name: buffers["state"][offset + 1]
+                for name, offset in rng_offsets.items()
+            }
+            plans.append(
+                {"buffers": buffers, "trials": trials, "probe": probe, "start": start}
+            )
+            sweep1.append((probe, 1))
+        self._run_stacked(sweep1, options)
+
+        sweep2: List[Tuple[Dict[str, object], int]] = []
+        for plan in plans:
+            probe, start = plan["probe"], plan["start"]
+            delta = {
+                name: probe["state"][offset + 1] - start[name]
+                for name, offset in rng_offsets.items()
+            }
+            subs = [probe]
+            for t in range(1, plan["trials"]):
+                sub = self._make_sub(plan["buffers"], t)
+                for name, offset in rng_offsets.items():
+                    sub["state"][offset + 1] = start[name] + t * delta[name]
+                subs.append(sub)
+                sweep2.append((sub, 1))
+            plan["delta"] = delta
+            plan["subs"] = subs
+        if sweep2:
+            self._run_stacked(sweep2, options)
+
+        fallbacks: List[Tuple[Dict[str, object], int]] = []
+        for plan in plans:
+            start, delta = plan["start"], plan["delta"]
+            verified = all(
+                sub["state"][offset + 1] == start[name] + (t + 1) * delta[name]
+                for t, sub in enumerate(plan["subs"])
+                for name, offset in rng_offsets.items()
+            )
+            if verified:
+                self._merge_folded(plan["buffers"], plan["subs"])
+                self.rng_trials_folded += plan["trials"]
+            else:
+                # The element's own buffers were never written — rerun it
+                # unfolded (the sequential masked trial loop inside the
+                # kernel), which is the pre-speculation behaviour.
+                fallbacks.append((plan["buffers"], plan["trials"]))
+                self.rng_fold_fallbacks += 1
+        if fallbacks:
+            self._run_stacked(fallbacks, options)
 
     # -- worker pool (lane chunks) ---------------------------------------
     def _ensure_pool(self, workers: int) -> mp.pool.Pool:

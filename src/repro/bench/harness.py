@@ -531,6 +531,7 @@ def figure7_report(trials: int = 4) -> FigureReport:
             )
             if baseline is None:
                 baseline = total
+            agg = compiled.pipeline.aggregate_timings()
             report.add(
                 model=label,
                 opt_level=f"O{opt_level}",
@@ -545,6 +546,12 @@ def figure7_report(trials: int = 4) -> FigureReport:
                 analysis_misses=compiled.stats.analysis_misses,
                 artifact_hits=compiled.stats.artifact_hits,
                 artifact_misses=compiled.stats.artifact_misses,
+                pass_runs_changed=sum(row["changed"] for row in agg.values()),
+                pass_runs_noop=sum(row["noops"] for row in agg.values()),
+                noop_passes=",".join(
+                    sorted(n for n, row in agg.items() if row["changed"] == 0)
+                )
+                or "-",
             )
     report.note(
         "As in the paper, compilation cost is visible but amortised: it is paid once "
@@ -554,6 +561,11 @@ def figure7_report(trials: int = 4) -> FigureReport:
         "analysis_hits/misses are the per-compile AnalysisManager counters: hits are "
         "dominator trees / loop info / predecessor maps served from cache instead of "
         "rebuilt per pass (see figure7_cache_report for the cold-path comparison)."
+    )
+    report.note(
+        "pass_runs_changed/noop count per-pass invocations that did / did not modify "
+        "the IR; noop_passes lists passes that never changed it — the autotuner's "
+        "first pruning candidates (see figure10_autotune_report)."
     )
     return report
 
@@ -1195,6 +1207,87 @@ def figure9_serving_report(
         f"served-coalesced drives {load_clients} concurrent clients with a "
         f"{coalesce_window_ms:g} ms linger window; coalesce_rate is the fraction "
         "of completed requests that shared another request's dispatch."
+    )
+    return report
+
+
+FIG10_MODELS = (
+    ("necker_cube_s", True),
+    ("predator_prey_s", True),
+    ("botvinick_stroop", True),
+)
+
+
+def figure10_autotune_report(quick: bool = False) -> FigureReport:
+    """Pipeline autotuner: default<O2> vs the equivalence-proven tuned winner.
+
+    A repro-only extension of the evaluation (the paper hard-codes one
+    pipeline per optimisation level).  For each workload the autotuner
+    generates candidate pipelines from the incumbent's per-pass changed/no-op
+    profile, proves each candidate bitwise-equivalent on the workload's
+    representative inputs, races the survivors, and reports the winner's
+    weighted compile+run objective next to the incumbent's.  ``gate`` rows
+    feed ``check_autotune_floor``: the winner's objective must never exceed
+    the incumbent's (the incumbent itself is always raced and eligible, so
+    "no candidate wins" degrades to returning the incumbent, not to a
+    regression).
+    """
+    from ..driver.autotune import AutotuneConfig, run_autotune
+    from ..fuzz.gen import generate_scale_spec
+
+    config = AutotuneConfig(
+        budget=6 if quick else 12,
+        repeats=2 if quick else 3,
+        warmup=0 if quick else 1,
+    )
+    report = FigureReport(
+        "Figure 10", "Pipeline autotuner: default<O2> vs tuned winner"
+    )
+
+    workloads = []
+    for name, gate in FIG10_MODELS:
+        entry = get_model(name)
+        workloads.append(
+            (name, entry.build(), entry.inputs(), entry.num_trials, gate)
+        )
+    for seed, n_mechanisms in ((0, 60), (1, 120)):
+        spec = generate_scale_spec(seed, n_mechanisms=n_mechanisms, width=6)
+        workloads.append(
+            (spec.name, spec.build(), spec.inputs, spec.num_trials, True)
+        )
+
+    for name, composition, inputs, num_trials, gate in workloads:
+        result = run_autotune(
+            composition, inputs, num_trials=num_trials, config=config,
+            store=False,
+        )
+        rejected = sum(1 for r in result.records if r.status == "rejected")
+        errored = sum(1 for r in result.records if r.status == "error")
+        report.add(
+            workload=name,
+            default_pipeline=result.incumbent,
+            default_objective_s=result.incumbent_objective,
+            tuned_pipeline=result.winner,
+            tuned_objective_s=result.objective,
+            improvement=result.improvement,
+            candidates_searched=result.searched,
+            proven_equivalent=sum(1 for r in result.records if r.equivalent),
+            rejected=rejected,
+            errored=errored,
+            tuned_is_incumbent=result.winner == result.incumbent,
+            gate=gate,
+        )
+    report.note(
+        f"objective = {config.compile_weight:g} * pipeline_compile_s + "
+        f"{config.run_weight:g} * min-of-{config.repeats} run_s; every raced "
+        "candidate was first proven bitwise-equivalent (result/monitor/state "
+        "buffers + final PRNG counters) to the incumbent on the workload's "
+        "representative inputs."
+    )
+    report.note(
+        "store=False: every row reflects a fresh search. Cached resolution "
+        "(pipeline=\"auto\") is covered by figure9's serving path and "
+        "tests/test_autotune.py."
     )
     return report
 

@@ -12,13 +12,16 @@ FigureReport` rows into ``BENCH_<name>.json`` files with the schema
 (batched scalar-vs-lane execution), ``BENCH_fig8.json`` (dispatch-loop vs
 structured codegen), ``BENCH_fig7_scale.json`` (compile cost vs mechanism
 count + edit-recompile vs full compile) and ``BENCH_fig9_serving.json``
-(serving daemon: cold compile vs warm session vs coalesced load) are
-committed at the repository root; the CI perf-smoke job regenerates the
-first three (and sanity-asserts that the compiled engine beats the IR
-interpreter and the lane engine beats scalar compiled by healthy factors),
-the compile-cost job regenerates ``fig7_scale``, and the serving-smoke job
-regenerates ``fig9_serving`` with the served-warm >= 5x cold floor; every
-job uploads its fresh JSON as artifacts.
+(serving daemon: cold compile vs warm session vs coalesced load) and
+``BENCH_fig10_autotune.json`` (pipeline autotuner: default<O2> vs the
+equivalence-proven tuned winner) are committed at the repository root; the
+CI perf-smoke job regenerates the first three (and sanity-asserts that the
+compiled engine beats the IR interpreter and the lane engine beats scalar
+compiled by healthy factors), the compile-cost job regenerates
+``fig7_scale``, the serving-smoke job regenerates ``fig9_serving`` with the
+served-warm >= 5x cold floor, and the autotune-smoke job regenerates
+``fig10_autotune`` with the tuned <= default floor; every job uploads its
+fresh JSON as artifacts.
 
 CLI::
 
@@ -45,6 +48,7 @@ from .harness import (
     figure7_scale_report,
     figure8_report,
     figure9_serving_report,
+    figure10_autotune_report,
 )
 
 #: Schema version recorded in every payload (bump on breaking row changes).
@@ -140,12 +144,17 @@ def _build_fig9_serving(quick: bool) -> FigureReport:
     return figure9_serving_report(quick=quick)
 
 
+def _build_fig10_autotune(quick: bool) -> FigureReport:
+    return figure10_autotune_report(quick=quick)
+
+
 BENCH_BUILDERS = {
     "fig5a": _build_fig5a,
     "fig5b_lanes": _build_fig5b_lanes,
     "fig7_scale": _build_fig7_scale,
     "fig8": _build_fig8,
     "fig9_serving": _build_fig9_serving,
+    "fig10_autotune": _build_fig10_autotune,
 }
 
 
@@ -204,6 +213,47 @@ def check_serving_floor(report: FigureReport, factor: float) -> None:
         detail = ", ".join(str(row["workload"]) for row in stale)
         raise AssertionError(
             f"perf smoke failed: no coalescing observed under load on {detail}"
+        )
+
+
+def check_autotune_floor(report: FigureReport) -> None:
+    """Raise ``AssertionError`` when a gated tuned row exceeds the default.
+
+    The autotuner's contract is unconditional on ``gate=True`` workloads: the
+    winner's measured objective must be <= the incumbent's, because the
+    incumbent is always raced and always eligible (a fruitless search returns
+    the incumbent, never something slower).  Rows where every non-incumbent
+    candidate was rejected must still satisfy this via
+    ``tuned_is_incumbent``.  Unlike the lane/serving floors there is no
+    tunable factor — equality is the floor.
+    """
+    gated = [row for row in report.rows if row.get("gate")]
+    if not gated:
+        raise AssertionError("autotune floor check found no gated rows")
+    offenders = [
+        row
+        for row in gated
+        if row["tuned_objective_s"] > row["default_objective_s"]
+        and not row["tuned_is_incumbent"]
+    ]
+    if offenders:
+        detail = ", ".join(
+            f"{row['workload']}: tuned {row['tuned_objective_s']:.4f}s vs "
+            f"default {row['default_objective_s']:.4f}s"
+            for row in offenders
+        )
+        raise AssertionError(
+            f"autotune smoke failed: tuned objective exceeded default<O2> on {detail}"
+        )
+    unproven = [
+        row for row in gated if row["rejected"] + row["errored"] + row[
+            "proven_equivalent"
+        ] != row["candidates_searched"] + 1  # +1: the incumbent's own record
+    ]
+    if unproven:
+        detail = ", ".join(str(row["workload"]) for row in unproven)
+        raise AssertionError(
+            f"autotune smoke failed: candidate accounting inconsistent on {detail}"
         )
 
 
@@ -308,12 +358,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "per-request compile by less than FACTOR at p50, or when the "
         "coalesced load saw no coalescing (requires fig9_serving in --benches)",
     )
+    parser.add_argument(
+        "--assert-autotune",
+        action="store_true",
+        help="fail when a gated fig10_autotune row's tuned objective exceeds "
+        "the default<O2> objective (requires fig10_autotune in --benches)",
+    )
     args = parser.parse_args(argv)
 
     os.makedirs(args.out_dir, exist_ok=True)
     commit = current_commit()
     lane_report: Optional[FigureReport] = None
     serving_report: Optional[FigureReport] = None
+    autotune_report: Optional[FigureReport] = None
     for bench in [b.strip() for b in args.benches.split(",") if b.strip()]:
         builder = BENCH_BUILDERS.get(bench)
         if builder is None:
@@ -323,10 +380,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             lane_report = report
         if bench == "fig9_serving":
             serving_report = report
+        if bench == "fig10_autotune":
+            autotune_report = report
         path = os.path.join(args.out_dir, f"BENCH_{bench}.json")
         write_bench_json(path, bench, report, commit=commit)
         print(report.format_table())
         print(f"wrote {path}")
+
+    if args.assert_autotune:
+        if autotune_report is None:
+            parser.error("--assert-autotune requires fig10_autotune in --benches")
+        check_autotune_floor(autotune_report)
 
     if args.assert_lane_vs_compiled is not None:
         # The JSON is already on disk: a failing floor still uploads evidence.

@@ -2,7 +2,7 @@
 
 Subcommands::
 
-    python -m repro.cache stats                     # object count / bytes
+    python -m repro.cache stats                     # object count / bytes + tuned pipelines
     python -m repro.cache gc --max-mb 512           # evict oldest past cap
     python -m repro.cache gc --max-bytes 0          # drop everything
 
@@ -56,6 +56,16 @@ def main(argv=None) -> int:
         print(f"store:  {store.root}")
         print(f"files:  {stats['files']}")
         print(f"bytes:  {stats['bytes']} ({stats['bytes'] / 1e6:.1f} MB)")
+        tuned = store.tuned_stats()
+        print("tuned pipelines:")
+        print(f"  entries:  {tuned['entries']}")
+        print(f"  bytes:    {tuned['bytes']}")
+        # Hit/miss/write counters are per-process; a fresh CLI process has
+        # performed no lookups, so these matter mostly for embedded callers.
+        print(
+            f"  counters: hits={tuned['hits']} misses={tuned['misses']} "
+            f"writes={tuned['writes']} (this process)"
+        )
         return 0
 
     max_bytes = args.max_bytes if args.max_bytes is not None else int(args.max_mb * 1e6)

@@ -45,11 +45,21 @@ _LAZY_EXPORTS = {
     "default_session": "session",
     "compile": "session",
     "structural_fingerprint": "session",
+    "AutotuneConfig": "autotune",
+    "AutotuneResult": "autotune",
+    "run_autotune": "autotune",
+    "generate_candidates": "autotune",
 }
 
 __all__ = sorted(_LAZY_EXPORTS)
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .autotune import (  # noqa: F401
+        AutotuneConfig,
+        AutotuneResult,
+        generate_candidates,
+        run_autotune,
+    )
     from .engines import (  # noqa: F401
         EngineCapabilities,
         EngineInstance,

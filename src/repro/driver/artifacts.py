@@ -41,8 +41,16 @@ __all__ = [
     "artifact_salt",
     "model_artifact_key",
     "optimize_artifact_key",
+    "tuned_pipeline_key",
     "STORE_ENV_VAR",
+    "TUNED_KEY_PREFIX",
 ]
+
+#: Key prefix of tuned-pipeline entries (autotune winners + provenance).
+#: The prefix keeps them enumerable on disk — ``python -m repro.cache stats``
+#: reports tuned-cache health next to the artifact cache — and lets the
+#: store's counters split tuned traffic from compile-artifact traffic.
+TUNED_KEY_PREFIX = "tune-"
 
 #: Environment variable naming the default on-disk store root.  When set,
 #: sessions (and the module-level ``repro.compile``) persist artifacts there
@@ -185,6 +193,27 @@ def optimize_artifact_key(unit_keys: Dict[str, str]) -> str:
     return _sha256("opt", *sorted(unit_keys.values()))
 
 
+def tuned_pipeline_key(composition, engine: str, objective_id: str) -> str:
+    """Store key of an autotuned-pipeline entry.
+
+    Keyed on the structural composition hash × engine × objective (plus the
+    global salt): every structurally identical rebuild of a model resolves to
+    the same tuned pipeline, a pipeline tuned for one engine never leaks to
+    another, and changing the objective weights starts a fresh search.  Run
+    seeds and budgets are deliberately excluded — see DESIGN.md, "Pipeline
+    autotuner".
+    """
+    from .session import structural_fingerprint
+
+    return TUNED_KEY_PREFIX + _sha256(
+        "autotune",
+        structural_fingerprint(composition),
+        str(engine),
+        str(objective_id),
+        artifact_salt(),
+    )
+
+
 # ---------------------------------------------------------------------------
 # The store
 # ---------------------------------------------------------------------------
@@ -208,6 +237,11 @@ class ArtifactStore:
         self.misses = 0
         self.writes = 0
         self.errors = 0
+        #: Process-local counters for tuned-pipeline entries (keys carrying
+        #: :data:`TUNED_KEY_PREFIX`); these are a *subset* of the totals.
+        self.tuned_hits = 0
+        self.tuned_misses = 0
+        self.tuned_writes = 0
 
     # -- paths ------------------------------------------------------------
     def _objects_dir(self) -> str:
@@ -224,16 +258,19 @@ class ArtifactStore:
         best-effort) rather than surfacing as exceptions.
         """
         path = self.path_for(key)
+        tuned = key.startswith(TUNED_KEY_PREFIX)
         try:
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
         except FileNotFoundError:
             with self._lock:
                 self.misses += 1
+                self.tuned_misses += tuned
             return None
         except Exception:
             with self._lock:
                 self.misses += 1
+                self.tuned_misses += tuned
                 self.errors += 1
             try:
                 os.unlink(path)
@@ -242,6 +279,7 @@ class ArtifactStore:
             return None
         with self._lock:
             self.hits += 1
+            self.tuned_hits += tuned
         return payload
 
     def put(self, key: str, payload) -> None:
@@ -262,6 +300,7 @@ class ArtifactStore:
             raise
         with self._lock:
             self.writes += 1
+            self.tuned_writes += key.startswith(TUNED_KEY_PREFIX)
 
     # -- maintenance -------------------------------------------------------
     def _iter_objects(self) -> Iterable[Tuple[str, os.stat_result]]:
@@ -324,6 +363,29 @@ class ArtifactStore:
             "kept_files": len(entries) - removed_files,
             "kept_bytes": total,
         }
+
+    def tuned_stats(self) -> Dict[str, int]:
+        """Tuned-pipeline cache health: on-disk entries plus local counters.
+
+        Entry enumeration works across processes (tuned keys carry
+        :data:`TUNED_KEY_PREFIX`, so their object files are recognisable on
+        disk); the hit/miss/write counters are this process's, like every
+        other store counter.
+        """
+        entries = 0
+        size = 0
+        for path, st in self._iter_objects():
+            if os.path.basename(path).startswith(TUNED_KEY_PREFIX):
+                entries += 1
+                size += st.st_size
+        with self._lock:
+            return {
+                "entries": entries,
+                "bytes": size,
+                "hits": self.tuned_hits,
+                "misses": self.tuned_misses,
+                "writes": self.tuned_writes,
+            }
 
     def counters(self) -> Dict[str, int]:
         with self._lock:

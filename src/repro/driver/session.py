@@ -18,6 +18,7 @@ structurally identical models; with a session they compile once::
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import threading
 from typing import Dict, Optional, Tuple, Union
@@ -202,6 +203,16 @@ class Session:
         self._instances: Dict[Tuple, EngineInstance] = {}
         self.hits = 0
         self.misses = 0
+        #: Tuned-pipeline counters: ``tuned_hits``/``tuned_misses`` count
+        #: ``pipeline="auto"`` resolutions against the persisted autotune
+        #: cache; ``autotune_searches``/``autotune_cached`` count
+        #: :meth:`autotune` calls that ran a fresh search vs were served a
+        #: stored winner.  Surfaced by :meth:`cache_info` (and therefore the
+        #: serving daemon's ``stats`` op).
+        self.tuned_hits = 0
+        self.tuned_misses = 0
+        self.autotune_searches = 0
+        self.autotune_cached = 0
 
     # -- compilation -------------------------------------------------------------
     def _model_key(
@@ -242,6 +253,8 @@ class Session:
         """
         from ..core.distill import compile_composition
 
+        if pipeline == "auto":
+            pipeline = self.resolve_auto_pipeline(composition)
         pipeline = resolve_pipeline(
             pipeline, verify=verify, default_policy=self.default_verify
         )
@@ -277,6 +290,10 @@ class Session:
         :class:`EngineInstance` whose ``run(inputs, num_trials)`` executes
         trials on that engine."""
         get_engine(target)  # validate the target before compiling
+        if pipeline == "auto":
+            # Tuned pipelines are cached per engine: resolve against the
+            # race's target so a lane-tuned winner never leaks to "compiled".
+            pipeline = self.resolve_auto_pipeline(composition, engine=target)
         model = self.compile_model(
             composition, pipeline=pipeline, seed=seed, verify=verify, flags=flags
         )
@@ -322,6 +339,89 @@ class Session:
         return instance.run_batch(
             inputs_batch, num_trials=num_trials, seed=seed, **options
         )
+
+    # -- pipeline autotuning -------------------------------------------------------
+    def resolve_auto_pipeline(self, composition: Composition, engine: str = "compiled") -> str:
+        """Resolve ``pipeline="auto"`` to this model shape's tuned pipeline.
+
+        Looks up the persisted autotune winner for (structural fingerprint,
+        ``engine``, the default objective) in the session's artifact store;
+        on a miss — no store, never tuned, or a stale/corrupt entry — falls
+        back to the incumbent ``default<O2>``.  Zero search cost either way:
+        resolution is one store read.
+        """
+        from .artifacts import resolve_store, tuned_pipeline_key
+        from .autotune import AutotuneConfig, result_from_payload
+
+        config = AutotuneConfig(engine=engine)
+        store = resolve_store(self.store)
+        if store is not None:
+            key = tuned_pipeline_key(composition, engine, config.objective_id())
+            result = result_from_payload(store.get(key), key)
+            if result is not None:
+                with self._lock:
+                    self.tuned_hits += 1
+                return result.winner
+        with self._lock:
+            self.tuned_misses += 1
+        return config.incumbent
+
+    def autotune(
+        self,
+        composition: Union[str, Composition],
+        budget: Optional[int] = None,
+        inputs=None,
+        num_trials: Optional[int] = None,
+        engine: str = "compiled",
+        config=None,
+        force: bool = False,
+    ):
+        """Search for the fastest equivalence-proven pipeline for a model.
+
+        ``composition`` may be a :class:`Composition` (then ``inputs`` is
+        required — the representative workload the equivalence proof and the
+        race run) or a registered model name (inputs and trial count default
+        to the registry entry's).  Returns an :class:`repro.driver.autotune.
+        AutotuneResult`; the winner plus provenance is persisted in the
+        session's artifact store, so later ``compile(pipeline="auto")`` calls
+        — in this session, a fresh one, or the serving daemon — pick it up
+        with zero search cost.  A persisted winner short-circuits the search
+        (``result.cache_hit``) unless ``force`` is set.
+        """
+        from .autotune import AutotuneConfig, run_autotune
+
+        if isinstance(composition, str):
+            from ..models import get_model
+
+            entry = get_model(composition)
+            composition = entry.build()
+            if inputs is None:
+                inputs = entry.inputs()
+                if num_trials is None:
+                    num_trials = entry.num_trials
+        if inputs is None:
+            raise ValueError(
+                "autotune needs representative inputs; pass inputs=... or a "
+                "registered model name"
+            )
+        if config is None:
+            config = AutotuneConfig(engine=engine)
+        if budget is not None:
+            config = dataclasses.replace(config, budget=int(budget))
+        result = run_autotune(
+            composition,
+            inputs,
+            num_trials=num_trials if num_trials is not None else 1,
+            config=config,
+            store=self.store,
+            force=force,
+        )
+        with self._lock:
+            if result.cache_hit:
+                self.autotune_cached += 1
+            else:
+                self.autotune_searches += 1
+        return result
 
     def recompile(self, model, composition=None, changed=None) -> Dict[str, object]:
         """Incrementally recompile a cached model after an edit, re-keying it.
@@ -389,13 +489,19 @@ class Session:
         )
 
     # -- cache management ----------------------------------------------------------
-    def cache_info(self) -> Dict[str, int]:
+    def cache_info(self) -> Dict[str, object]:
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "models": len(self._models),
                 "instances": len(self._instances),
+                "tuned": {
+                    "hits": self.tuned_hits,
+                    "misses": self.tuned_misses,
+                    "searches": self.autotune_searches,
+                    "cached_results": self.autotune_cached,
+                },
             }
 
     def close(self) -> None:
@@ -412,6 +518,10 @@ class Session:
             self._instances.clear()
             self.hits = 0
             self.misses = 0
+            self.tuned_hits = 0
+            self.tuned_misses = 0
+            self.autotune_searches = 0
+            self.autotune_cached = 0
 
     def __enter__(self) -> "Session":
         return self

@@ -1,0 +1,96 @@
+"""Reusable bitwise buffer comparators shared by the oracle and the autotuner.
+
+These helpers started life inside :mod:`repro.fuzz.oracle` (PR 4).  The
+pipeline autotuner (:mod:`repro.driver.autotune`) needs exactly the same
+equivalence bar — bitwise-equal result/monitor/state buffers plus final PRNG
+counters — so the comparators live here and both callers import them rather
+than growing parallel implementations that could drift.
+
+The contract is deliberately strict: *exact* elementwise equality with
+``NaN == NaN`` (bitwise-for-floats), no tolerances.  Optimisation pipelines
+must not change observable behaviour at all; anything looser would let a
+miscompiling candidate win a race.  Engine-vs-engine comparisons with a
+documented ulp tolerance (the lane leg's ``LANE_RTOL``) stay in
+:mod:`repro.fuzz.oracle` — they compare *engines*, not *pipelines*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "arrays_equal",
+    "buffers_equal",
+    "final_rng_counters",
+    "proof_hash",
+    "raw_buffers",
+]
+
+
+def raw_buffers(
+    compiled, inputs, num_trials: int, seed: int, engine: str, **options
+) -> Tuple[List[float], List[float], List[float]]:
+    """Execute ``engine`` and return the raw (results, monitor, state) buffers."""
+    buffers = compiled.allocate_buffers(inputs, num_trials, seed)
+    compiled.engine_instance(engine).execute(buffers, num_trials, **options)
+    return (
+        list(buffers["results"]),
+        list(buffers["monitor"]),
+        list(buffers["state"]),
+    )
+
+
+def arrays_equal(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Exact elementwise equality with NaN == NaN (bitwise-for-floats)."""
+    return np.array_equal(
+        np.asarray(a, dtype=float), np.asarray(b, dtype=float), equal_nan=True
+    )
+
+
+def buffers_equal(a, b) -> Optional[str]:
+    """``None`` when two raw buffer triples agree, else a short description."""
+    for name, left, right in zip(("results", "monitor", "state"), a, b):
+        if not arrays_equal(left, right):
+            index = next(
+                (
+                    i
+                    for i, (x, y) in enumerate(zip(left, right))
+                    if x != y and not (math.isnan(x) and math.isnan(y))
+                ),
+                -1,
+            )
+            return (
+                f"{name} buffers differ at slot {index}: "
+                f"{left[index] if index >= 0 else '?'} vs "
+                f"{right[index] if index >= 0 else '?'}"
+            )
+    return None
+
+
+def final_rng_counters(compiled, state: Sequence[float]) -> Dict[str, int]:
+    """Per-mechanism final PRNG counters read out of a finished state buffer."""
+    return {
+        name: int(state[offset + 1])
+        for name, offset in compiled.layout.rng_offsets.items()
+    }
+
+
+def proof_hash(buffers, counters: Dict[str, int]) -> str:
+    """Content hash of an observed (buffers, counters) observation.
+
+    Recorded in autotune provenance: two candidates proven equivalent carry
+    the *same* proof hash as the incumbent, so the equivalence claim in a
+    persisted tuning record can be audited after the fact without re-running
+    the race.
+    """
+    digest = hashlib.sha256()
+    for part in buffers:
+        digest.update(np.asarray(part, dtype=float).tobytes())
+        digest.update(b"|")
+    for name in sorted(counters):
+        digest.update(f"{name}={counters[name]};".encode("utf-8"))
+    return digest.hexdigest()

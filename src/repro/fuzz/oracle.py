@@ -150,45 +150,13 @@ class OracleConfig:
 # Raw execution and comparison helpers
 # ---------------------------------------------------------------------------
 
-
-def raw_buffers(
-    compiled, inputs, num_trials: int, seed: int, engine: str, **options
-) -> Tuple[List[float], List[float], List[float]]:
-    """Execute ``engine`` and return the raw (results, monitor, state) buffers."""
-    buffers = compiled.allocate_buffers(inputs, num_trials, seed)
-    compiled.engine_instance(engine).execute(buffers, num_trials, **options)
-    return (
-        list(buffers["results"]),
-        list(buffers["monitor"]),
-        list(buffers["state"]),
-    )
-
-
-def _arrays_equal(a: Sequence[float], b: Sequence[float]) -> bool:
-    """Exact elementwise equality with NaN == NaN (bitwise-for-floats)."""
-    return np.array_equal(
-        np.asarray(a, dtype=float), np.asarray(b, dtype=float), equal_nan=True
-    )
-
-
-def buffers_equal(a, b) -> Optional[str]:
-    """``None`` when two raw buffer triples agree, else a short description."""
-    for name, left, right in zip(("results", "monitor", "state"), a, b):
-        if not _arrays_equal(left, right):
-            index = next(
-                (
-                    i
-                    for i, (x, y) in enumerate(zip(left, right))
-                    if x != y and not (math.isnan(x) and math.isnan(y))
-                ),
-                -1,
-            )
-            return (
-                f"{name} buffers differ at slot {index}: "
-                f"{left[index] if index >= 0 else '?'} vs "
-                f"{right[index] if index >= 0 else '?'}"
-            )
-    return None
+# The bitwise comparators are shared with the pipeline autotuner (which
+# demands the exact same equivalence bar before racing a candidate pipeline)
+# and live in repro.fuzz.compare; the historical oracle names re-export them
+# so existing callers and reproducer files keep working.
+from .compare import buffers_equal, raw_buffers  # noqa: E402,F401
+from .compare import arrays_equal as _arrays_equal  # noqa: E402,F401
+from .compare import final_rng_counters as _final_rng_counters  # noqa: E402
 
 
 def _engine_options(engine: str, workers: int) -> Dict[str, object]:
@@ -196,13 +164,6 @@ def _engine_options(engine: str, workers: int) -> Dict[str, object]:
     if capabilities is not None and capabilities.supports_workers and workers:
         return {"workers": workers}
     return {}
-
-
-def _final_rng_counters(compiled, state: Sequence[float]) -> Dict[str, int]:
-    return {
-        name: int(state[offset + 1])
-        for name, offset in compiled.layout.rng_offsets.items()
-    }
 
 
 # ---------------------------------------------------------------------------

@@ -178,13 +178,26 @@ class PassManager(Pass):
 
     def aggregate_timings(self) -> dict:
         """Total seconds and execution counts per pass name, nested included:
-        ``{name: {"seconds": float, "runs": int, "changed": int}}``."""
+        ``{name: {"seconds": float, "runs": int, "changed": int, "noops": int}}``.
+
+        ``changed`` counts executions that reported an IR mutation and
+        ``noops`` the executions that found nothing to do — the distinction
+        a pure timing table cannot make between a cheap pass and a useless
+        one.  A pass with ``changed == 0`` across a whole compile is the
+        autotuner's first pruning candidate (see
+        :mod:`repro.driver.autotune`).
+        """
         summary: dict = {}
         for timing in self.flat_timings():
-            row = summary.setdefault(timing.name, {"seconds": 0.0, "runs": 0, "changed": 0})
+            row = summary.setdefault(
+                timing.name, {"seconds": 0.0, "runs": 0, "changed": 0, "noops": 0}
+            )
             row["seconds"] += timing.seconds
             row["runs"] += 1
-            row["changed"] += 1 if timing.changed else 0
+            if timing.changed:
+                row["changed"] += 1
+            else:
+                row["noops"] += 1
         return summary
 
     def describe(self) -> str:

@@ -794,5 +794,11 @@ class Server:
             },
             "session": self.session.cache_info(),
             "artifacts": self.store.counters() if self.store is not None else None,
+            # On-disk tuned-pipeline entries + this process's lookup counters;
+            # the session's own "tuned" sub-dict (above) counts pipeline="auto"
+            # resolutions, this one counts store-level entries/traffic.
+            "tuned_pipelines": (
+                self.store.tuned_stats() if self.store is not None else None
+            ),
             "latency_ms": latency,
         }

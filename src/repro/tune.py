@@ -1,0 +1,113 @@
+"""Pipeline autotuner CLI: ``python -m repro.tune <model> --budget N``.
+
+Runs :meth:`repro.Session.autotune` on a registered model and prints the
+winner plus the full candidate provenance table — what was generated, what
+the equivalence gate rejected, and what each survivor's raced objective was.
+
+The tuned winner is persisted in the artifact store (``--store`` or
+``REPRO_ARTIFACT_DIR``), keyed on (structural hash, engine, objective), so a
+later ``repro.compile(model, pipeline="auto")`` — in any process sharing the
+store, including the serving daemon — resolves it with zero search cost.
+Without a store the search still runs and reports, but nothing persists.
+
+Examples::
+
+    python -m repro.tune necker_cube_s --budget 8
+    python -m repro.tune botvinick_stroop --engine lane --force
+    python -m repro.tune predator_prey_s --store /tmp/repro-cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .driver.artifacts import STORE_ENV_VAR
+from .driver.session import Session
+
+
+def _format_records(records) -> str:
+    lines = [
+        f"  {'status':10s} {'objective_s':>12s} {'compile_s':>10s} "
+        f"{'run_s':>10s}  pipeline"
+    ]
+    for record in records:
+        objective = (
+            f"{record.objective:.5f}" if record.objective != float("inf") else "-"
+        )
+        pipeline = record.pipeline
+        if len(pipeline) > 80:
+            pipeline = pipeline[:77] + "..."
+        lines.append(
+            f"  {record.status:10s} {objective:>12s} {record.compile_s:>10.5f} "
+            f"{record.run_s:>10.5f}  {pipeline}"
+        )
+        if record.detail:
+            lines.append(f"  {'':10s} {'':>12s} {'':>10s} {'':>10s}  ^ {record.detail}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tune",
+        description="Race equivalence-proven candidate pipelines for a "
+        "registered model and cache the winner.",
+    )
+    parser.add_argument("model", help="registered model name (see repro.models)")
+    parser.add_argument(
+        "--budget", type=int, default=None, help="max candidates to gate and race"
+    )
+    parser.add_argument(
+        "--engine",
+        default="compiled",
+        help="engine the race runs on (part of the cache key; default: compiled)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="re-search even when a persisted winner exists",
+    )
+    store_group = parser.add_mutually_exclusive_group()
+    store_group.add_argument(
+        "--store",
+        default=None,
+        help=f"artifact store root (default: ${STORE_ENV_VAR})",
+    )
+    store_group.add_argument(
+        "--no-store",
+        action="store_true",
+        help="search without persisting (and ignore any cached winner)",
+    )
+    args = parser.parse_args(argv)
+
+    store = False if args.no_store else (args.store if args.store else None)
+    session = Session(store=store)
+    try:
+        result = session.autotune(
+            args.model, budget=args.budget, engine=args.engine, force=args.force
+        )
+    except KeyError as exc:
+        raise SystemExit(f"unknown model: {exc}")
+
+    source = "tuned-pipeline cache" if result.cache_hit else (
+        f"fresh search ({result.searched} candidates)"
+    )
+    print(f"model:      {args.model}")
+    print(f"engine:     {result.engine}")
+    print(f"source:     {source}")
+    print(f"key:        {result.key}")
+    print(f"incumbent:  {result.incumbent}  (objective {result.incumbent_objective:.5f}s)")
+    print(f"winner:     {result.winner}")
+    print(f"objective:  {result.objective:.5f}s  ({result.improvement:.3f}x vs incumbent)")
+    print()
+    print("candidates:")
+    print(_format_records(result.records))
+    if store is False:
+        print()
+        print("(no store: winner not persisted; set "
+              f"${STORE_ENV_VAR} or --store to cache it)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -339,14 +339,115 @@ class TestTrialFolding:
         finally:
             compiled.close_engines()
 
-    def test_rng_models_never_fold(self):
-        """Trials of an RNG model are sequentially dependent through the
-        PRNG counters; the fold must refuse and fall back to the masked
-        trial loop (still bitwise vs scalar, covered above)."""
+    def test_control_models_never_fold(self):
+        """A grid-search controller addresses its draws by
+        ``eval_epoch = trial_idx * max_passes + pass_idx`` — no amount of
+        counter extrapolation reproduces a later trial from a ``trial_idx=0``
+        sub-lane, and the stateful counters can still line up while the
+        epoch-addressed draws diverge.  Control-bearing models must be
+        excluded *statically*, not caught by verification."""
         compiled = compile_composition(pp.build_predator_prey("s"), pipeline="default<O2>")
         try:
             lane = compiled.engine_instance("lane")
             lane.run_batch([PP_INPUTS] * 2, num_trials=3, seed=[0, 1])
             assert lane.trials_folded == 0
+            assert lane.rng_trials_folded == 0
+            assert lane.rng_fold_fallbacks == 0
+        finally:
+            compiled.close_engines()
+
+
+class TestRngTrialFolding:
+    """Speculative trial folding for RNG models (PRNG counter extrapolation)."""
+
+    def _buffers(self, compiled, entry, engine, trials, **options):
+        buffers = compiled.allocate_buffers(entry.inputs(), trials, 7)
+        compiled.engine_instance(engine).execute(buffers, trials, **options)
+        return buffers
+
+    def test_rng_fold_bitwise_vs_looped_trials_across_engines(self):
+        """Folded RNG trials must be bitwise-identical to the sequential
+        masked trial loop — the whole buffer set, against every scalar
+        engine and against the lane engine's own unfolded run."""
+        from repro.models.registry import get_model
+
+        entry = get_model("necker_cube_s")
+        compiled = compile_composition(entry.build(), pipeline="default<O2>")
+        try:
+            assert compiled.layout.rng_offsets
+            trials = 4
+            folded = self._buffers(compiled, entry, "lane", trials)
+            lane = compiled.engine_instance("lane")
+            assert lane.rng_trials_folded == trials
+            assert lane.rng_fold_fallbacks == 0
+            assert lane.trials_folded == 0  # RNG folds are counted separately
+            references = {
+                "lane-unfolded": self._buffers(
+                    compiled, entry, "lane", trials, fold_trials=False
+                ),
+                "compiled": self._buffers(compiled, entry, "compiled", trials),
+                "mcpu": self._buffers(compiled, entry, "mcpu", trials),
+            }
+            for ref_name, ref in references.items():
+                for key in ("results", "monitor", "state", "prev", "cur"):
+                    np.testing.assert_array_equal(
+                        np.asarray(ref[key]),
+                        np.asarray(folded[key]),
+                        err_msg=f"{ref_name}:{key}",
+                    )
+        finally:
+            compiled.close_engines()
+
+    def test_varying_draw_count_falls_back_bitwise(self):
+        """A model whose per-trial draw count varies fails the counter
+        verification; the element's buffers were never written by the
+        speculative lanes, so the fallback rerun is bitwise-clean."""
+        from repro.models.registry import get_model
+
+        entry = get_model("multitasking")
+        compiled = compile_composition(entry.build(), pipeline="default<O2>")
+        try:
+            trials = max(entry.num_trials, 3)
+            folded = self._buffers(compiled, entry, "lane", trials)
+            lane = compiled.engine_instance("lane")
+            assert lane.rng_fold_fallbacks == 1
+            assert lane.rng_trials_folded == 0
+            unfolded = self._buffers(
+                compiled, entry, "lane", trials, fold_trials=False
+            )
+            for key in ("results", "monitor", "state", "prev", "cur"):
+                np.testing.assert_array_equal(
+                    np.asarray(unfolded[key]), np.asarray(folded[key]), err_msg=key
+                )
+        finally:
+            compiled.close_engines()
+
+    def test_mixed_batch_folds_eligible_elements_only(self):
+        """Single-trial elements ride sweep 1 unchanged while multi-trial
+        elements of the same batch fold; outputs match per-element runs."""
+        from repro.models.registry import get_model
+
+        entry = get_model("botvinick_stroop")
+        compiled = compile_composition(entry.build(), pipeline="default<O2>")
+        try:
+            lane = compiled.engine_instance("lane")
+            inputs = entry.inputs()
+            batched = [
+                (compiled.allocate_buffers(inputs, trials, seed), trials)
+                for seed, trials in ((0, 3), (1, 1), (2, 2))
+            ]
+            lane.execute_batch(batched)
+            assert lane.rng_trials_folded == 5  # 3 + 2; the 1-trial lane rides along
+            singles = [
+                (compiled.allocate_buffers(inputs, trials, seed), trials)
+                for seed, trials in ((0, 3), (1, 1), (2, 2))
+            ]
+            for buffers, trials in singles:
+                compiled.engine_instance("compiled").execute(buffers, trials)
+            for (folded, _), (base, _) in zip(batched, singles):
+                for key in ("results", "monitor", "state"):
+                    np.testing.assert_array_equal(
+                        np.asarray(base[key]), np.asarray(folded[key]), err_msg=key
+                    )
         finally:
             compiled.close_engines()

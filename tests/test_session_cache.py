@@ -103,7 +103,13 @@ class TestSessionCaching:
         session = Session()
         session.compile_model(build_stroop())
         session.clear()
-        assert session.cache_info() == {"hits": 0, "misses": 0, "models": 0, "instances": 0}
+        assert session.cache_info() == {
+            "hits": 0,
+            "misses": 0,
+            "models": 0,
+            "instances": 0,
+            "tuned": {"hits": 0, "misses": 0, "searches": 0, "cached_results": 0},
+        }
 
     def test_non_default_flags_never_alias_the_clean_entry(self):
         # Regression: flags used to freeze as raw dict items, so
